@@ -1,0 +1,92 @@
+// Command riot is the interactive chip-assembly tool: a shell speaking
+// the textual command language over the current directory, with the
+// simulated graphic workstation available for screenshots.
+//
+// Usage:
+//
+//	riot                      interactive session on stdin
+//	riot -f script.riot       run a command script, then exit
+//	riot -c "CMD; CMD; ..."   run commands from the flag, then exit
+//	riot -screenshot out.ppm  after the script, render the cell under
+//	                          edit through the figure-2 screen layout
+//	riot -workstation gigi    use the GIGI configuration (default
+//	                          charles)
+//
+// Files are read from and written to the working directory. The
+// standard cell library (pads.cif, srcell.sticks, nand.sticks,
+// or4.sticks, pipe fittings) is available without any files on disk.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"riot"
+)
+
+func main() {
+	script := flag.String("f", "", "command script to run")
+	cmds := flag.String("c", "", "semicolon-separated commands to run")
+	screenshot := flag.String("screenshot", "", "write a screen image (PPM) after the script")
+	station := flag.String("workstation", "charles", "workstation configuration: charles or gigi")
+	flag.Parse()
+
+	s, err := riot.NewSession(os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	// real files behind the in-memory library
+	s.Mount(os.DirFS("."))
+	s.Shell.WriteFile = func(name string, data []byte) error {
+		return os.WriteFile(name, data, 0o644)
+	}
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *script != "":
+		f, err := os.Open(*script)
+		fail(err)
+		defer f.Close()
+		fail(s.Run(f))
+	case *cmds != "":
+		for _, c := range strings.Split(*cmds, ";") {
+			if err := s.Exec(strings.TrimSpace(c)); err != nil {
+				fail(err)
+			}
+		}
+	default:
+		fmt.Println("riot — graphical chip assembly (DAC 1982 reproduction)")
+		fmt.Println("type HELP for commands, QUIT to leave")
+		in := bufio.NewScanner(os.Stdin)
+		for !s.Shell.Quit() {
+			fmt.Print("riot> ")
+			if !in.Scan() {
+				break
+			}
+			if err := s.Exec(in.Text()); err != nil {
+				fmt.Printf("?%v\n", err)
+			}
+		}
+	}
+
+	if *screenshot != "" {
+		if s.Editor() == nil {
+			fail(fmt.Errorf("riot: -screenshot needs a cell under edit at script end"))
+		}
+		u, _, err := s.OpenWorkstation(*station)
+		fail(err)
+		u.ShowNames = true
+		fail(u.Screenshot(*screenshot))
+		fmt.Printf("screenshot written to %s\n", *screenshot)
+	}
+}

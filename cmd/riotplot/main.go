@@ -1,0 +1,69 @@
+// Command riotplot renders a cell from any Riot interchange file to a
+// raster image (PPM) or a pen-plotter stream (HP-GL), standing in for
+// the HP 7221A hardcopy path.
+//
+// Usage:
+//
+//	riotplot -in chip.cif -cell CHIP -o chip.ppm
+//	riotplot -in gates.sticks -cell NAND -o nand.hpgl -geometry
+//	riotplot -in session.comp -cell TOP -o top.ppm -w 1024 -h 768
+//
+// The output format follows the -o suffix: .ppm or .hpgl.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"riot"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (.cif, .sticks or .comp)")
+	cell := flag.String("cell", "", "cell to render (default: last cell in the file)")
+	out := flag.String("o", "", "output file (.ppm or .hpgl)")
+	geometry := flag.Bool("geometry", false, "draw full mask geometry instead of the instance view")
+	w := flag.Int("w", 768, "raster width")
+	h := flag.Int("h", 512, "raster height")
+	flag.Parse()
+
+	fail := func(err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *in == "" || *out == "" {
+		fail(fmt.Errorf("riotplot: -in and -o are required"))
+	}
+
+	s, err := riot.NewSession(os.Stderr)
+	fail(err)
+	s.Mount(os.DirFS("."))
+	fail(s.Exec("READ " + *in))
+
+	name := *cell
+	if name == "" {
+		names := s.Design().CellNames()
+		if len(names) == 0 {
+			fail(fmt.Errorf("riotplot: no cells in %s", *in))
+		}
+		name = names[len(names)-1]
+	}
+
+	var data []byte
+	switch strings.ToLower(filepath.Ext(*out)) {
+	case ".ppm":
+		data, err = s.RenderPPM(name, *w, *h, *geometry)
+	case ".hpgl":
+		data, err = s.PlotHPGL(name, *geometry)
+	default:
+		err = fmt.Errorf("riotplot: unknown output type %q (want .ppm or .hpgl)", *out)
+	}
+	fail(err)
+	fail(os.WriteFile(*out, data, 0o644))
+	fmt.Printf("rendered %s from %s to %s (%d bytes)\n", name, *in, *out, len(data))
+}

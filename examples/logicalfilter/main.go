@@ -1,0 +1,115 @@
+// Command logicalfilter reproduces the paper's worked example end to
+// end (figures 7-10): the four-bit sequential logical filter
+//
+//	f_n = OR_{i=1..4} c_i x_{n-i}
+//
+// assembled once with routed connections (figure 9a) and once with
+// stretched connections (figure 9b), then finished into the complete
+// chip with pads (figure 10). It prints the area comparison the paper
+// makes and writes plots and mask CIF into ./riot-filter-out.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"riot/internal/cif"
+	"riot/internal/core"
+	"riot/internal/display"
+	"riot/internal/filter"
+	"riot/internal/geom"
+	"riot/internal/plot"
+	"riot/internal/raster"
+)
+
+func main() {
+	outDir := "riot-filter-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== The logical filter of the Riot paper (figures 7-10) ==")
+	fmt.Println()
+	fmt.Println("floorplan (figure 7): pads / shift-register row / NAND row / OR")
+	fmt.Println()
+
+	var stats [2]*filter.Stats
+	for i, variant := range []filter.Variant{filter.Routed, filter.Stretched} {
+		_, logic, st, err := filter.BuildLogic(variant)
+		if err != nil {
+			log.Fatalf("%v: %v", variant, err)
+		}
+		stats[i] = st
+		fmt.Printf("figure 9%c (%s):\n", 'a'+i, variant)
+		fmt.Printf("  logic block: %d x %d lambda (area %d lambda^2)\n",
+			st.LogicBox.W()/250, st.LogicHeight, st.LogicArea)
+		fmt.Printf("  route cells: %d, jog tracks: %d, channel height: %d lambda\n",
+			st.RouteCells, st.RouteTracks, st.ChannelHeight)
+		writeCellImage(outDir, fmt.Sprintf("fig9%c-logic.ppm", 'a'+i), logic, false)
+		writeCellImage(outDir, fmt.Sprintf("fig9%c-geometry.ppm", 'a'+i), logic, true)
+	}
+	saved := stats[0].LogicHeight - stats[1].LogicHeight
+	fmt.Println()
+	fmt.Printf("the paper's claim: stretching eliminates the routing channels.\n")
+	fmt.Printf("measured: %d lambda of channel in 9a; 9b is %d lambda shorter.\n",
+		stats[0].ChannelHeight, saved)
+	fmt.Println()
+
+	// figure 10: the completed chip
+	d, chip, cst, err := filter.BuildChip(filter.Stretched)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("figure 10 (completed chip, stretched core):\n")
+	fmt.Printf("  chip: %d x %d lambda (area %d lambda^2), %d pads, %d pad routes\n",
+		cst.ChipBox.W()/250, cst.ChipBox.H()/250, cst.ChipArea, cst.PadCount, cst.Routes)
+	fmt.Printf("  cell menu now holds %d cells (library + Riot-made route cells)\n",
+		len(d.CellNames()))
+
+	writeCellImage(outDir, "fig10-chip.ppm", chip, true)
+	writePlot(outDir, "fig10-chip.hpgl", chip)
+
+	// mask CIF
+	f, err := core.ExportCIF(chip)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(outDir, "chip.cif")
+	if err := os.WriteFile(path, []byte(cif.String(f)), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s (%d symbols, for mask generation)\n", path, len(f.Symbols))
+}
+
+func writeCellImage(dir, name string, cell *core.Cell, geometry bool) {
+	im := raster.New(768, 512)
+	v := display.FitView(cell.BBox(), geom.R(0, 0, 767, 511), true)
+	display.DrawCell(display.RasterCanvas{Im: im}, v, cell, display.Options{Geometry: geometry, ShowNames: !geometry})
+	var b strings.Builder
+	if err := im.WritePPM(&b); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+func writePlot(dir, name string, cell *core.Cell) {
+	var b strings.Builder
+	p := plot.New(&b)
+	v := display.FitView(cell.BBox(), geom.R(0, 0, 10000, 7200), false)
+	display.DrawCell(display.PlotCanvas{P: p}, v, cell, display.Options{Geometry: true})
+	if err := p.Finish(); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote %s (%d plotter ops)\n", path, p.Ops())
+}

@@ -1,0 +1,97 @@
+// Command padframe assembles a full pad ring around a core using
+// Riot's arrays and orientations — the kind of "small project chip"
+// assembly the paper says Riot was good at. Each side of the ring is
+// one array instance of the pad cell, oriented so every pad's
+// connector faces the core; the core's register inputs are then routed
+// to the nearest pads.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"riot"
+)
+
+func main() {
+	s, err := riot.NewSession(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("== pad frame assembly ==")
+	fmt.Println()
+
+	// A core: an 8-stage register bank (two rows of four).
+	must(s.ExecAll(
+		"READ srcell.sticks",
+		"READ pads.cif",
+		"EDIT CORE",
+		"CREATE SRCELL row0 AT 0 0 ARRAY 4 1",
+		"CREATE SRCELL row1 AT 0 24 ARRAY 4 1",
+		"ENDEDIT",
+	))
+
+	// The frame: four pad rows/columns. The pad cell's connector P is
+	// on its bottom edge; orientations turn it inward.
+	must(s.ExecAll(
+		"EDIT FRAME",
+		"CREATE CORE core AT 120 120",
+		// south row: P faces up (R180 flips the pad over)
+		"CREATE PADIN south AT 120 40 ORIENT MXR180 ARRAY 2 1 80 0",
+		// north row: P faces down (natural orientation)
+		"CREATE PADIN north AT 120 340 ARRAY 2 1 80 0",
+		// west column: P faces right
+		"CREATE PADIN west AT 40 120 ORIENT R90 ARRAY 1 2 0 80",
+		// east column: P faces left
+		"CREATE PADOUT east AT 340 120 ORIENT R270 ARRAY 1 2 0 80",
+	))
+
+	// route the core's register data inputs to the west pads
+	must(s.ExecAll(
+		"CONNECT west.P[0] core.row0.IN[0]",
+		"ROUTE",
+	))
+	fmt.Println("routed west pad 0 to row0 input")
+
+	// and the register outputs to the east pads
+	must(s.ExecAll(
+		"CONNECT east.P[0] core.row0.OUT[3]",
+		"ROUTE",
+	))
+	fmt.Println("routed east pad 0 to row0 output")
+
+	must(s.Exec("SHOW FRAME"))
+
+	outDir := "riot-padframe-out"
+	if err := os.MkdirAll(outDir, 0o755); err != nil {
+		log.Fatal(err)
+	}
+	ppm, err := s.RenderPPM("FRAME", 768, 768, false)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(outDir, "frame.ppm")
+	if err := os.WriteFile(path, ppm, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+
+	geo, err := s.RenderPPM("FRAME", 768, 768, true)
+	if err != nil {
+		log.Fatal(err)
+	}
+	path = filepath.Join(outDir, "frame-geometry.ppm")
+	if err := os.WriteFile(path, geo, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+func must(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,106 @@
+// Command replaydemo demonstrates Riot's REPLAY facility: an editing
+// session is recorded, the NAND leaf cell is then "re-designed" with
+// its input connector in a different place, and the journal is re-run
+// against the changed cell. Because the journal identifies connections
+// by instance and connector NAMES, the positions are re-calculated and
+// the assembly comes out correctly connected — the paper's answer to
+// "modification of leaf cells".
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"riot"
+	"riot/internal/geom"
+)
+
+// the session: place a register, place a gate, stretch-connect it
+var session = []string{
+	"READ srcell.sticks",
+	"READ nand.sticks",
+	"EDIT TOP",
+	"CREATE SRCELL sr AT 0 40",
+	"CREATE NAND g AT 0 20 ORIENT MXR180",
+	"CONNECT g.A sr.TAP",
+	"STRETCH",
+}
+
+func main() {
+	fmt.Println("== REPLAY after a leaf-cell edit ==")
+	fmt.Println()
+
+	// original session
+	s1, err := riot.NewSession(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := s1.ExecAll(session...); err != nil {
+		log.Fatal(err)
+	}
+	a1 := connectorPos(s1, "g", "A")
+	fmt.Printf("original session: g.A lands at %v\n", a1)
+
+	// save the journal, as Riot does continuously
+	if err := s1.Exec("SAVEJOURNAL session.rpl"); err != nil {
+		log.Fatal(err)
+	}
+	journal, _ := s1.File("session.rpl")
+	fmt.Printf("journal: %d commands recorded\n\n", strings.Count(string(journal), "\n")-1)
+
+	// "when an existing leaf cell is modified, the locations of
+	// connectors are often changed" — move the NAND's A input
+	s2, err := riot.NewSession(os.Stdout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nand, _ := s2.File("nand.sticks")
+	edited := strings.ReplaceAll(string(nand),
+		"WIRE NP 2 16 0 16 9 10 9", "WIRE NP 2 14 0 14 9 10 9")
+	edited = strings.ReplaceAll(edited,
+		"CONNECTOR A 16 0 NP 2 bottom", "CONNECTOR A 14 0 NP 2 bottom")
+	if edited == string(nand) {
+		log.Fatal("leaf edit failed to apply — library format changed?")
+	}
+	s2.AddFile("nand.sticks", []byte(edited))
+	s2.AddFile("session.rpl", journal)
+	fmt.Println("NAND re-designed: input A moved from x=16 to x=14")
+
+	// replay the same journal against the changed cell
+	if err := s2.Exec("REPLAY session.rpl"); err != nil {
+		log.Fatal(err)
+	}
+	a2 := connectorPos(s2, "g", "A")
+	tap2 := connectorPos(s2, "sr", "TAP")
+	fmt.Printf("replayed session: g.A lands at %v\n", a2)
+
+	if a2 == tap2 {
+		fmt.Println("\nthe connection HELD: positions were re-calculated from")
+		fmt.Println("names, exactly as the paper describes.")
+	} else {
+		fmt.Printf("\nconnection broken (%v vs %v) — this should not happen\n", a2, tap2)
+		os.Exit(1)
+	}
+	if a1 == a2 {
+		fmt.Println("(and the landing position differs from the original run,")
+		fmt.Println(" proving the re-calculation was real)")
+	}
+}
+
+func connectorPos(s *riot.Session, inst, conn string) geom.Point {
+	top, ok := s.Design().Cell("TOP")
+	if !ok {
+		log.Fatal("TOP missing")
+	}
+	in, ok := top.InstanceByName(inst)
+	if !ok {
+		log.Fatalf("instance %s missing", inst)
+	}
+	ic, err := in.Connector(conn)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return ic.At
+}

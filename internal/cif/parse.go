@@ -1,0 +1,582 @@
+package cif
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"riot/internal/geom"
+)
+
+// Parse reads a CIF 2.0 file. Parsing is strict about structure
+// (semicolon-terminated commands, balanced comments, DF matching DS)
+// but, like the published grammar, lenient about separators: any
+// character that cannot start a token serves as blank space.
+func Parse(r io.Reader) (*File, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("cif: %w", err)
+	}
+	p := &parser{data: string(data), line: 1}
+	return p.file()
+}
+
+// ParseString parses CIF source held in a string.
+func ParseString(s string) (*File, error) {
+	return Parse(strings.NewReader(s))
+}
+
+type parser struct {
+	data string
+	pos  int
+	line int
+}
+
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("cif: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.data) }
+
+func (p *parser) peek() byte {
+	if p.eof() {
+		return 0
+	}
+	return p.data[p.pos]
+}
+
+func (p *parser) advance() byte {
+	c := p.data[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c
+}
+
+// skipComment consumes a balanced (possibly nested) comment; the caller
+// has seen '(' at the current position.
+func (p *parser) skipComment() error {
+	depth := 0
+	for !p.eof() {
+		switch p.advance() {
+		case '(':
+			depth++
+		case ')':
+			depth--
+			if depth == 0 {
+				return nil
+			}
+		}
+	}
+	return p.errf("unterminated comment")
+}
+
+// isTokenStart reports whether c can begin a meaningful token: a digit,
+// a minus sign, an upper-case letter, a semicolon, a comment, or the
+// lower-case letters some tools emit for commands.
+func isTokenStart(c byte) bool {
+	switch {
+	case c >= '0' && c <= '9', c == '-', c == ';', c == '(':
+		return true
+	case c >= 'A' && c <= 'Z', c >= 'a' && c <= 'z':
+		return true
+	}
+	return false
+}
+
+// skipBlanks consumes separator characters and comments.
+func (p *parser) skipBlanks() error {
+	for !p.eof() {
+		c := p.peek()
+		if c == '(' {
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+			continue
+		}
+		if isTokenStart(c) {
+			return nil
+		}
+		p.advance()
+	}
+	return nil
+}
+
+// skipIntSep consumes separators allowed between integers (anything
+// that is not a digit, '-', ';' or '('; comments also allowed).
+func (p *parser) skipIntSep() error {
+	for !p.eof() {
+		c := p.peek()
+		if c == '(' {
+			if err := p.skipComment(); err != nil {
+				return err
+			}
+			continue
+		}
+		if (c >= '0' && c <= '9') || c == '-' || c == ';' {
+			return nil
+		}
+		p.advance()
+	}
+	return nil
+}
+
+// integer reads one (possibly negative) integer.
+func (p *parser) integer() (int, error) {
+	if err := p.skipIntSep(); err != nil {
+		return 0, err
+	}
+	neg := false
+	if p.peek() == '-' {
+		neg = true
+		p.advance()
+		// blanks may separate '-' from its digits
+		if err := p.skipIntSep(); err != nil {
+			return 0, err
+		}
+	}
+	if p.eof() || p.peek() < '0' || p.peek() > '9' {
+		return 0, p.errf("expected integer")
+	}
+	n := 0
+	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+		n = n*10 + int(p.advance()-'0')
+		if n < 0 {
+			return 0, p.errf("integer overflow")
+		}
+	}
+	if neg {
+		n = -n
+	}
+	return n, nil
+}
+
+// point reads an x,y coordinate pair.
+func (p *parser) point() (geom.Point, error) {
+	x, err := p.integer()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	y, err := p.integer()
+	if err != nil {
+		return geom.Point{}, err
+	}
+	return geom.Pt(x, y), nil
+}
+
+// peekInt reports whether the next token is an integer (after
+// separators), without consuming it.
+func (p *parser) peekInt() bool {
+	save, saveLine := p.pos, p.line
+	defer func() { p.pos, p.line = save, saveLine }()
+	if err := p.skipIntSep(); err != nil {
+		return false
+	}
+	c := p.peek()
+	return (c >= '0' && c <= '9') || c == '-'
+}
+
+// path reads one or more points up to the terminating semicolon.
+func (p *parser) path() ([]geom.Point, error) {
+	var pts []geom.Point
+	for p.peekInt() {
+		pt, err := p.point()
+		if err != nil {
+			return nil, err
+		}
+		pts = append(pts, pt)
+	}
+	if len(pts) == 0 {
+		return nil, p.errf("expected at least one point")
+	}
+	return pts, nil
+}
+
+// shortname reads a CIF short name: one to four letters or digits,
+// beginning with a letter, upper-cased.
+func (p *parser) shortname() (string, error) {
+	if err := p.skipBlanks(); err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	for !p.eof() {
+		c := p.peek()
+		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			if c >= 'a' && c <= 'z' {
+				c -= 'a' - 'A'
+			}
+			b.WriteByte(c)
+			p.advance()
+			continue
+		}
+		break
+	}
+	if b.Len() == 0 || b.Len() > 4 {
+		return "", p.errf("bad short name %q", b.String())
+	}
+	if c := b.String()[0]; c >= '0' && c <= '9' {
+		return "", p.errf("short name %q must begin with a letter", b.String())
+	}
+	return b.String(), nil
+}
+
+// semicolon consumes the command terminator.
+func (p *parser) semicolon() error {
+	if err := p.skipBlanks(); err != nil {
+		return err
+	}
+	if p.eof() || p.peek() != ';' {
+		return p.errf("expected ';'")
+	}
+	p.advance()
+	return nil
+}
+
+// restOfCommand reads raw user-extension text up to the terminating
+// semicolon (which is consumed).
+func (p *parser) restOfCommand() (string, error) {
+	start := p.pos
+	for !p.eof() {
+		if p.peek() == ';' {
+			text := p.data[start:p.pos]
+			p.advance()
+			return strings.TrimSpace(text), nil
+		}
+		p.advance()
+	}
+	return "", p.errf("unterminated user extension")
+}
+
+// transformation reads the C command's transformation list and folds it
+// into a single geom.Transform. Operations apply in the order written.
+func (p *parser) transformation() (geom.Transform, error) {
+	t := geom.Identity
+	for {
+		if err := p.skipBlanks(); err != nil {
+			return t, err
+		}
+		switch c := p.peek(); c {
+		case 'T', 't':
+			p.advance()
+			d, err := p.point()
+			if err != nil {
+				return t, err
+			}
+			t = t.Then(geom.Translate(d))
+		case 'M', 'm':
+			p.advance()
+			if err := p.skipBlanks(); err != nil {
+				return t, err
+			}
+			switch axis := p.peek(); axis {
+			case 'X', 'x':
+				p.advance()
+				t = t.Then(geom.MakeTransform(geom.MX, geom.Point{}))
+			case 'Y', 'y':
+				p.advance()
+				t = t.Then(geom.MakeTransform(geom.MXR180, geom.Point{}))
+			default:
+				return t, p.errf("expected X or Y after M")
+			}
+		case 'R', 'r':
+			p.advance()
+			d, err := p.point()
+			if err != nil {
+				return t, err
+			}
+			o, err := rotationFor(d)
+			if err != nil {
+				return t, p.errf("%v", err)
+			}
+			t = t.Then(geom.MakeTransform(o, geom.Point{}))
+		default:
+			return t, nil
+		}
+	}
+}
+
+// rotationFor maps a CIF rotation direction vector (the new direction
+// of the positive x axis) to an orientation. Only the four Manhattan
+// directions are representable in Riot.
+func rotationFor(d geom.Point) (geom.Orient, error) {
+	switch {
+	case d.X > 0 && d.Y == 0:
+		return geom.R0, nil
+	case d.X == 0 && d.Y > 0:
+		return geom.R90, nil
+	case d.X < 0 && d.Y == 0:
+		return geom.R180, nil
+	case d.X == 0 && d.Y < 0:
+		return geom.R270, nil
+	}
+	return geom.R0, fmt.Errorf("non-Manhattan rotation direction %v", d)
+}
+
+// file parses the whole CIF file.
+func (p *parser) file() (*File, error) {
+	f := &File{}
+	var cur *Symbol // non-nil while inside DS..DF
+	layer := geom.LayerNone
+
+	addElement := func(e Element) {
+		if cur != nil {
+			cur.Elements = append(cur.Elements, e)
+		} else {
+			f.TopLevel = append(f.TopLevel, e)
+		}
+	}
+	needLayer := func() error {
+		if layer == geom.LayerNone {
+			return p.errf("geometry before any L command")
+		}
+		return nil
+	}
+
+	for {
+		if err := p.skipBlanks(); err != nil {
+			return nil, err
+		}
+		if p.eof() {
+			return nil, p.errf("missing E (end) command")
+		}
+		c := p.advance()
+		switch {
+		case c == ';': // empty command
+			continue
+
+		case c == 'P' || c == 'p':
+			if err := needLayer(); err != nil {
+				return nil, err
+			}
+			pts, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			addElement(Polygon{Layer: layer, Points: pts})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'B' || c == 'b':
+			if err := needLayer(); err != nil {
+				return nil, err
+			}
+			length, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			width, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			center, err := p.point()
+			if err != nil {
+				return nil, err
+			}
+			dir := geom.Pt(1, 0)
+			if p.peekInt() {
+				dir, err = p.point()
+				if err != nil {
+					return nil, err
+				}
+				if dir.X != 0 && dir.Y != 0 || dir == (geom.Point{}) {
+					return nil, p.errf("non-Manhattan box direction %v", dir)
+				}
+			}
+			addElement(Box{Layer: layer, Length: length, Width: width, Center: center, Direction: dir})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'R' || c == 'r':
+			if err := needLayer(); err != nil {
+				return nil, err
+			}
+			diam, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			center, err := p.point()
+			if err != nil {
+				return nil, err
+			}
+			addElement(RoundFlash{Layer: layer, Diameter: diam, Center: center})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'W' || c == 'w':
+			if err := needLayer(); err != nil {
+				return nil, err
+			}
+			width, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			pts, err := p.path()
+			if err != nil {
+				return nil, err
+			}
+			addElement(Wire{Layer: layer, Width: width, Points: pts})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'L' || c == 'l':
+			name, err := p.shortname()
+			if err != nil {
+				return nil, err
+			}
+			layer = geom.Layer(name)
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'D' || c == 'd':
+			if err := p.skipBlanks(); err != nil {
+				return nil, err
+			}
+			sub := p.advance()
+			switch sub {
+			case 'S', 's':
+				if cur != nil {
+					return nil, p.errf("nested DS (symbol %d still open)", cur.ID)
+				}
+				id, err := p.integer()
+				if err != nil {
+					return nil, err
+				}
+				a, b := 1, 1
+				if p.peekInt() {
+					a, err = p.integer()
+					if err != nil {
+						return nil, err
+					}
+					b, err = p.integer()
+					if err != nil {
+						return nil, err
+					}
+					if b == 0 {
+						return nil, p.errf("DS %d: zero scale denominator", id)
+					}
+				}
+				if f.SymbolByID(id) != nil {
+					return nil, p.errf("symbol %d redefined", id)
+				}
+				cur = &Symbol{ID: id, A: a, B: b}
+			case 'F', 'f':
+				if cur == nil {
+					return nil, p.errf("DF without matching DS")
+				}
+				f.Symbols = append(f.Symbols, cur)
+				cur = nil
+			case 'D', 'd':
+				n, err := p.integer()
+				if err != nil {
+					return nil, err
+				}
+				kept := f.Symbols[:0]
+				for _, s := range f.Symbols {
+					if s.ID < n {
+						kept = append(kept, s)
+					}
+				}
+				f.Symbols = kept
+			default:
+				return nil, p.errf("unknown definition command D%c", sub)
+			}
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'C' || c == 'c':
+			id, err := p.integer()
+			if err != nil {
+				return nil, err
+			}
+			tr, err := p.transformation()
+			if err != nil {
+				return nil, err
+			}
+			addElement(Call{SymbolID: id, Transform: tr})
+			if err := p.semicolon(); err != nil {
+				return nil, err
+			}
+
+		case c == 'E' || c == 'e':
+			if cur != nil {
+				return nil, p.errf("E inside symbol %d (missing DF)", cur.ID)
+			}
+			return f, nil
+
+		case c >= '0' && c <= '9':
+			// user extension: collect full digit string
+			digit := int(c - '0')
+			for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+				digit = digit*10 + int(p.advance()-'0')
+			}
+			text, err := p.restOfCommand()
+			if err != nil {
+				return nil, err
+			}
+			switch digit {
+			case 9: // symbol name
+				if cur == nil {
+					addElement(UserExt{Digit: 9, Text: text})
+					continue
+				}
+				cur.Name = firstField(text)
+			case 94: // Riot connector extension
+				conn, err := parseConnectorExt(text)
+				if err != nil {
+					return nil, p.errf("%v", err)
+				}
+				addElement(conn)
+			default:
+				addElement(UserExt{Digit: digit, Text: text})
+			}
+
+		default:
+			return nil, p.errf("unknown command %q", string(c))
+		}
+	}
+}
+
+func firstField(s string) string {
+	fs := strings.Fields(s)
+	if len(fs) == 0 {
+		return ""
+	}
+	return fs[0]
+}
+
+// parseConnectorExt parses "name x y [layer [width]]", the body of the
+// 94 extension. Layer defaults to metal and width to zero (meaning "use
+// the routing default") when omitted, matching old label-only files.
+func parseConnectorExt(text string) (Connector, error) {
+	fs := strings.Fields(text)
+	if len(fs) < 3 {
+		return Connector{}, fmt.Errorf("94 extension needs name x y, got %q", text)
+	}
+	var x, y int
+	if _, err := fmt.Sscanf(fs[1], "%d", &x); err != nil {
+		return Connector{}, fmt.Errorf("94 extension: bad x %q", fs[1])
+	}
+	if _, err := fmt.Sscanf(fs[2], "%d", &y); err != nil {
+		return Connector{}, fmt.Errorf("94 extension: bad y %q", fs[2])
+	}
+	c := Connector{Name: fs[0], At: geom.Pt(x, y), Layer: geom.NM}
+	if len(fs) >= 4 {
+		c.Layer = geom.Layer(strings.ToUpper(fs[3]))
+		if !c.Layer.Valid() {
+			return Connector{}, fmt.Errorf("94 extension: bad layer %q", fs[3])
+		}
+	}
+	if len(fs) >= 5 {
+		if _, err := fmt.Sscanf(fs[4], "%d", &c.Width); err != nil || c.Width < 0 {
+			return Connector{}, fmt.Errorf("94 extension: bad width %q", fs[4])
+		}
+	}
+	return c, nil
+}

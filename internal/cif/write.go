@@ -1,0 +1,146 @@
+package cif
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"riot/internal/geom"
+)
+
+// Write emits f as CIF 2.0 text. Symbols are written in definition
+// order, followed by any top-level elements and the E command. The
+// output round-trips through Parse: parse(write(f)) yields a file with
+// the same symbols, names, connectors and geometry.
+func Write(w io.Writer, f *File) error {
+	bw := bufio.NewWriter(w)
+	ew := &errWriter{w: bw}
+	ew.printf("(CIF 2.0 written by riot);\n")
+	for _, s := range f.Symbols {
+		writeSymbol(ew, s)
+	}
+	var layer geom.Layer
+	for _, e := range f.TopLevel {
+		writeElement(ew, e, &layer)
+	}
+	ew.printf("E\n")
+	if ew.err != nil {
+		return ew.err
+	}
+	return bw.Flush()
+}
+
+// String renders the file as CIF text.
+func String(f *File) string {
+	var b strings.Builder
+	_ = Write(&b, f)
+	return b.String()
+}
+
+type errWriter struct {
+	w   io.Writer
+	err error
+}
+
+func (e *errWriter) printf(format string, args ...any) {
+	if e.err != nil {
+		return
+	}
+	_, e.err = fmt.Fprintf(e.w, format, args...)
+}
+
+func writeSymbol(w *errWriter, s *Symbol) {
+	a, b := s.A, s.B
+	if a == 0 || b == 0 {
+		a, b = 1, 1
+	}
+	if a == 1 && b == 1 {
+		w.printf("DS %d;\n", s.ID)
+	} else {
+		w.printf("DS %d %d %d;\n", s.ID, a, b)
+	}
+	if s.Name != "" {
+		w.printf("9 %s;\n", s.Name)
+	}
+	var layer geom.Layer
+	for _, e := range s.Elements {
+		writeElement(w, e, &layer)
+	}
+	w.printf("DF;\n")
+}
+
+// writeElement emits one element, inserting an L command whenever the
+// element's layer differs from the current one.
+func writeElement(w *errWriter, e Element, layer *geom.Layer) {
+	setLayer := func(l geom.Layer) {
+		if l != *layer && l != geom.LayerNone {
+			w.printf("L %s;\n", l)
+			*layer = l
+		}
+	}
+	switch v := e.(type) {
+	case Box:
+		setLayer(v.Layer)
+		if v.Direction == geom.Pt(1, 0) || v.Direction == (geom.Point{}) {
+			w.printf("B %d %d %d %d;\n", v.Length, v.Width, v.Center.X, v.Center.Y)
+		} else {
+			w.printf("B %d %d %d %d %d %d;\n", v.Length, v.Width, v.Center.X, v.Center.Y, v.Direction.X, v.Direction.Y)
+		}
+	case Polygon:
+		setLayer(v.Layer)
+		w.printf("P%s;\n", pathString(v.Points))
+	case Wire:
+		setLayer(v.Layer)
+		w.printf("W %d%s;\n", v.Width, pathString(v.Points))
+	case RoundFlash:
+		setLayer(v.Layer)
+		w.printf("R %d %d %d;\n", v.Diameter, v.Center.X, v.Center.Y)
+	case Call:
+		w.printf("C %d%s;\n", v.SymbolID, transformString(v.Transform))
+	case Connector:
+		w.printf("94 %s %d %d %s %d;\n", v.Name, v.At.X, v.At.Y, v.Layer, v.Width)
+	case UserExt:
+		if v.Text == "" {
+			w.printf("%d;\n", v.Digit)
+		} else {
+			w.printf("%d %s;\n", v.Digit, v.Text)
+		}
+	}
+}
+
+func pathString(pts []geom.Point) string {
+	var b strings.Builder
+	for _, p := range pts {
+		fmt.Fprintf(&b, " %d %d", p.X, p.Y)
+	}
+	return b.String()
+}
+
+// transformString renders a geom.Transform as a CIF transformation
+// list: the orientation (as mirror + rotation primitives) followed by
+// the translation.
+func transformString(t geom.Transform) string {
+	var b strings.Builder
+	switch t.O {
+	case geom.R0:
+	case geom.R90:
+		b.WriteString(" R 0 1")
+	case geom.R180:
+		b.WriteString(" R -1 0")
+	case geom.R270:
+		b.WriteString(" R 0 -1")
+	case geom.MX:
+		b.WriteString(" M X")
+	case geom.MXR90:
+		b.WriteString(" M X R 0 1")
+	case geom.MXR180:
+		b.WriteString(" M X R -1 0")
+	case geom.MXR270:
+		b.WriteString(" M X R 0 -1")
+	}
+	if t.D != (geom.Point{}) || b.Len() == 0 {
+		fmt.Fprintf(&b, " T %d %d", t.D.X, t.D.Y)
+	}
+	return b.String()
+}

@@ -1,0 +1,311 @@
+package compact
+
+import (
+	"fmt"
+	"sort"
+
+	"riot/internal/geom"
+	"riot/internal/rules"
+	"riot/internal/sticks"
+)
+
+// Pin requests that a named connector end up at an exact coordinate on
+// the compaction axis (in the output cell's coordinate space, which
+// starts at zero).
+type Pin struct {
+	Connector string
+	Coord     int
+}
+
+// Compact re-solves the cell along one axis with no pins: every feature
+// moves to its smallest legal coordinate under the design rules, user
+// constraints and the original left-to-right (or bottom-to-top)
+// ordering. The result is a new cell; the input is not modified.
+func Compact(c *sticks.Cell, axis sticks.Axis) (*sticks.Cell, error) {
+	return Stretch(c, axis, nil)
+}
+
+// Stretch re-solves the cell along one axis with the given connectors
+// pinned to exact coordinates. This is Riot's stretched connection: the
+// pins come from the connector positions of the instance being
+// connected to, and the optimizer "moves the connectors to the
+// constrained locations" while keeping the rest of the cell legal.
+//
+// Stretch returns a new cell (the paper: "making a new cell"); the
+// input is not modified. It fails if the pins are below the cell's
+// design-rule minimum separations or contradict its user constraints.
+func Stretch(c *sticks.Cell, axis sticks.Axis, pins []Pin) (*sticks.Cell, error) {
+	work := c
+	if axis == sticks.AxisY {
+		work = transpose(c)
+	}
+	out, err := stretchX(work, pins)
+	if err != nil {
+		return nil, err
+	}
+	if axis == sticks.AxisY {
+		out = transpose(out)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("compact: result invalid: %w", err)
+	}
+	return out, nil
+}
+
+// feature is one piece of mask material anchored to a column: it
+// occupies [coord-halfLo, coord+halfHi] on the compaction axis and
+// [lo, hi] on the other axis.
+type feature struct {
+	col            int
+	layer          geom.Layer
+	lo, hi         int
+	halfLo, halfHi int
+	origCoord      int
+}
+
+// origRect returns the feature's extent in the original layout,
+// used to detect originally-connected (touching) material.
+func (f feature) origRect() geom.Rect {
+	return geom.R(f.origCoord-f.halfLo, f.lo, f.origCoord+f.halfHi, f.hi)
+}
+
+func stretchX(c *sticks.Cell, pins []Pin) (*sticks.Cell, error) {
+	cols, index := collectColumns(c)
+	if len(cols) == 0 {
+		return c.Clone(), nil
+	}
+	feats := collectFeatures(c, index)
+
+	g := NewGraph(len(cols))
+	// ordering edges preserve the cell's topology
+	for i := 1; i < len(cols); i++ {
+		g.AddMin(i-1, i, 0)
+	}
+	// design-rule spacing between non-touching same-layer features
+	for i, a := range feats {
+		for _, b := range feats[i+1:] {
+			if a.col == b.col || a.layer != b.layer {
+				continue
+			}
+			if a.lo >= b.hi || b.lo >= a.hi {
+				continue // no overlap on the other axis
+			}
+			if a.origRect().Touches(b.origRect()) {
+				// same-layer material that touches in the original
+				// layout is electrically connected and may stay joined
+				continue
+			}
+			lo, hi := a, b
+			if cols[lo.col] > cols[hi.col] {
+				lo, hi = hi, lo
+			}
+			g.AddMin(lo.col, hi.col, lo.halfHi+hi.halfLo+rules.MinSpacing(a.layer))
+		}
+	}
+	// user constraints on this axis
+	for _, k := range c.Constraints {
+		if k.Axis != sticks.AxisX {
+			continue
+		}
+		ca, okA := c.ConnectorByName(k.A)
+		cb, okB := c.ConnectorByName(k.B)
+		if !okA || !okB {
+			return nil, fmt.Errorf("compact: constraint references unknown connector")
+		}
+		g.AddMin(index[ca.At.X], index[cb.At.X], k.Min)
+	}
+
+	// pins
+	pinMap := map[int]int{}
+	for _, p := range pins {
+		cn, ok := c.ConnectorByName(p.Connector)
+		if !ok {
+			return nil, fmt.Errorf("compact: pin of unknown connector %q", p.Connector)
+		}
+		col := index[cn.At.X]
+		if prev, dup := pinMap[col]; dup && prev != p.Coord {
+			return nil, fmt.Errorf("compact: conflicting pins for column of connector %q (%d vs %d)", p.Connector, prev, p.Coord)
+		}
+		pinMap[col] = p.Coord
+	}
+
+	solved, err := g.Solve(pinMap)
+	if err != nil {
+		return nil, err
+	}
+
+	// rewrite the cell with the new column coordinates
+	out := c.Clone()
+	remap := func(x int) int { return solved[index[x]] }
+	for wi := range out.Wires {
+		for pi := range out.Wires[wi].Points {
+			out.Wires[wi].Points[pi].X = remap(out.Wires[wi].Points[pi].X)
+		}
+	}
+	for di := range out.Devices {
+		out.Devices[di].At.X = remap(out.Devices[di].At.X)
+	}
+	for ci := range out.Contacts {
+		out.Contacts[ci].At.X = remap(out.Contacts[ci].At.X)
+	}
+	for ci := range out.Connectors {
+		out.Connectors[ci].At.X = remap(out.Connectors[ci].At.X)
+	}
+
+	// re-derive the declared bounding box, preserving the original
+	// margins beyond the extreme columns
+	if c.HasBox {
+		lmargin := cols[0] - c.Box.Min.X
+		rmargin := c.Box.Max.X - cols[len(cols)-1]
+		out.Box.Min.X = solved[0] - lmargin
+		out.Box.Max.X = solved[len(cols)-1] + rmargin
+	}
+	return out, nil
+}
+
+// collectColumns gathers the distinct X coordinates of the cell into a
+// sorted slice and an index map.
+func collectColumns(c *sticks.Cell) ([]int, map[int]int) {
+	set := map[int]bool{}
+	for _, w := range c.Wires {
+		for _, p := range w.Points {
+			set[p.X] = true
+		}
+	}
+	for _, d := range c.Devices {
+		set[d.At.X] = true
+	}
+	for _, ct := range c.Contacts {
+		set[ct.At.X] = true
+	}
+	for _, cn := range c.Connectors {
+		set[cn.At.X] = true
+	}
+	cols := make([]int, 0, len(set))
+	for x := range set {
+		cols = append(cols, x)
+	}
+	sort.Ints(cols)
+	index := make(map[int]int, len(cols))
+	for i, x := range cols {
+		index[x] = i
+	}
+	return cols, index
+}
+
+// collectFeatures converts the cell's contents into anchored features
+// for constraint generation.
+func collectFeatures(c *sticks.Cell, index map[int]int) []feature {
+	var feats []feature
+	add := func(x int, layer geom.Layer, lo, hi, halfLo, halfHi int) {
+		feats = append(feats, feature{
+			col: index[x], layer: layer, lo: lo, hi: hi,
+			halfLo: halfLo, halfHi: halfHi, origCoord: x,
+		})
+	}
+	for _, w := range c.Wires {
+		width := w.Width
+		if width <= 0 {
+			width = rules.MinWidth(w.Layer)
+		}
+		h1, h2 := width/2, width-width/2
+		for i := 1; i < len(w.Points); i++ {
+			a, b := w.Points[i-1], w.Points[i]
+			if a.X == b.X { // vertical segment: one feature at the column
+				lo, hi := min(a.Y, b.Y)-h1, max(a.Y, b.Y)+h2
+				add(a.X, w.Layer, lo, hi, h1, h2)
+			} else { // horizontal segment: a feature at each endpoint
+				add(a.X, w.Layer, a.Y-h1, a.Y+h2, h1, h2)
+				add(b.X, w.Layer, b.Y-h1, b.Y+h2, h1, h2)
+			}
+		}
+		if len(w.Points) == 1 {
+			p := w.Points[0]
+			add(p.X, w.Layer, p.Y-h1, p.Y+h2, h1, h2)
+		}
+	}
+	for _, d := range c.Devices {
+		// gate poly and diffusion channel, with the standard 2-lambda
+		// extensions (see sticks.deviceBoxes)
+		const ext = 2
+		var gx, gy, cx, cy int // half extents of gate and channel
+		if d.Vertical {
+			gx, gy = d.W/2+ext, d.L/2
+			cx, cy = d.W/2, d.L/2+ext
+		} else {
+			gx, gy = d.L/2, d.W/2+ext
+			cx, cy = d.L/2+ext, d.W/2
+		}
+		add(d.At.X, geom.NP, d.At.Y-gy, d.At.Y+gy, gx, gx)
+		add(d.At.X, geom.ND, d.At.Y-cy, d.At.Y+cy, cx, cx)
+	}
+	for _, ct := range c.Contacts {
+		h := rules.ContactSize / 2
+		add(ct.At.X, ct.From, ct.At.Y-h, ct.At.Y+h, h, h)
+		add(ct.At.X, ct.To, ct.At.Y-h, ct.At.Y+h, h, h)
+	}
+	for _, cn := range c.Connectors {
+		w := cn.EffWidth()
+		h1, h2 := w/2, w-w/2
+		add(cn.At.X, cn.Layer, cn.At.Y-h1, cn.At.Y+h2, h1, h2)
+	}
+	return feats
+}
+
+// transpose swaps the two axes of a cell: coordinates, box, connector
+// sides, device orientations and constraint axes. transpose is its own
+// inverse.
+func transpose(c *sticks.Cell) *sticks.Cell {
+	out := c.Clone()
+	sw := func(p geom.Point) geom.Point { return geom.Pt(p.Y, p.X) }
+	for wi := range out.Wires {
+		for pi := range out.Wires[wi].Points {
+			out.Wires[wi].Points[pi] = sw(out.Wires[wi].Points[pi])
+		}
+	}
+	for di := range out.Devices {
+		out.Devices[di].At = sw(out.Devices[di].At)
+		out.Devices[di].Vertical = !out.Devices[di].Vertical
+	}
+	for ci := range out.Contacts {
+		out.Contacts[ci].At = sw(out.Contacts[ci].At)
+	}
+	for ci := range out.Connectors {
+		out.Connectors[ci].At = sw(out.Connectors[ci].At)
+		switch out.Connectors[ci].Side {
+		case geom.SideLeft:
+			out.Connectors[ci].Side = geom.SideBottom
+		case geom.SideBottom:
+			out.Connectors[ci].Side = geom.SideLeft
+		case geom.SideRight:
+			out.Connectors[ci].Side = geom.SideTop
+		case geom.SideTop:
+			out.Connectors[ci].Side = geom.SideRight
+		}
+	}
+	for ki := range out.Constraints {
+		if out.Constraints[ki].Axis == sticks.AxisX {
+			out.Constraints[ki].Axis = sticks.AxisY
+		} else {
+			out.Constraints[ki].Axis = sticks.AxisX
+		}
+	}
+	if out.HasBox {
+		out.Box = geom.RectFromPoints(sw(out.Box.Min), sw(out.Box.Max))
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,343 @@
+// Package compo implements Riot's Composition Format, "used by Riot to
+// save an editing session. It contains a description of composition
+// cells including the hierarchy description, locations of instances,
+// locations of connectors on the composition cells, and references to
+// files which contain the leaf cells used in those compositions."
+//
+// The format is line oriented:
+//
+//	RIOT COMPOSITION 1
+//	LEAF <name> CIF|STICKS <path>          reference to a leaf-cell file
+//	BEGINLEAF <name> CIF|STICKS            leaf cell embedded inline
+//	...cif or sticks text...               (cells Riot itself created,
+//	ENDLEAF                                 e.g. route cells)
+//	COMPOSITION <name>
+//	INSTANCE <inst> <cell> <orient> <dx> <dy> <nx> <ny> <sx> <sy>
+//	CONNECTOR <name> <x> <y> <layer> <width>
+//	END
+//
+// Compositions appear in dependency order (children first). Comments
+// run from '#' to end of line outside embedded leaf blocks.
+package compo
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"io/fs"
+	"sort"
+	"strconv"
+	"strings"
+
+	"riot/internal/cif"
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/sticks"
+)
+
+// Save writes every cell of the design to w in composition format.
+// Leaf cells with a SourceFile are written as references; leaf cells
+// created during the session are embedded inline.
+func Save(w io.Writer, d *core.Design) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "RIOT COMPOSITION 1")
+
+	ordered, err := topoOrder(d)
+	if err != nil {
+		return err
+	}
+	for _, c := range ordered {
+		switch c.Kind {
+		case core.LeafCIF:
+			if c.SourceFile != "" {
+				fmt.Fprintf(bw, "LEAF %s CIF %s\n", c.Name, c.SourceFile)
+			} else {
+				fmt.Fprintf(bw, "BEGINLEAF %s CIF\n", c.Name)
+				f := &cif.File{Symbols: []*cif.Symbol{c.Symbol}}
+				if err := cif.Write(bw, f); err != nil {
+					return err
+				}
+				fmt.Fprintln(bw, "ENDLEAF")
+			}
+		case core.LeafSticks:
+			if c.SourceFile != "" {
+				fmt.Fprintf(bw, "LEAF %s STICKS %s\n", c.Name, c.SourceFile)
+			} else {
+				fmt.Fprintf(bw, "BEGINLEAF %s STICKS\n", c.Name)
+				if err := sticks.Write(bw, c.Sticks); err != nil {
+					return err
+				}
+				fmt.Fprintln(bw, "ENDLEAF")
+			}
+		case core.Composition:
+			fmt.Fprintf(bw, "COMPOSITION %s\n", c.Name)
+			for _, in := range c.Instances {
+				fmt.Fprintf(bw, "INSTANCE %s %s %s %d %d %d %d %d %d\n",
+					in.Name, in.Cell.Name, in.Tr.O, in.Tr.D.X, in.Tr.D.Y, in.Nx, in.Ny, in.Sx, in.Sy)
+			}
+			for _, cn := range c.ExtraConnectors {
+				fmt.Fprintf(bw, "CONNECTOR %s %d %d %s %d\n", cn.Name, cn.At.X, cn.At.Y, cn.Layer, cn.Width)
+			}
+			fmt.Fprintln(bw, "END")
+		}
+	}
+	return bw.Flush()
+}
+
+// topoOrder returns the design's cells children-first, leaf cells
+// before compositions that use them.
+func topoOrder(d *core.Design) ([]*core.Cell, error) {
+	var out []*core.Cell
+	state := map[*core.Cell]int{} // 0 unseen, 1 visiting, 2 done
+	var visit func(c *core.Cell) error
+	visit = func(c *core.Cell) error {
+		switch state[c] {
+		case 1:
+			return fmt.Errorf("compo: hierarchy cycle at %q", c.Name)
+		case 2:
+			return nil
+		}
+		state[c] = 1
+		for _, in := range c.Instances {
+			if err := visit(in.Cell); err != nil {
+				return err
+			}
+		}
+		state[c] = 2
+		out = append(out, c)
+		return nil
+	}
+	for _, name := range d.CellNames() {
+		c, _ := d.Cell(name)
+		if err := visit(c); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Load reads a composition-format stream into a fresh design. Leaf
+// references are resolved against fsys; pass nil to reject references
+// (inline-only files).
+func Load(r io.Reader, fsys fs.FS) (*core.Design, error) {
+	d := core.NewDesign()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<22)
+	lineno := 0
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("compo: line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+
+	var cur *core.Cell // open COMPOSITION block
+	sawHeader := false
+	for sc.Scan() {
+		lineno++
+		raw := sc.Text()
+		line := raw
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fs0 := strings.Fields(line)
+		if len(fs0) == 0 {
+			continue
+		}
+		if !sawHeader {
+			if len(fs0) < 3 || fs0[0] != "RIOT" || fs0[1] != "COMPOSITION" {
+				return nil, errf("missing RIOT COMPOSITION header")
+			}
+			sawHeader = true
+			continue
+		}
+		switch fs0[0] {
+		case "LEAF":
+			if cur != nil {
+				return nil, errf("LEAF inside COMPOSITION block")
+			}
+			if len(fs0) != 4 {
+				return nil, errf("LEAF needs name, kind and path")
+			}
+			if fsys == nil {
+				return nil, errf("LEAF reference %q but no file system provided", fs0[3])
+			}
+			cell, err := loadLeafFile(fsys, fs0[1], fs0[2], fs0[3])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := d.AddCell(cell); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "BEGINLEAF":
+			if cur != nil {
+				return nil, errf("BEGINLEAF inside COMPOSITION block")
+			}
+			if len(fs0) != 3 {
+				return nil, errf("BEGINLEAF needs name and kind")
+			}
+			var body strings.Builder
+			done := false
+			for sc.Scan() {
+				lineno++
+				if strings.TrimSpace(sc.Text()) == "ENDLEAF" {
+					done = true
+					break
+				}
+				body.WriteString(sc.Text())
+				body.WriteByte('\n')
+			}
+			if !done {
+				return nil, errf("unterminated BEGINLEAF %s", fs0[1])
+			}
+			cell, err := parseLeaf(fs0[1], fs0[2], body.String())
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			if err := d.AddCell(cell); err != nil {
+				return nil, errf("%v", err)
+			}
+		case "COMPOSITION":
+			if cur != nil {
+				return nil, errf("nested COMPOSITION")
+			}
+			if len(fs0) != 2 {
+				return nil, errf("COMPOSITION needs a name")
+			}
+			cur = core.NewComposition(fs0[1])
+		case "INSTANCE":
+			if cur == nil {
+				return nil, errf("INSTANCE outside COMPOSITION")
+			}
+			if len(fs0) != 10 {
+				return nil, errf("INSTANCE needs 9 fields")
+			}
+			cellRef, ok := d.Cell(fs0[2])
+			if !ok {
+				return nil, errf("instance %q references undefined cell %q (compositions must be child-first)", fs0[1], fs0[2])
+			}
+			o, err := geom.ParseOrient(fs0[3])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			nums, err := ints(fs0[4:])
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			in := &core.Instance{
+				Name: fs0[1], Cell: cellRef,
+				Tr: geom.MakeTransform(o, geom.Pt(nums[0], nums[1])),
+				Nx: nums[2], Ny: nums[3], Sx: nums[4], Sy: nums[5],
+			}
+			if err := in.Validate(); err != nil {
+				return nil, errf("%v", err)
+			}
+			cur.Instances = append(cur.Instances, in)
+		case "CONNECTOR":
+			if cur == nil {
+				return nil, errf("CONNECTOR outside COMPOSITION")
+			}
+			if len(fs0) != 6 {
+				return nil, errf("CONNECTOR needs 5 fields")
+			}
+			nums, err := ints([]string{fs0[2], fs0[3], fs0[5]})
+			if err != nil {
+				return nil, errf("%v", err)
+			}
+			cur.ExtraConnectors = append(cur.ExtraConnectors, core.Connector{
+				Name: fs0[1], At: geom.Pt(nums[0], nums[1]),
+				Layer: geom.Layer(fs0[4]), Width: nums[2],
+			})
+		case "END":
+			if cur == nil {
+				return nil, errf("END outside COMPOSITION")
+			}
+			if err := d.AddCell(cur); err != nil {
+				return nil, errf("%v", err)
+			}
+			cur = nil
+		default:
+			return nil, errf("unknown keyword %q", fs0[0])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("compo: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("compo: unterminated COMPOSITION %q", cur.Name)
+	}
+	return d, nil
+}
+
+// loadLeafFile reads a referenced leaf-cell file from fsys.
+func loadLeafFile(fsys fs.FS, name, kind, path string) (*core.Cell, error) {
+	data, err := fs.ReadFile(fsys, path)
+	if err != nil {
+		return nil, fmt.Errorf("leaf %s: %w", name, err)
+	}
+	cell, err := parseLeaf(name, kind, string(data))
+	if err != nil {
+		return nil, err
+	}
+	cell.SourceFile = path
+	return cell, nil
+}
+
+// parseLeaf builds a core leaf cell from CIF or Sticks text.
+func parseLeaf(name, kind, text string) (*core.Cell, error) {
+	switch strings.ToUpper(kind) {
+	case "CIF":
+		f, err := cif.ParseString(text)
+		if err != nil {
+			return nil, err
+		}
+		sym := f.SymbolByName(name)
+		if sym == nil {
+			if len(f.Symbols) == 1 {
+				sym = f.Symbols[0]
+			} else {
+				return nil, fmt.Errorf("leaf %s: CIF file does not define a symbol named %q", name, name)
+			}
+		}
+		cell, err := core.NewLeafFromCIF(f, sym)
+		if err != nil {
+			return nil, err
+		}
+		cell.Name = name
+		return cell, nil
+	case "STICKS":
+		cells, err := sticks.ParseAll(strings.NewReader(text))
+		if err != nil {
+			return nil, err
+		}
+		for _, sc := range cells {
+			if sc.Name == name {
+				return core.NewLeafFromSticks(sc)
+			}
+		}
+		if len(cells) == 1 {
+			cells[0].Name = name
+			return core.NewLeafFromSticks(cells[0])
+		}
+		return nil, fmt.Errorf("leaf %s: sticks file does not define cell %q", name, name)
+	default:
+		return nil, fmt.Errorf("leaf %s: unknown kind %q", name, kind)
+	}
+}
+
+func ints(ss []string) ([]int, error) {
+	out := make([]int, len(ss))
+	for i, s := range ss {
+		v, err := strconv.Atoi(s)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", s)
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// SortedNames is a helper for deterministic test output: the design's
+// cell names in sorted order.
+func SortedNames(d *core.Design) []string {
+	names := d.CellNames()
+	sort.Strings(names)
+	return names
+}

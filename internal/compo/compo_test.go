@@ -1,0 +1,222 @@
+package compo
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/sticks"
+)
+
+const stickSrc = `STICKS GATE
+BBOX 0 0 10 10
+WIRE NM 2 0 5 10 5
+CONNECTOR IN 0 5 NM 2 left
+CONNECTOR OUT 10 5 NM 2 right
+END
+`
+
+const cifSrc = "DS 1; 9 PAD; L NM; B 2500 2500 1250 1250; 94 P 1250 0 NM 500; DF; E\n"
+
+func buildDesign(t *testing.T) *core.Design {
+	t.Helper()
+	d := core.NewDesign()
+	sc, err := sticks.ParseString(stickSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate, err := core.NewLeafFromSticks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate.SourceFile = "cells/gate.sticks"
+	if err := d.AddCell(gate); err != nil {
+		t.Fatal(err)
+	}
+
+	// an inline (session-created) sticks cell, like a route cell
+	rc, err := sticks.ParseString("STICKS ROUTE1\nBBOX 0 0 8 6\nWIRE NM 3 0 0 0 6\nCONNECTOR A 0 0 NM 3 bottom\nCONNECTOR B 0 6 NM 3 top\nEND\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	route, err := core.NewLeafFromSticks(rc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddCell(route); err != nil {
+		t.Fatal(err)
+	}
+
+	sub := core.NewComposition("SUB")
+	sub.Instances = append(sub.Instances,
+		&core.Instance{Name: "g1", Cell: gate, Tr: geom.Identity, Nx: 1, Ny: 1},
+		&core.Instance{Name: "g2", Cell: gate, Tr: geom.MakeTransform(geom.R90, geom.Pt(5000, 0)), Nx: 2, Ny: 1, Sx: 2500},
+	)
+	if err := d.AddCell(sub); err != nil {
+		t.Fatal(err)
+	}
+
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "s", Cell: sub, Tr: geom.Identity, Nx: 1, Ny: 1},
+		&core.Instance{Name: "r", Cell: route, Tr: geom.MakeTransform(geom.MXR180, geom.Pt(100, 200)), Nx: 1, Ny: 1},
+	)
+	top.ExtraConnectors = append(top.ExtraConnectors, core.Connector{
+		Name: "CLK", At: geom.Pt(0, 500), Layer: geom.NM, Width: 750,
+	})
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func testFS() fstest.MapFS {
+	return fstest.MapFS{
+		"cells/gate.sticks": {Data: []byte(stickSrc)},
+		"cells/pad.cif":     {Data: []byte(cifSrc)},
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	d := buildDesign(t)
+	var b strings.Builder
+	if err := Save(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if !strings.Contains(text, "LEAF GATE STICKS cells/gate.sticks") {
+		t.Errorf("missing leaf reference:\n%s", text)
+	}
+	if !strings.Contains(text, "BEGINLEAF ROUTE1 STICKS") {
+		t.Errorf("missing inline leaf:\n%s", text)
+	}
+
+	d2, err := Load(strings.NewReader(text), testFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := strings.Join(SortedNames(d2), ","), strings.Join(SortedNames(d), ","); got != want {
+		t.Errorf("cells = %s, want %s", got, want)
+	}
+	top2, ok := d2.Cell("TOP")
+	if !ok {
+		t.Fatal("TOP missing")
+	}
+	r2, ok := top2.InstanceByName("r")
+	if !ok {
+		t.Fatal("instance r missing")
+	}
+	if r2.Tr != geom.MakeTransform(geom.MXR180, geom.Pt(100, 200)) {
+		t.Errorf("r transform = %v", r2.Tr)
+	}
+	sub2, _ := d2.Cell("SUB")
+	g2, ok := sub2.InstanceByName("g2")
+	if !ok || g2.Nx != 2 || g2.Sx != 2500 {
+		t.Errorf("g2 = %+v", g2)
+	}
+	if len(top2.ExtraConnectors) != 1 || top2.ExtraConnectors[0].Name != "CLK" {
+		t.Errorf("extra connectors = %+v", top2.ExtraConnectors)
+	}
+	// geometry identical
+	topOrig, _ := d.Cell("TOP")
+	if top2.BBox() != topOrig.BBox() {
+		t.Errorf("bbox changed: %v -> %v", topOrig.BBox(), top2.BBox())
+	}
+}
+
+func TestLoadCIFReference(t *testing.T) {
+	src := "RIOT COMPOSITION 1\nLEAF PAD CIF cells/pad.cif\nCOMPOSITION TOP\nINSTANCE p PAD R0 0 0 1 1 0 0\nEND\n"
+	d, err := Load(strings.NewReader(src), testFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pad, ok := d.Cell("PAD")
+	if !ok || pad.Kind != core.LeafCIF {
+		t.Fatalf("pad = %+v", pad)
+	}
+	if pad.SourceFile != "cells/pad.cif" {
+		t.Errorf("source = %q", pad.SourceFile)
+	}
+	if _, ok := pad.ConnectorByName("P"); !ok {
+		t.Error("pad connector lost")
+	}
+}
+
+func TestLoadErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"no header", "COMPOSITION X\nEND\n"},
+		{"undefined cell", "RIOT COMPOSITION 1\nCOMPOSITION TOP\nINSTANCE a NOPE R0 0 0 1 1 0 0\nEND\n"},
+		{"nested composition", "RIOT COMPOSITION 1\nCOMPOSITION A\nCOMPOSITION B\nEND\nEND\n"},
+		{"unterminated", "RIOT COMPOSITION 1\nCOMPOSITION A\n"},
+		{"instance outside", "RIOT COMPOSITION 1\nINSTANCE a b R0 0 0 1 1 0 0\n"},
+		{"bad orient", "RIOT COMPOSITION 1\nCOMPOSITION A\nEND\nCOMPOSITION B\nINSTANCE x A R45 0 0 1 1 0 0\nEND\n"},
+		{"unterminated leaf", "RIOT COMPOSITION 1\nBEGINLEAF X STICKS\nSTICKS X\n"},
+		{"unknown keyword", "RIOT COMPOSITION 1\nFROB\n"},
+		{"leaf without fs", "RIOT COMPOSITION 1\nLEAF A STICKS nofs.sticks\n"},
+	}
+	for _, c := range cases {
+		fsys := testFS()
+		var err error
+		if c.name == "leaf without fs" {
+			_, err = Load(strings.NewReader(c.src), nil)
+		} else {
+			_, err = Load(strings.NewReader(c.src), fsys)
+		}
+		if err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestLoadMissingLeafFile(t *testing.T) {
+	src := "RIOT COMPOSITION 1\nLEAF G STICKS cells/missing.sticks\n"
+	if _, err := Load(strings.NewReader(src), testFS()); err == nil {
+		t.Error("missing leaf file accepted")
+	}
+}
+
+func TestSaveIsChildFirst(t *testing.T) {
+	d := buildDesign(t)
+	var b strings.Builder
+	if err := Save(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	if strings.Index(text, "COMPOSITION SUB") > strings.Index(text, "COMPOSITION TOP") {
+		t.Error("SUB written after TOP")
+	}
+	if strings.Index(text, "LEAF GATE") > strings.Index(text, "COMPOSITION SUB") {
+		t.Error("GATE written after SUB")
+	}
+}
+
+func TestLoadRecomputesFinishing(t *testing.T) {
+	// connectors of loaded composition cells are recomputed from
+	// instance positions, preserving Riot's positional semantics
+	d := buildDesign(t)
+	var b strings.Builder
+	if err := Save(&b, d); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Load(strings.NewReader(b.String()), testFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, _ := d.Cell("SUB")
+	sub2, _ := d2.Cell("SUB")
+	c1 := sub.Connectors()
+	c2 := sub2.Connectors()
+	if len(c1) != len(c2) {
+		t.Fatalf("connector counts differ: %d vs %d", len(c1), len(c2))
+	}
+	for i := range c1 {
+		if c1[i] != c2[i] {
+			t.Errorf("connector %d: %+v vs %+v", i, c1[i], c2[i])
+		}
+	}
+}

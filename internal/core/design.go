@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Design is Riot's list of cells: everything that has been read in or
+// assembled this session, shown to the user in the cell menu and
+// available for instantiation.
+type Design struct {
+	cells map[string]*Cell
+	order []string
+	next  int
+}
+
+// NewDesign returns an empty design.
+func NewDesign() *Design {
+	return &Design{cells: map[string]*Cell{}}
+}
+
+// AddCell registers a cell under its name. Adding a second cell with
+// the same name is an error (rename or delete first).
+func (d *Design) AddCell(c *Cell) error {
+	if c.Name == "" {
+		return fmt.Errorf("core: cell has no name")
+	}
+	if _, dup := d.cells[c.Name]; dup {
+		return fmt.Errorf("core: cell %q already defined", c.Name)
+	}
+	d.cells[c.Name] = c
+	d.order = append(d.order, c.Name)
+	return nil
+}
+
+// Cell looks a cell up by name.
+func (d *Design) Cell(name string) (*Cell, bool) {
+	c, ok := d.cells[name]
+	return c, ok
+}
+
+// CellNames returns the menu of defined cells, in definition order.
+func (d *Design) CellNames() []string {
+	return append([]string(nil), d.order...)
+}
+
+// SortedCellNames returns cell names sorted lexically (for
+// deterministic output).
+func (d *Design) SortedCellNames() []string {
+	names := d.CellNames()
+	sort.Strings(names)
+	return names
+}
+
+// DeleteCell removes a cell from the design. It refuses when another
+// cell still instantiates it.
+func (d *Design) DeleteCell(name string) error {
+	victim, ok := d.cells[name]
+	if !ok {
+		return fmt.Errorf("core: no cell %q", name)
+	}
+	for _, other := range d.cells {
+		if other == victim {
+			continue
+		}
+		for _, in := range other.Instances {
+			if in.Cell == victim {
+				return fmt.Errorf("core: cell %q is still used by %q", name, other.Name)
+			}
+		}
+	}
+	delete(d.cells, name)
+	for i, n := range d.order {
+		if n == name {
+			d.order = append(d.order[:i], d.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// RenameCell changes a cell's menu name.
+func (d *Design) RenameCell(oldName, newName string) error {
+	c, ok := d.cells[oldName]
+	if !ok {
+		return fmt.Errorf("core: no cell %q", oldName)
+	}
+	if newName == "" {
+		return fmt.Errorf("core: empty cell name")
+	}
+	if _, dup := d.cells[newName]; dup {
+		return fmt.Errorf("core: cell %q already defined", newName)
+	}
+	delete(d.cells, oldName)
+	c.Name = newName
+	d.cells[newName] = c
+	for i, n := range d.order {
+		if n == oldName {
+			d.order[i] = newName
+			break
+		}
+	}
+	return nil
+}
+
+// GenName produces a fresh cell name with the given prefix; Riot uses
+// it to name the route and stretch cells it creates.
+func (d *Design) GenName(prefix string) string {
+	for {
+		d.next++
+		name := fmt.Sprintf("%s%d", prefix, d.next)
+		if _, dup := d.cells[name]; !dup {
+			return name
+		}
+	}
+}

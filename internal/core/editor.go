@@ -1,0 +1,340 @@
+package core
+
+import (
+	"fmt"
+
+	"riot/internal/geom"
+)
+
+// Connection is one entry of the pending-connection list: "a link from
+// a connector on one instance to a connector on another instance".
+// The From instance is the one that moves (or stretches) when a
+// connection specification command runs. A connection with empty
+// connector names is a pure abutment link ("the user may specify
+// merely that the instances are to be abutted, which is used if a cell
+// has no connectors").
+type Connection struct {
+	From     *Instance
+	FromConn string
+	To       *Instance
+	ToConn   string
+}
+
+// String renders the connection for the on-screen pending list.
+func (c Connection) String() string {
+	if c.FromConn == "" && c.ToConn == "" {
+		return fmt.Sprintf("%s >< %s", c.From.Name, c.To.Name)
+	}
+	return fmt.Sprintf("%s.%s -> %s.%s", c.From.Name, c.FromConn, c.To.Name, c.ToConn)
+}
+
+// Editor is a graphical editing session on one composition cell: the
+// cell under edit, the pending-connection list that is "shown on the
+// screen constantly", and the routing defaults.
+type Editor struct {
+	Design  *Design
+	Cell    *Cell // the composition cell under edit
+	Pending []Connection
+
+	// TracksPerChannel is the routing default set by the textual
+	// command interface (0 = router default).
+	TracksPerChannel int
+
+	nextInst int
+}
+
+// NewEditor opens a composition cell for editing.
+func NewEditor(d *Design, cell *Cell) (*Editor, error) {
+	if cell.Kind != Composition {
+		return nil, fmt.Errorf("core: cannot edit leaf cell %q (Riot edits composition cells only)", cell.Name)
+	}
+	return &Editor{Design: d, Cell: cell}, nil
+}
+
+// CreateInstance adds an instance of a named cell to the cell under
+// edit. Empty instName generates a name. Replication counts below 1
+// are raised to 1; zero spacing on a replicated axis defaults to the
+// cell pitch (bounding-box extent), which makes array copies abut —
+// "array elements must connect properly by abutment".
+func (e *Editor) CreateInstance(cellName, instName string, tr geom.Transform, nx, ny, sx, sy int) (*Instance, error) {
+	cell, ok := e.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("core: no cell %q in the cell menu", cellName)
+	}
+	if cell.Uses(e.Cell) {
+		return nil, fmt.Errorf("core: instantiating %q inside %q would create a hierarchy cycle", cellName, e.Cell.Name)
+	}
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	cb := cell.BBox()
+	if nx > 1 && sx == 0 {
+		sx = cb.W()
+	}
+	if ny > 1 && sy == 0 {
+		sy = cb.H()
+	}
+	if instName == "" {
+		e.nextInst++
+		instName = fmt.Sprintf("%s_%d", cellName, e.nextInst)
+	}
+	if _, dup := e.Cell.InstanceByName(instName); dup {
+		return nil, fmt.Errorf("core: instance name %q already used in %q", instName, e.Cell.Name)
+	}
+	in := &Instance{Name: instName, Cell: cell, Tr: tr, Nx: nx, Ny: ny, Sx: sx, Sy: sy}
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	e.Cell.Instances = append(e.Cell.Instances, in)
+	return in, nil
+}
+
+// DeleteInstance removes an instance and every pending connection that
+// references it.
+func (e *Editor) DeleteInstance(in *Instance) error {
+	found := false
+	for i, x := range e.Cell.Instances {
+		if x == in {
+			e.Cell.Instances = append(e.Cell.Instances[:i], e.Cell.Instances[i+1:]...)
+			found = true
+			break
+		}
+	}
+	if !found {
+		return fmt.Errorf("core: instance %q is not in %q", in.Name, e.Cell.Name)
+	}
+	kept := e.Pending[:0]
+	for _, c := range e.Pending {
+		if c.From != in && c.To != in {
+			kept = append(kept, c)
+		}
+	}
+	e.Pending = kept
+	return nil
+}
+
+// MoveInstance translates an instance by d. Note that moving an
+// instance can silently destroy a previously made (positional)
+// connection — the fundamental Riot limitation the paper discusses.
+func (e *Editor) MoveInstance(in *Instance, d geom.Point) {
+	in.Tr = in.Tr.Translated(d)
+}
+
+// PlaceInstance sets an instance's transform outright.
+func (e *Editor) PlaceInstance(in *Instance, tr geom.Transform) {
+	in.Tr = tr
+}
+
+// OrientInstance applies an additional orientation about the
+// instance's bounding-box minimum corner, so the instance stays in
+// place while turning.
+func (e *Editor) OrientInstance(in *Instance, o geom.Orient) {
+	before := in.BBox()
+	in.Tr = in.Tr.Then(geom.MakeTransform(o, geom.Point{}))
+	after := in.BBox()
+	in.Tr = in.Tr.Translated(before.Min.Sub(after.Min))
+}
+
+// Replicate sets an instance's array replication.
+func (e *Editor) Replicate(in *Instance, nx, ny, sx, sy int) error {
+	if nx < 1 {
+		nx = 1
+	}
+	if ny < 1 {
+		ny = 1
+	}
+	cb := in.Cell.BBox()
+	if nx > 1 && sx == 0 {
+		sx = cb.W()
+	}
+	if ny > 1 && sy == 0 {
+		sy = cb.H()
+	}
+	in.Nx, in.Ny, in.Sx, in.Sy = nx, ny, sx, sy
+	return in.Validate()
+}
+
+// AddConnection appends a connector-to-connector link to the pending
+// list. Riot checks "that the connectors to be joined are on the same
+// layer and that they are opposed. That is, that they connect top to
+// bottom or left to right."
+func (e *Editor) AddConnection(from *Instance, fromConn string, to *Instance, toConn string) error {
+	if from == to {
+		return fmt.Errorf("core: cannot connect instance %q to itself", from.Name)
+	}
+	fc, err := from.Connector(fromConn)
+	if err != nil {
+		return err
+	}
+	tc, err := to.Connector(toConn)
+	if err != nil {
+		return err
+	}
+	if fc.Layer != tc.Layer {
+		return fmt.Errorf("core: %s.%s is on %v but %s.%s is on %v (connectors must be on the same layer)",
+			from.Name, fromConn, fc.Layer, to.Name, toConn, tc.Layer)
+	}
+	if !geom.Opposed(fc.Side, tc.Side) {
+		return fmt.Errorf("core: %s.%s (%v) and %s.%s (%v) are not opposed (they must connect top to bottom or left to right)",
+			from.Name, fromConn, fc.Side, to.Name, toConn, tc.Side)
+	}
+	if err := e.checkOneToMany(from); err != nil {
+		return err
+	}
+	e.Pending = append(e.Pending, Connection{From: from, FromConn: fromConn, To: to, ToConn: toConn})
+	return nil
+}
+
+// AddAbutLink appends a pure abutment link (no connectors).
+func (e *Editor) AddAbutLink(from, to *Instance) error {
+	if from == to {
+		return fmt.Errorf("core: cannot abut instance %q to itself", from.Name)
+	}
+	if err := e.checkOneToMany(from); err != nil {
+		return err
+	}
+	e.Pending = append(e.Pending, Connection{From: from, To: to})
+	return nil
+}
+
+// checkOneToMany enforces Riot's one-to-many restriction: the pending
+// list may only hold connections from a single from-instance at a
+// time. ("This one-to-many restriction simplified the routing
+// algorithm immensely.") A many-to-many connection is made by wrapping
+// one of the sets in its own composition cell.
+func (e *Editor) checkOneToMany(from *Instance) error {
+	for _, c := range e.Pending {
+		if c.From != from {
+			return fmt.Errorf("core: pending connections already run from %q; connections are one-to-many (finish or clear them first)",
+				c.From.Name)
+		}
+	}
+	return nil
+}
+
+// AddBus makes "a bus-type connection in which all connections are
+// made from one instance to another": every exposed connector pair
+// with matching layers on facing edges is linked, paired in order
+// along the edge. It returns the number of links made.
+func (e *Editor) AddBus(from, to *Instance) (int, error) {
+	if from == to {
+		return 0, fmt.Errorf("core: cannot bus-connect instance %q to itself", from.Name)
+	}
+	if err := e.checkOneToMany(from); err != nil {
+		return 0, err
+	}
+	fromSide := facingSide(from.BBox(), to.BBox())
+	if fromSide == geom.SideNone {
+		return 0, fmt.Errorf("core: %q and %q do not face each other", from.Name, to.Name)
+	}
+	toSide := fromSide.Opposite()
+	fcs := connsOnSide(from, fromSide)
+	tcs := connsOnSide(to, toSide)
+	if len(fcs) == 0 || len(tcs) == 0 {
+		return 0, fmt.Errorf("core: no facing connectors between %q (%v edge) and %q (%v edge)",
+			from.Name, fromSide, to.Name, toSide)
+	}
+	n := min(len(fcs), len(tcs))
+	made := 0
+	for i := 0; i < n; i++ {
+		if fcs[i].Layer != tcs[i].Layer {
+			continue
+		}
+		e.Pending = append(e.Pending, Connection{From: from, FromConn: fcs[i].Name, To: to, ToConn: tcs[i].Name})
+		made++
+	}
+	if made == 0 {
+		return 0, fmt.Errorf("core: bus connection found no layer-compatible pairs between %q and %q", from.Name, to.Name)
+	}
+	return made, nil
+}
+
+// DeleteConnection removes entry i of the pending list.
+func (e *Editor) DeleteConnection(i int) error {
+	if i < 0 || i >= len(e.Pending) {
+		return fmt.Errorf("core: no pending connection %d", i)
+	}
+	e.Pending = append(e.Pending[:i], e.Pending[i+1:]...)
+	return nil
+}
+
+// ClearConnections empties the pending list.
+func (e *Editor) ClearConnections() { e.Pending = nil }
+
+// pendingFrom gathers the pending connections (all from one instance,
+// by the one-to-many rule) and clears the list: "after the connection
+// specification command, the logical connection information is thrown
+// out."
+func (e *Editor) pendingFrom() (*Instance, []Connection, error) {
+	if len(e.Pending) == 0 {
+		return nil, nil, fmt.Errorf("core: the pending connection list is empty")
+	}
+	from := e.Pending[0].From
+	conns := e.Pending
+	e.Pending = nil
+	return from, conns, nil
+}
+
+// facingSide returns the side of box a that faces box b (by center
+// displacement), or SideNone when the centers coincide.
+func facingSide(a, b geom.Rect) geom.Side {
+	ca, cb := a.Center(), b.Center()
+	dx, dy := cb.X-ca.X, cb.Y-ca.Y
+	if dx == 0 && dy == 0 {
+		return geom.SideNone
+	}
+	if abs(dx) >= abs(dy) {
+		if dx > 0 {
+			return geom.SideRight
+		}
+		return geom.SideLeft
+	}
+	if dy > 0 {
+		return geom.SideTop
+	}
+	return geom.SideBottom
+}
+
+// connsOnSide returns an instance's connectors on one (parent-space)
+// side, ordered along the edge.
+func connsOnSide(in *Instance, side geom.Side) []InstConn {
+	var out []InstConn
+	for _, ic := range in.Connectors() {
+		if ic.Side == side {
+			out = append(out, ic)
+		}
+	}
+	// order along the edge: by y for vertical edges, x for horizontal
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0; j-- {
+			var less bool
+			if side.Horizontal() {
+				less = out[j].At.Y < out[j-1].At.Y
+			} else {
+				less = out[j].At.X < out[j-1].At.X
+			}
+			if !less {
+				break
+			}
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

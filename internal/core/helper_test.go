@@ -1,0 +1,12 @@
+package core
+
+import (
+	"strings"
+
+	"riot/internal/cif"
+)
+
+// parseCIFString is a test helper aliasing the cif parser.
+func parseCIFString(s string) (*cif.File, error) {
+	return cif.Parse(strings.NewReader(s))
+}

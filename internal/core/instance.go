@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+
+	"riot/internal/geom"
+)
+
+// Instance represents "the contents of a cell placed at a given
+// location with a specified orientation and array replication count".
+// The replication grid is laid out in cell coordinates (copy (i,j) is
+// translated by (i*Sx, j*Sy)) and the whole grid is then placed by Tr,
+// so orienting an array orients the grid as a unit.
+type Instance struct {
+	Name   string
+	Cell   *Cell
+	Tr     geom.Transform
+	Nx, Ny int // replication counts, >= 1
+	Sx, Sy int // replication spacing, centimicrons (center to center)
+}
+
+// NewInstance places a cell with replication 1x1.
+func NewInstance(name string, cell *Cell, tr geom.Transform) *Instance {
+	return &Instance{Name: name, Cell: cell, Tr: tr, Nx: 1, Ny: 1}
+}
+
+// CopyTransform returns the parent-space transform of array copy
+// (i,j): the copy is laid out on the replication grid in cell space
+// and the whole grid is placed by the instance transform.
+func (in *Instance) CopyTransform(i, j int) geom.Transform {
+	return geom.Translate(geom.Pt(i*in.Sx, j*in.Sy)).Then(in.Tr)
+}
+
+// copyTransform is the internal alias used throughout the package.
+func (in *Instance) copyTransform(i, j int) geom.Transform {
+	return in.CopyTransform(i, j)
+}
+
+// BBox returns the instance's bounding box in parent coordinates,
+// covering every array copy.
+func (in *Instance) BBox() geom.Rect {
+	cb := in.Cell.BBox()
+	r := in.copyTransform(0, 0).ApplyRect(cb)
+	if in.Nx > 1 || in.Ny > 1 {
+		r = r.Union(in.copyTransform(in.Nx-1, in.Ny-1).ApplyRect(cb))
+	}
+	return r
+}
+
+// IsArray reports whether the instance is replicated.
+func (in *Instance) IsArray() bool { return in.Nx > 1 || in.Ny > 1 }
+
+// Validate checks the replication parameters.
+func (in *Instance) Validate() error {
+	if in.Nx < 1 || in.Ny < 1 {
+		return fmt.Errorf("core: instance %s: replication counts must be >= 1 (got %dx%d)", in.Name, in.Nx, in.Ny)
+	}
+	if in.Nx > 1 && in.Sx == 0 {
+		return fmt.Errorf("core: instance %s: x-replicated with zero spacing", in.Name)
+	}
+	if in.Ny > 1 && in.Sy == 0 {
+		return fmt.Errorf("core: instance %s: y-replicated with zero spacing", in.Name)
+	}
+	return nil
+}
+
+// InstConn is one connector of an instance, resolved into parent
+// coordinates. For arrays, only connectors "on the outside edge of the
+// array" exist: Riot allows no access to interior connectors on arrays.
+type InstConn struct {
+	Inst  *Instance
+	Name  string // base name plus [i] / [i,j] array suffix
+	At    geom.Point
+	Layer geom.Layer
+	Width int
+	Side  geom.Side // side in parent space
+}
+
+// Connectors returns the instance's visible connectors in parent
+// coordinates. A connector of an array copy is visible only if the
+// copy sits on the edge of the array that the connector faces, so
+// array interiors (which connect copy-to-copy by abutment) stay
+// hidden.
+func (in *Instance) Connectors() []InstConn {
+	cellConns := in.Cell.Connectors()
+	var out []InstConn
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			ct := in.copyTransform(i, j)
+			for _, cn := range cellConns {
+				side := cn.Side.Transform(in.Tr.O)
+				if in.IsArray() && !onArrayEdge(cn.Side, i, j, in.Nx, in.Ny) {
+					continue
+				}
+				out = append(out, InstConn{
+					Inst:  in,
+					Name:  arrayName(cn.Name, i, j, in.Nx, in.Ny),
+					At:    ct.Apply(cn.At),
+					Layer: cn.Layer,
+					Width: cn.Width,
+					Side:  side,
+				})
+			}
+		}
+	}
+	return out
+}
+
+// onArrayEdge reports whether the connector on (untransformed) side s
+// of copy (i,j) faces the outside of an Nx x Ny array. Interior-facing
+// copies are suppressed. Interior connectors (SideNone) are only
+// visible on 1x1 instances.
+func onArrayEdge(s geom.Side, i, j, nx, ny int) bool {
+	switch s {
+	case geom.SideLeft:
+		return i == 0
+	case geom.SideRight:
+		return i == nx-1
+	case geom.SideBottom:
+		return j == 0
+	case geom.SideTop:
+		return j == ny-1
+	}
+	return false
+}
+
+// arrayName decorates a connector name with its array index:
+// "OUT" for 1x1, "OUT[k]" for a one-axis array, "OUT[i,j]" for a grid.
+func arrayName(base string, i, j, nx, ny int) string {
+	switch {
+	case nx == 1 && ny == 1:
+		return base
+	case ny == 1:
+		return fmt.Sprintf("%s[%d]", base, i)
+	case nx == 1:
+		return fmt.Sprintf("%s[%d]", base, j)
+	default:
+		return fmt.Sprintf("%s[%d,%d]", base, i, j)
+	}
+}
+
+// Connector resolves a (possibly array-indexed) connector name on the
+// instance.
+func (in *Instance) Connector(name string) (InstConn, error) {
+	for _, ic := range in.Connectors() {
+		if ic.Name == name {
+			return ic, nil
+		}
+	}
+	return InstConn{}, fmt.Errorf("core: instance %s has no connector %q", in.Name, name)
+}

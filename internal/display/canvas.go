@@ -1,0 +1,78 @@
+package display
+
+import (
+	"riot/internal/geom"
+	"riot/internal/plot"
+	"riot/internal/raster"
+)
+
+// RasterCanvas adapts the frame buffer to the Canvas interface.
+type RasterCanvas struct {
+	Im *raster.Image
+}
+
+// Line draws a line segment.
+func (rc RasterCanvas) Line(a, b geom.Point, c geom.Color) { rc.Im.Line(a, b, c) }
+
+// Rect outlines a rectangle.
+func (rc RasterCanvas) Rect(r geom.Rect, c geom.Color) { rc.Im.Rect(r, c) }
+
+// FillRect paints a filled rectangle.
+func (rc RasterCanvas) FillRect(r geom.Rect, c geom.Color) { rc.Im.FillRect(r, c) }
+
+// Cross draws a connector cross.
+func (rc RasterCanvas) Cross(at geom.Point, size int, c geom.Color) { rc.Im.Cross(at, size, c) }
+
+// Text renders a label.
+func (rc RasterCanvas) Text(at geom.Point, s string, c geom.Color) { rc.Im.Text(at.X, at.Y, s, c) }
+
+// PlotCanvas adapts the pen plotter to the Canvas interface. Colors
+// map to the four pens; fills become outlines (a pen plotter does not
+// fill areas).
+type PlotCanvas struct {
+	P *plot.Plotter
+}
+
+func (pc PlotCanvas) pen(c geom.Color) {
+	switch c {
+	case geom.ColorRed, geom.ColorMagenta:
+		pc.P.SelectPen(1)
+	case geom.ColorGreen, geom.ColorCyan:
+		pc.P.SelectPen(2)
+	case geom.ColorBlue:
+		pc.P.SelectPen(3)
+	default:
+		pc.P.SelectPen(4)
+	}
+}
+
+// Line draws a line segment.
+func (pc PlotCanvas) Line(a, b geom.Point, c geom.Color) {
+	pc.pen(c)
+	pc.P.Line(a, b)
+}
+
+// Rect outlines a rectangle.
+func (pc PlotCanvas) Rect(r geom.Rect, c geom.Color) {
+	pc.pen(c)
+	pc.P.Rect(r)
+}
+
+// FillRect traces the rectangle outline (plotters do not fill).
+func (pc PlotCanvas) FillRect(r geom.Rect, c geom.Color) {
+	pc.pen(c)
+	pc.P.Rect(r)
+}
+
+// Cross draws a connector cross.
+func (pc PlotCanvas) Cross(at geom.Point, size int, c geom.Color) {
+	pc.pen(c)
+	pc.P.Cross(at, size)
+}
+
+// Text writes a label at the position.
+func (pc PlotCanvas) Text(at geom.Point, s string, c geom.Color) {
+	pc.pen(c)
+	pc.P.MoveTo(at)
+	pc.P.Label(s)
+}

@@ -1,0 +1,281 @@
+// Package display is the device-independent half of Riot's graphics
+// package: viewport mathematics (zoom and pan over the design plane)
+// and cell rendering onto an abstract canvas. Two canvases exist: the
+// raster frame buffer of the simulated color terminal, and the HP-GL
+// pen plotter for hardcopy.
+//
+// Riot draws an instance as "the bounding box and connectors of the
+// defining cell positioned, oriented, and replicated by the instance
+// information. The size and color of the connector crosses indicates
+// width and layer of the wire making the connection inside the cell.
+// Optionally, instances can be displayed with their cell names and
+// connector names to facilitate identification." DrawCell implements
+// exactly that view, plus a full-geometry mode for finished-chip plots.
+package display
+
+import (
+	"fmt"
+
+	"riot/internal/cif"
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// Canvas is the drawing surface abstraction shared by the frame buffer
+// and the pen plotter. Coordinates are device coordinates.
+type Canvas interface {
+	Line(a, b geom.Point, c geom.Color)
+	Rect(r geom.Rect, c geom.Color)
+	FillRect(r geom.Rect, c geom.Color)
+	Cross(at geom.Point, size int, c geom.Color)
+	Text(at geom.Point, s string, c geom.Color)
+}
+
+// View maps a window in the design plane onto a device rectangle.
+type View struct {
+	Window geom.Rect // visible design-plane region (centimicrons)
+	Screen geom.Rect // device region
+	FlipY  bool      // raster devices grow y downward
+}
+
+// FitView builds a view showing all of window inside screen, preserving
+// aspect ratio and adding a small margin.
+func FitView(window, screen geom.Rect, flipY bool) View {
+	if window.Empty() {
+		window = geom.R(window.Min.X, window.Min.Y, window.Min.X+1, window.Min.Y+1)
+	}
+	// 5% margin
+	mx, my := window.W()/20+1, window.H()/20+1
+	window = geom.R(window.Min.X-mx, window.Min.Y-my, window.Max.X+mx, window.Max.Y+my)
+	// expand the window to the screen's aspect ratio so nothing
+	// distorts
+	sw, sh := screen.W(), screen.H()
+	if sw < 1 {
+		sw = 1
+	}
+	if sh < 1 {
+		sh = 1
+	}
+	if window.W()*sh < window.H()*sw { // window too narrow
+		want := window.H() * sw / sh
+		grow := (want - window.W()) / 2
+		window = geom.R(window.Min.X-grow, window.Min.Y, window.Min.X-grow+want, window.Max.Y)
+	} else {
+		want := window.W() * sh / sw
+		grow := (want - window.H()) / 2
+		window = geom.R(window.Min.X, window.Min.Y-grow, window.Max.X, window.Min.Y-grow+want)
+	}
+	return View{Window: window, Screen: screen, FlipY: flipY}
+}
+
+// ToScreen maps a design point to device coordinates.
+func (v View) ToScreen(p geom.Point) geom.Point {
+	x := v.Screen.Min.X + int(int64(p.X-v.Window.Min.X)*int64(v.Screen.W())/int64(max(1, v.Window.W())))
+	var y int
+	if v.FlipY {
+		y = v.Screen.Max.Y - int(int64(p.Y-v.Window.Min.Y)*int64(v.Screen.H())/int64(max(1, v.Window.H())))
+	} else {
+		y = v.Screen.Min.Y + int(int64(p.Y-v.Window.Min.Y)*int64(v.Screen.H())/int64(max(1, v.Window.H())))
+	}
+	return geom.Pt(x, y)
+}
+
+// ToDesign maps a device point back into the design plane (the inverse
+// of ToScreen up to rounding) — used for pointing.
+func (v View) ToDesign(p geom.Point) geom.Point {
+	x := v.Window.Min.X + int(int64(p.X-v.Screen.Min.X)*int64(max(1, v.Window.W()))/int64(max(1, v.Screen.W())))
+	var y int
+	if v.FlipY {
+		y = v.Window.Min.Y + int(int64(v.Screen.Max.Y-p.Y)*int64(max(1, v.Window.H()))/int64(max(1, v.Screen.H())))
+	} else {
+		y = v.Window.Min.Y + int(int64(p.Y-v.Screen.Min.Y)*int64(max(1, v.Window.H()))/int64(max(1, v.Screen.H())))
+	}
+	return geom.Pt(x, y)
+}
+
+// ToScreenRect maps a design rectangle to a normalized device
+// rectangle.
+func (v View) ToScreenRect(r geom.Rect) geom.Rect {
+	return geom.RectFromPoints(v.ToScreen(r.Min), v.ToScreen(r.Max))
+}
+
+// Zoom scales the window about its center: num/den > 1 zooms out,
+// < 1 zooms in.
+func (v *View) Zoom(num, den int) {
+	c := v.Window.Center()
+	w := v.Window.W() * num / den
+	h := v.Window.H() * num / den
+	if w < 4 {
+		w = 4
+	}
+	if h < 4 {
+		h = 4
+	}
+	v.Window = geom.R(c.X-w/2, c.Y-h/2, c.X-w/2+w, c.Y-h/2+h)
+}
+
+// Pan shifts the window by a fraction (num/den) of its extent in each
+// axis.
+func (v *View) Pan(dxNum, dyNum, den int) {
+	v.Window = v.Window.Translate(geom.Pt(v.Window.W()*dxNum/den, v.Window.H()*dyNum/den))
+}
+
+// Options selects what DrawCell renders.
+type Options struct {
+	// ShowNames labels instances with cell names and connectors with
+	// connector names.
+	ShowNames bool
+	// Geometry recurses all the way down and draws leaf mask geometry
+	// (for finished-chip plots) instead of stopping at instance
+	// bounding boxes.
+	Geometry bool
+}
+
+// DrawCell renders a cell onto the canvas through the view.
+func DrawCell(cv Canvas, v View, cell *core.Cell, opt Options) {
+	drawCell(cv, v, cell, geom.Identity, opt, true)
+}
+
+// DrawInstance renders one instance (the figure-3 view).
+func DrawInstance(cv Canvas, v View, in *core.Instance, opt Options) {
+	drawInstance(cv, v, in, geom.Identity, opt)
+}
+
+func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, top bool) {
+	switch cell.Kind {
+	case core.Composition:
+		for _, in := range cell.Instances {
+			drawInstance(cv, v, in, tr, opt)
+		}
+		if top {
+			// outline the cell under edit
+			cv.Rect(v.ToScreenRect(tr.ApplyRect(cell.BBox())), geom.ColorWhite)
+		}
+	default:
+		if opt.Geometry {
+			drawLeafGeometry(cv, v, cell, tr)
+		} else {
+			drawBoxAndConnectors(cv, v, cell, tr, opt)
+		}
+	}
+}
+
+func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options) {
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			ct := in.CopyTransform(i, j).Then(outer)
+			if opt.Geometry && in.Cell.Kind == core.Composition {
+				drawCell(cv, v, in.Cell, ct, opt, false)
+				continue
+			}
+			if opt.Geometry {
+				drawLeafGeometry(cv, v, in.Cell, ct)
+				continue
+			}
+			// the Riot instance view: bounding box plus connector
+			// crosses; array copies show "the gridding due to the
+			// replication"
+			drawBoxAndConnectors(cv, v, in.Cell, ct, opt)
+			if opt.ShowNames && i == 0 && j == 0 {
+				r := v.ToScreenRect(ct.ApplyRect(in.Cell.BBox()))
+				cv.Text(geom.Pt(r.Min.X+2, (r.Min.Y+r.Max.Y)/2), in.Name+":"+in.Cell.Name, geom.ColorWhite)
+			}
+		}
+	}
+}
+
+func drawBoxAndConnectors(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options) {
+	box := cell.BBox()
+	cv.Rect(v.ToScreenRect(tr.ApplyRect(box)), geom.ColorWhite)
+	for _, cn := range cell.Connectors() {
+		at := v.ToScreen(tr.Apply(cn.At))
+		size := crossSize(v, cn.Width)
+		cv.Cross(at, size, geom.LayerColor(cn.Layer))
+		if opt.ShowNames {
+			cv.Text(geom.Pt(at.X+size+1, at.Y-3), cn.Name, geom.LayerColor(cn.Layer))
+		}
+	}
+}
+
+// crossSize maps a connector's wire width to a cross radius in device
+// units, with a readable minimum.
+func crossSize(v View, width int) int {
+	if width <= 0 {
+		width = rules.MinWidth(geom.NM) * rules.Lambda
+	}
+	s := v.ToScreen(geom.Pt(v.Window.Min.X+width, v.Window.Min.Y)).X - v.Screen.Min.X
+	if s < 2 {
+		s = 2
+	}
+	if s > 12 {
+		s = 12
+	}
+	return s
+}
+
+// drawLeafGeometry renders the actual mask geometry of a leaf cell.
+func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform) {
+	switch cell.Kind {
+	case core.LeafCIF:
+		drawCIF(cv, v, cell.CIFFile, cell.Symbol, tr)
+	case core.LeafSticks:
+		sym, err := cell.SticksCIF()
+		if err != nil {
+			// fall back to the abstract view rather than lose the cell
+			drawBoxAndConnectors(cv, v, cell, tr, Options{})
+			return
+		}
+		drawCIF(cv, v, &cif.File{Symbols: []*cif.Symbol{sym}}, sym, tr)
+	default:
+		drawCell(cv, v, cell, tr, Options{Geometry: true}, false)
+	}
+}
+
+func drawCIF(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform) {
+	for _, e := range sym.ResolveScale() {
+		switch el := e.(type) {
+		case cif.Box:
+			cv.FillRect(v.ToScreenRect(tr.ApplyRect(el.Rect())), geom.LayerColor(el.Layer))
+		case cif.Polygon:
+			for i := 1; i < len(el.Points); i++ {
+				cv.Line(v.ToScreen(tr.Apply(el.Points[i-1])), v.ToScreen(tr.Apply(el.Points[i])), geom.LayerColor(el.Layer))
+			}
+			if n := len(el.Points); n > 2 {
+				cv.Line(v.ToScreen(tr.Apply(el.Points[n-1])), v.ToScreen(tr.Apply(el.Points[0])), geom.LayerColor(el.Layer))
+			}
+		case cif.Wire:
+			h := el.Width / 2
+			for i := 1; i < len(el.Points); i++ {
+				a, b := el.Points[i-1], el.Points[i]
+				seg := geom.RectFromPoints(a, b)
+				seg = geom.R(seg.Min.X-h, seg.Min.Y-h, seg.Max.X+h, seg.Max.Y+h)
+				cv.FillRect(v.ToScreenRect(tr.ApplyRect(seg)), geom.LayerColor(el.Layer))
+			}
+		case cif.RoundFlash:
+			h := el.Diameter / 2
+			r := geom.R(el.Center.X-h, el.Center.Y-h, el.Center.X+h, el.Center.Y+h)
+			cv.FillRect(v.ToScreenRect(tr.ApplyRect(r)), geom.LayerColor(el.Layer))
+		case cif.Call:
+			child := f.SymbolByID(el.SymbolID)
+			if child != nil {
+				drawCIF(cv, v, f, child, el.Transform.Then(tr))
+			}
+		case cif.Connector:
+			cv.Cross(v.ToScreen(tr.Apply(el.At)), crossSize(v, el.Width), geom.LayerColor(el.Layer))
+		}
+	}
+}
+
+// Describe returns a short textual summary of a view, used in status
+// lines.
+func Describe(v View) string {
+	return fmt.Sprintf("window %v on screen %v", v.Window, v.Screen)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,169 @@
+package display
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/plot"
+	"riot/internal/raster"
+	"riot/internal/rules"
+	"riot/internal/sticks"
+)
+
+const L = rules.Lambda
+
+func testCell(t *testing.T) *core.Cell {
+	t.Helper()
+	sc := &sticks.Cell{
+		Name: "G", Box: geom.R(0, 0, 20, 10), HasBox: true,
+		Wires: []sticks.Wire{
+			{Layer: geom.NM, Width: 2, Points: []geom.Point{{X: 0, Y: 5}, {X: 20, Y: 5}}},
+			{Layer: geom.NP, Width: 2, Points: []geom.Point{{X: 10, Y: 0}, {X: 10, Y: 10}}},
+		},
+		Connectors: []sticks.Connector{
+			{Name: "IN", At: geom.Pt(0, 5), Layer: geom.NM, Width: 2, Side: geom.SideLeft},
+			{Name: "OUT", At: geom.Pt(20, 5), Layer: geom.NM, Width: 2, Side: geom.SideRight},
+		},
+	}
+	c, err := core.NewLeafFromSticks(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestViewRoundTrip(t *testing.T) {
+	v := FitView(geom.R(0, 0, 1000, 1000), geom.R(0, 0, 200, 200), true)
+	for _, p := range []geom.Point{{X: 0, Y: 0}, {X: 500, Y: 500}, {X: 1000, Y: 1000}} {
+		sp := v.ToScreen(p)
+		back := v.ToDesign(sp)
+		if back.ManhattanDist(p) > v.Window.W()/50 {
+			t.Errorf("round trip %v -> %v -> %v", p, sp, back)
+		}
+	}
+	// flipped y: larger design y is smaller screen y
+	lo := v.ToScreen(geom.Pt(0, 0))
+	hi := v.ToScreen(geom.Pt(0, 1000))
+	if hi.Y >= lo.Y {
+		t.Errorf("y not flipped: %v vs %v", hi, lo)
+	}
+}
+
+func TestFitViewAspect(t *testing.T) {
+	// a wide window on a square screen must not distort
+	v := FitView(geom.R(0, 0, 2000, 100), geom.R(0, 0, 100, 100), true)
+	// one design unit maps to the same extent in x and y
+	dx := v.ToScreen(geom.Pt(1000, 0)).X - v.ToScreen(geom.Pt(0, 0)).X
+	dy := v.ToScreen(geom.Pt(0, 0)).Y - v.ToScreen(geom.Pt(0, 1000)).Y
+	if dx != dy {
+		t.Errorf("anisotropic view: dx=%d dy=%d", dx, dy)
+	}
+}
+
+func TestZoomPan(t *testing.T) {
+	v := FitView(geom.R(0, 0, 1000, 1000), geom.R(0, 0, 100, 100), true)
+	w0 := v.Window.W()
+	c0 := v.Window.Center()
+	v.Zoom(1, 2) // zoom in 2x
+	if v.Window.W() >= w0 {
+		t.Error("zoom in grew the window")
+	}
+	if d := v.Window.Center().ManhattanDist(c0); d > 2 {
+		t.Errorf("zoom moved the center by %d", d)
+	}
+	v.Pan(1, 0, 4)
+	if v.Window.Center().X <= c0.X {
+		t.Error("pan right did not move the window")
+	}
+}
+
+func TestDrawCellBoxView(t *testing.T) {
+	cell := testCell(t)
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "a", Cell: cell, Tr: geom.Identity, Nx: 1, Ny: 1},
+		&core.Instance{Name: "b", Cell: cell, Tr: geom.MakeTransform(geom.R0, geom.Pt(30*L, 0)), Nx: 1, Ny: 1},
+	)
+	im := raster.New(200, 100)
+	v := FitView(top.BBox(), geom.R(0, 0, 199, 99), true)
+	DrawCell(RasterCanvas{Im: im}, v, top, Options{})
+	// bounding boxes in white, connector crosses in metal blue
+	if im.CountColor(geom.ColorWhite) == 0 {
+		t.Error("no bounding boxes drawn")
+	}
+	if im.CountColor(geom.ColorBlue) == 0 {
+		t.Error("no metal connector crosses drawn")
+	}
+}
+
+func TestDrawCellNames(t *testing.T) {
+	cell := testCell(t)
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "a", Cell: cell, Tr: geom.Identity, Nx: 1, Ny: 1})
+	im := raster.New(300, 150)
+	v := FitView(top.BBox(), geom.R(0, 0, 299, 149), true)
+	plain := raster.New(300, 150)
+	DrawCell(RasterCanvas{Im: plain}, v, top, Options{})
+	DrawCell(RasterCanvas{Im: im}, v, top, Options{ShowNames: true})
+	if im.CountColor(geom.ColorWhite) <= plain.CountColor(geom.ColorWhite) {
+		t.Error("ShowNames drew nothing extra")
+	}
+}
+
+func TestDrawCellGeometry(t *testing.T) {
+	cell := testCell(t)
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "a", Cell: cell, Tr: geom.Identity, Nx: 2, Ny: 1, Sx: 20 * L})
+	im := raster.New(200, 100)
+	v := FitView(top.BBox(), geom.R(0, 0, 199, 99), true)
+	DrawCell(RasterCanvas{Im: im}, v, top, Options{Geometry: true})
+	// geometry mode paints the metal and poly masks
+	if im.CountColor(geom.ColorBlue) == 0 || im.CountColor(geom.ColorRed) == 0 {
+		t.Error("mask geometry not painted")
+	}
+}
+
+func TestDrawToPlotter(t *testing.T) {
+	cell := testCell(t)
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "a", Cell: cell, Tr: geom.Identity, Nx: 1, Ny: 1})
+	var b strings.Builder
+	p := plot.New(&b)
+	v := FitView(top.BBox(), geom.R(0, 0, 10000, 7000), false)
+	DrawCell(PlotCanvas{P: p}, v, top, Options{Geometry: true})
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.Contains(s, "SP3;") { // metal pen
+		t.Errorf("no metal pen selected:\n%s", s)
+	}
+	if strings.Count(s, "PD") < 8 {
+		t.Error("too few pen-down strokes for two wires")
+	}
+}
+
+func TestDrawRotatedInstance(t *testing.T) {
+	cell := testCell(t)
+	top := core.NewComposition("TOP")
+	top.Instances = append(top.Instances,
+		&core.Instance{Name: "r", Cell: cell, Tr: geom.MakeTransform(geom.R90, geom.Pt(20*L, 0)), Nx: 1, Ny: 1})
+	im := raster.New(100, 150)
+	v := FitView(top.BBox(), geom.R(0, 0, 99, 149), true)
+	DrawCell(RasterCanvas{Im: im}, v, top, Options{})
+	if im.CountColor(geom.ColorWhite) == 0 {
+		t.Error("rotated instance invisible")
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	v := FitView(geom.R(0, 0, 10, 10), geom.R(0, 0, 5, 5), true)
+	if Describe(v) == "" {
+		t.Error("empty description")
+	}
+}

@@ -1,0 +1,426 @@
+package geom
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestPointArithmetic(t *testing.T) {
+	p := Pt(3, -4)
+	q := Pt(-1, 2)
+	if got := p.Add(q); got != Pt(2, -2) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := p.Sub(q); got != Pt(4, -6) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := p.Neg(); got != Pt(-3, 4) {
+		t.Errorf("Neg = %v", got)
+	}
+	if got := p.Scale(3); got != Pt(9, -12) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := Pt(8, 6).Div(2); got != Pt(4, 3) {
+		t.Errorf("Div = %v", got)
+	}
+	if d := p.ManhattanDist(q); d != 10 {
+		t.Errorf("ManhattanDist = %d, want 10", d)
+	}
+	if s := p.String(); s != "(3,-4)" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRectNormalization(t *testing.T) {
+	r := R(5, 7, 1, 2)
+	if r.Min != Pt(1, 2) || r.Max != Pt(5, 7) {
+		t.Fatalf("R did not normalize: %v", r)
+	}
+	if r != RectFromPoints(Pt(5, 7), Pt(1, 2)) {
+		t.Error("RectFromPoints disagrees with R")
+	}
+	if r != r.Canon() {
+		t.Error("Canon changed an already-normalized rect")
+	}
+}
+
+func TestRectMetrics(t *testing.T) {
+	r := R(0, 0, 10, 4)
+	if r.W() != 10 || r.H() != 4 || r.Area() != 40 {
+		t.Errorf("W/H/Area = %d/%d/%d", r.W(), r.H(), r.Area())
+	}
+	if r.Center() != Pt(5, 2) {
+		t.Errorf("Center = %v", r.Center())
+	}
+	if r.Empty() {
+		t.Error("non-degenerate rect reported Empty")
+	}
+	if !R(3, 3, 3, 9).Empty() {
+		t.Error("zero-width rect not Empty")
+	}
+}
+
+func TestRectUnionIntersect(t *testing.T) {
+	a := R(0, 0, 4, 4)
+	b := R(2, 2, 8, 3)
+	u := a.Union(b)
+	if u != R(0, 0, 8, 4) {
+		t.Errorf("Union = %v", u)
+	}
+	i := a.Intersect(b)
+	if i != R(2, 2, 4, 3) {
+		t.Errorf("Intersect = %v", i)
+	}
+	if !a.Overlaps(b) {
+		t.Error("Overlaps = false for overlapping rects")
+	}
+	disjoint := R(100, 100, 101, 101)
+	if !a.Intersect(disjoint).Empty() {
+		t.Error("Intersect of disjoint rects not empty")
+	}
+	if a.Overlaps(disjoint) {
+		t.Error("Overlaps = true for disjoint rects")
+	}
+	// union with the zero rect is identity
+	if got := (Rect{}).Union(a); got != a {
+		t.Errorf("zero.Union = %v", got)
+	}
+	if got := a.Union(Rect{}); got != a {
+		t.Errorf("Union(zero) = %v", got)
+	}
+}
+
+func TestRectContains(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	for _, p := range []Point{{0, 0}, {10, 10}, {5, 0}, {0, 5}, {5, 5}} {
+		if !r.Contains(p) {
+			t.Errorf("Contains(%v) = false", p)
+		}
+	}
+	for _, p := range []Point{{-1, 0}, {11, 5}, {5, -1}, {5, 11}} {
+		if r.Contains(p) {
+			t.Errorf("Contains(%v) = true", p)
+		}
+	}
+	if !r.ContainsRect(R(1, 1, 9, 9)) {
+		t.Error("ContainsRect inner = false")
+	}
+	if r.ContainsRect(R(1, 1, 11, 9)) {
+		t.Error("ContainsRect overflowing = true")
+	}
+}
+
+func TestRectInsetTranslate(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	if got := r.Inset(2); got != R(2, 2, 8, 8) {
+		t.Errorf("Inset = %v", got)
+	}
+	if got := r.Translate(Pt(3, -1)); got != R(3, -1, 13, 9) {
+		t.Errorf("Translate = %v", got)
+	}
+	if got := r.UnionPoint(Pt(20, 5)); got != R(0, 0, 20, 10) {
+		t.Errorf("UnionPoint = %v", got)
+	}
+}
+
+func TestOrientMatrixRoundTrip(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		a, b, c, d := o.Matrix()
+		if det := a*d - b*c; det != 1 && det != -1 {
+			t.Errorf("%v determinant = %d", o, det)
+		}
+		if got := orientFromMatrix(a, b, c, d); got != o {
+			t.Errorf("round trip %v -> %v", o, got)
+		}
+	}
+}
+
+func TestOrientApply(t *testing.T) {
+	p := Pt(2, 1)
+	cases := []struct {
+		o    Orient
+		want Point
+	}{
+		{R0, Pt(2, 1)},
+		{R90, Pt(-1, 2)},
+		{R180, Pt(-2, -1)},
+		{R270, Pt(1, -2)},
+		{MX, Pt(-2, 1)},
+		{MXR180, Pt(2, -1)},
+	}
+	for _, c := range cases {
+		if got := c.o.Apply(p); got != c.want {
+			t.Errorf("%v.Apply(%v) = %v, want %v", c.o, p, got, c.want)
+		}
+	}
+}
+
+func TestOrientGroupLaws(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		if got := o.Then(o.Inverse()); got != R0 {
+			t.Errorf("%v.Then(inv) = %v", o, got)
+		}
+		if got := o.Inverse().Then(o); got != R0 {
+			t.Errorf("inv.Then(%v) = %v", o, got)
+		}
+		if got := o.Then(R0); got != o {
+			t.Errorf("%v.Then(R0) = %v", o, got)
+		}
+		for q := Orient(0); q < NumOrients; q++ {
+			// composition law: (o then q)(p) == q(o(p))
+			p := Pt(7, 3)
+			if got, want := o.Then(q).Apply(p), q.Apply(o.Apply(p)); got != want {
+				t.Errorf("(%v then %v)(%v) = %v, want %v", o, q, p, got, want)
+			}
+		}
+	}
+}
+
+func TestOrientGroupClosureAssociativity(t *testing.T) {
+	for a := Orient(0); a < NumOrients; a++ {
+		for b := Orient(0); b < NumOrients; b++ {
+			for c := Orient(0); c < NumOrients; c++ {
+				if a.Then(b).Then(c) != a.Then(b.Then(c)) {
+					t.Fatalf("associativity fails at %v,%v,%v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestOrientMirrored(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		want := o >= MX
+		if o.Mirrored() != want {
+			t.Errorf("%v.Mirrored = %v", o, o.Mirrored())
+		}
+	}
+}
+
+func TestParseOrient(t *testing.T) {
+	for o := Orient(0); o < NumOrients; o++ {
+		got, err := ParseOrient(o.String())
+		if err != nil || got != o {
+			t.Errorf("ParseOrient(%q) = %v, %v", o.String(), got, err)
+		}
+	}
+	if _, err := ParseOrient("R45"); err == nil {
+		t.Error("ParseOrient accepted R45")
+	}
+}
+
+func TestTransformApply(t *testing.T) {
+	tr := MakeTransform(R90, Pt(10, 0))
+	if got := tr.Apply(Pt(2, 1)); got != Pt(9, 2) {
+		t.Errorf("Apply = %v", got)
+	}
+	r := tr.ApplyRect(R(0, 0, 4, 2))
+	if r != R(8, 0, 10, 4) {
+		t.Errorf("ApplyRect = %v", r)
+	}
+}
+
+func TestTransformComposeInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200; i++ {
+		t1 := Transform{Orient(rng.Intn(8)), Pt(rng.Intn(100)-50, rng.Intn(100)-50)}
+		t2 := Transform{Orient(rng.Intn(8)), Pt(rng.Intn(100)-50, rng.Intn(100)-50)}
+		p := Pt(rng.Intn(100)-50, rng.Intn(100)-50)
+		if got, want := t1.Then(t2).Apply(p), t2.Apply(t1.Apply(p)); got != want {
+			t.Fatalf("compose mismatch: %v vs %v", got, want)
+		}
+		if got := t1.Then(t1.Inverse()).Apply(p); got != p {
+			t.Fatalf("inverse mismatch: %v vs %v", got, p)
+		}
+		if got := t1.Inverse().Apply(t1.Apply(p)); got != p {
+			t.Fatalf("inverse apply mismatch: %v vs %v", got, p)
+		}
+	}
+}
+
+func TestTransformTranslated(t *testing.T) {
+	tr := MakeTransform(R180, Pt(5, 5)).Translated(Pt(1, 2))
+	if tr.D != Pt(6, 7) || tr.O != R180 {
+		t.Errorf("Translated = %v", tr)
+	}
+	if Translate(Pt(3, 4)).Apply(Pt(1, 1)) != Pt(4, 5) {
+		t.Error("Translate misapplied")
+	}
+}
+
+// Property: transforms preserve Manhattan distance (they are rigid up to
+// the axis swap, which preserves L1 length for axis-aligned moves).
+func TestTransformPreservesManhattan(t *testing.T) {
+	f := func(ox uint8, dx, dy, px, py, qx, qy int16) bool {
+		tr := Transform{Orient(ox % 8), Pt(int(dx), int(dy))}
+		p, q := Pt(int(px), int(py)), Pt(int(qx), int(qy))
+		return tr.Apply(p).ManhattanDist(tr.Apply(q)) == p.ManhattanDist(q)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: ApplyRect preserves area.
+func TestTransformPreservesArea(t *testing.T) {
+	f := func(ox uint8, dx, dy, x0, y0, x1, y1 int16) bool {
+		tr := Transform{Orient(ox % 8), Pt(int(dx), int(dy))}
+		r := R(int(x0), int(y0), int(x1), int(y1))
+		return tr.ApplyRect(r).Area() == r.Area()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Union is commutative, associative and idempotent on
+// non-degenerate rects.
+func TestRectUnionProperties(t *testing.T) {
+	gen := func(vals []reflect.Value, rng *rand.Rand) {
+		for i := range vals {
+			r := R(rng.Intn(50), rng.Intn(50), 51+rng.Intn(50), 51+rng.Intn(50))
+			vals[i] = reflect.ValueOf(r)
+		}
+	}
+	f := func(a, b, c Rect) bool {
+		return a.Union(b) == b.Union(a) &&
+			a.Union(b).Union(c) == a.Union(b.Union(c)) &&
+			a.Union(a) == a &&
+			a.Union(b).ContainsRect(a) && a.Union(b).ContainsRect(b)
+	}
+	if err := quick.Check(f, &quick.Config{Values: gen}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSideBasics(t *testing.T) {
+	if SideLeft.Opposite() != SideRight || SideTop.Opposite() != SideBottom {
+		t.Error("Opposite wrong")
+	}
+	if !Opposed(SideLeft, SideRight) || !Opposed(SideTop, SideBottom) {
+		t.Error("Opposed = false for opposed sides")
+	}
+	if Opposed(SideLeft, SideTop) || Opposed(SideNone, SideNone) {
+		t.Error("Opposed = true for non-opposed sides")
+	}
+	if !SideLeft.Horizontal() || SideLeft.Vertical() {
+		t.Error("left classification wrong")
+	}
+	if !SideTop.Vertical() || SideTop.Horizontal() {
+		t.Error("top classification wrong")
+	}
+}
+
+func TestSideTransform(t *testing.T) {
+	cases := []struct {
+		s    Side
+		o    Orient
+		want Side
+	}{
+		{SideTop, R0, SideTop},
+		{SideTop, R90, SideLeft},
+		{SideTop, R180, SideBottom},
+		{SideTop, R270, SideRight},
+		{SideLeft, MX, SideRight},
+		{SideTop, MX, SideTop},
+		{SideTop, MXR180, SideBottom},
+		{SideNone, R90, SideNone},
+	}
+	for _, c := range cases {
+		if got := c.s.Transform(c.o); got != c.want {
+			t.Errorf("%v.Transform(%v) = %v, want %v", c.s, c.o, got, c.want)
+		}
+	}
+}
+
+// Property: transforming a side by o and then by o.Inverse() is the
+// identity for all sides and orientations.
+func TestSideTransformInverse(t *testing.T) {
+	for s := SideNone; s <= SideTop; s++ {
+		for o := Orient(0); o < NumOrients; o++ {
+			if got := s.Transform(o).Transform(o.Inverse()); got != s {
+				t.Errorf("%v.Transform(%v) round trip = %v", s, o, got)
+			}
+		}
+	}
+}
+
+func TestSideOf(t *testing.T) {
+	r := R(0, 0, 10, 10)
+	cases := []struct {
+		p    Point
+		want Side
+	}{
+		{Pt(0, 5), SideLeft},
+		{Pt(10, 5), SideRight},
+		{Pt(5, 0), SideBottom},
+		{Pt(5, 10), SideTop},
+		{Pt(5, 5), SideNone},
+		{Pt(-3, 5), SideNone},
+		{Pt(0, 0), SideLeft}, // corner resolves to vertical side
+	}
+	for _, c := range cases {
+		if got := SideOf(r, c.p); got != c.want {
+			t.Errorf("SideOf(%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestParseSide(t *testing.T) {
+	for s := SideNone; s <= SideTop; s++ {
+		got, err := ParseSide(s.String())
+		if err != nil || got != s {
+			t.Errorf("ParseSide(%q) = %v, %v", s.String(), got, err)
+		}
+	}
+	if _, err := ParseSide("diagonal"); err == nil {
+		t.Error("ParseSide accepted garbage")
+	}
+}
+
+func TestLayerBasics(t *testing.T) {
+	if !NM.Valid() || LayerNone.Valid() {
+		t.Error("Valid wrong")
+	}
+	if !NM.Routable() || !NP.Routable() || !ND.Routable() {
+		t.Error("signal layers not routable")
+	}
+	if NC.Routable() || NI.Routable() {
+		t.Error("non-signal layer routable")
+	}
+	if Layer("TOOLONG").Valid() {
+		t.Error("over-long layer valid")
+	}
+}
+
+func TestLayerColors(t *testing.T) {
+	if LayerColor(NP) != ColorRed || LayerColor(ND) != ColorGreen || LayerColor(NM) != ColorBlue {
+		t.Error("canonical layer colors wrong")
+	}
+	if LayerColor(Layer("XX")) != ColorWhite {
+		t.Error("unknown layer should draw white")
+	}
+	for _, l := range KnownLayers {
+		pen := PlotterPen(l)
+		if pen < 1 || pen > 4 {
+			t.Errorf("PlotterPen(%v) = %d out of range", l, pen)
+		}
+	}
+}
+
+func TestColorRGBDistinct(t *testing.T) {
+	seen := map[[3]uint8]Color{}
+	for c := Color(0); c < NumColors; c++ {
+		r, g, b := c.RGB()
+		key := [3]uint8{r, g, b}
+		if prev, dup := seen[key]; dup {
+			t.Errorf("colors %v and %v share RGB %v", prev, c, key)
+		}
+		seen[key] = c
+		if c.String() == "" {
+			t.Errorf("color %d has empty name", c)
+		}
+	}
+}

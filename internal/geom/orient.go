@@ -1,0 +1,169 @@
+package geom
+
+import "fmt"
+
+// Orient is one of the eight orientations an instance may take: the four
+// rotations by multiples of 90 degrees, each optionally preceded by a
+// mirror about the Y axis (x -> -x, CIF's "M X"). The eight values form
+// the dihedral group D4, which is exactly the set of placements Riot's
+// CREATE command offers ("rotation by multiples of 90 degrees, and
+// mirroring of the instance").
+type Orient uint8
+
+// The eight orientations. MX..MXR270 apply the mirror first, then the
+// rotation.
+const (
+	R0     Orient = iota // identity
+	R90                  // rotate 90 degrees counterclockwise
+	R180                 // rotate 180 degrees
+	R270                 // rotate 270 degrees counterclockwise
+	MX                   // mirror x -> -x
+	MXR90                // mirror, then rotate 90
+	MXR180               // mirror, then rotate 180 (equals mirror y -> -y)
+	MXR270               // mirror, then rotate 270
+)
+
+// NumOrients is the size of the orientation group.
+const NumOrients = 8
+
+var orientNames = [NumOrients]string{
+	"R0", "R90", "R180", "R270", "MX", "MXR90", "MXR180", "MXR270",
+}
+
+// String returns the conventional name of the orientation.
+func (o Orient) String() string {
+	if int(o) < len(orientNames) {
+		return orientNames[o]
+	}
+	return fmt.Sprintf("Orient(%d)", uint8(o))
+}
+
+// ParseOrient converts a name produced by String back to an Orient.
+func ParseOrient(s string) (Orient, error) {
+	for i, n := range orientNames {
+		if n == s {
+			return Orient(i), nil
+		}
+	}
+	return R0, fmt.Errorf("geom: unknown orientation %q", s)
+}
+
+// orientMat holds the 2x2 integer matrix (a b / c d) for each
+// orientation: x' = a*x + b*y, y' = c*x + d*y.
+var orientMat = [NumOrients][4]int{
+	R0:     {1, 0, 0, 1},
+	R90:    {0, -1, 1, 0},
+	R180:   {-1, 0, 0, -1},
+	R270:   {0, 1, -1, 0},
+	MX:     {-1, 0, 0, 1},
+	MXR90:  {0, -1, -1, 0},
+	MXR180: {1, 0, 0, -1},
+	MXR270: {0, 1, 1, 0},
+}
+
+// Matrix returns the 2x2 integer matrix entries (a, b, c, d) of o, where
+// the transformed coordinates are x' = a*x + b*y and y' = c*x + d*y.
+func (o Orient) Matrix() (a, b, c, d int) {
+	m := orientMat[o%NumOrients]
+	return m[0], m[1], m[2], m[3]
+}
+
+// orientFromMatrix inverts Matrix; it panics on a matrix that is not one
+// of the eight group elements (cannot happen for products of group
+// elements).
+func orientFromMatrix(a, b, c, d int) Orient {
+	for i, m := range orientMat {
+		if m[0] == a && m[1] == b && m[2] == c && m[3] == d {
+			return Orient(i)
+		}
+	}
+	panic(fmt.Sprintf("geom: matrix (%d %d / %d %d) is not an orientation", a, b, c, d))
+}
+
+// Apply transforms p by the orientation.
+func (o Orient) Apply(p Point) Point {
+	a, b, c, d := o.Matrix()
+	return Point{a*p.X + b*p.Y, c*p.X + d*p.Y}
+}
+
+// ApplyRect transforms r by the orientation; the result is normalized.
+func (o Orient) ApplyRect(r Rect) Rect {
+	return RectFromPoints(o.Apply(r.Min), o.Apply(r.Max))
+}
+
+// Then returns the orientation equivalent to applying o first and then
+// q: (q.Then-composed).Apply(p) == q.Apply(o.Apply(p)).
+func (o Orient) Then(q Orient) Orient {
+	oa, ob, oc, od := o.Matrix()
+	qa, qb, qc, qd := q.Matrix()
+	// matrix product Q * O
+	return orientFromMatrix(
+		qa*oa+qb*oc, qa*ob+qb*od,
+		qc*oa+qd*oc, qc*ob+qd*od,
+	)
+}
+
+// Inverse returns the orientation that undoes o.
+func (o Orient) Inverse() Orient {
+	a, b, c, d := o.Matrix()
+	det := a*d - b*c // +1 or -1 for group elements
+	return orientFromMatrix(d*det, -b*det, -c*det, a*det)
+}
+
+// Mirrored reports whether o includes a reflection (determinant -1).
+func (o Orient) Mirrored() bool {
+	a, b, c, d := o.Matrix()
+	return a*d-b*c < 0
+}
+
+// Transform is a rigid placement: an orientation about the origin
+// followed by a translation. It is the "instance transform" the paper
+// describes ("an instance represents the contents of a cell placed at a
+// given location with a specified orientation").
+type Transform struct {
+	O Orient
+	D Point // translation applied after the orientation
+}
+
+// Identity is the do-nothing transform.
+var Identity = Transform{}
+
+// Translate returns a pure-translation transform.
+func Translate(d Point) Transform { return Transform{R0, d} }
+
+// MakeTransform returns the transform that orients by o and then
+// translates by d.
+func MakeTransform(o Orient, d Point) Transform { return Transform{o, d} }
+
+// Apply maps p through the transform.
+func (t Transform) Apply(p Point) Point { return t.O.Apply(p).Add(t.D) }
+
+// ApplyRect maps r through the transform; the result is normalized.
+func (t Transform) ApplyRect(r Rect) Rect {
+	return t.O.ApplyRect(r).Translate(t.D)
+}
+
+// Then returns the transform equivalent to applying t first, then u.
+func (t Transform) Then(u Transform) Transform {
+	return Transform{
+		O: t.O.Then(u.O),
+		D: u.O.Apply(t.D).Add(u.D),
+	}
+}
+
+// Inverse returns the transform that undoes t.
+func (t Transform) Inverse() Transform {
+	inv := t.O.Inverse()
+	return Transform{inv, inv.Apply(t.D).Neg()}
+}
+
+// Translated returns t with an additional translation by d applied
+// afterwards.
+func (t Transform) Translated(d Point) Transform {
+	return Transform{t.O, t.D.Add(d)}
+}
+
+// String renders the transform as "O+(x,y)".
+func (t Transform) String() string {
+	return fmt.Sprintf("%s+%s", t.O, t.D)
+}

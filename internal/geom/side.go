@@ -1,0 +1,118 @@
+package geom
+
+import "fmt"
+
+// Side identifies which edge of a cell's bounding box a connector lies
+// on. Riot's connection checking requires joined connectors to be
+// "opposed: that is, that they connect top to bottom or left to right",
+// so sides are first-class values that transform with instances.
+type Side uint8
+
+// The five side values. SideNone marks a connector that lies in the
+// interior of its cell (legal for composition cells before their
+// connectors are "brought out" to the edge).
+const (
+	SideNone Side = iota
+	SideLeft
+	SideRight
+	SideBottom
+	SideTop
+)
+
+var sideNames = [...]string{"none", "left", "right", "bottom", "top"}
+
+// String returns the side's name.
+func (s Side) String() string {
+	if int(s) < len(sideNames) {
+		return sideNames[s]
+	}
+	return fmt.Sprintf("Side(%d)", uint8(s))
+}
+
+// ParseSide converts a name produced by String back to a Side.
+func ParseSide(str string) (Side, error) {
+	for i, n := range sideNames {
+		if n == str {
+			return Side(i), nil
+		}
+	}
+	return SideNone, fmt.Errorf("geom: unknown side %q", str)
+}
+
+// sideVec gives the outward normal of each side.
+var sideVec = [...]Point{
+	SideNone:   {0, 0},
+	SideLeft:   {-1, 0},
+	SideRight:  {1, 0},
+	SideBottom: {0, -1},
+	SideTop:    {0, 1},
+}
+
+// Normal returns the outward unit normal of the side (zero for
+// SideNone).
+func (s Side) Normal() Point { return sideVec[s] }
+
+// sideFromVec inverts Normal.
+func sideFromVec(v Point) Side {
+	for i, w := range sideVec {
+		if v == w {
+			return Side(i)
+		}
+	}
+	return SideNone
+}
+
+// Opposite returns the side facing s across a cell: left<->right,
+// bottom<->top.
+func (s Side) Opposite() Side {
+	switch s {
+	case SideLeft:
+		return SideRight
+	case SideRight:
+		return SideLeft
+	case SideBottom:
+		return SideTop
+	case SideTop:
+		return SideBottom
+	}
+	return SideNone
+}
+
+// Opposed reports whether connectors on sides s and t can legally be
+// joined: they must face each other (top to bottom or left to right).
+func Opposed(s, t Side) bool {
+	return s != SideNone && t == s.Opposite()
+}
+
+// Horizontal reports whether the side is left or right.
+func (s Side) Horizontal() bool { return s == SideLeft || s == SideRight }
+
+// Vertical reports whether the side is bottom or top.
+func (s Side) Vertical() bool { return s == SideBottom || s == SideTop }
+
+// Transform returns the side that s becomes when its cell is placed
+// with orientation o. For example a top-side connector on a cell
+// rotated 90 degrees counterclockwise faces left.
+func (s Side) Transform(o Orient) Side {
+	return sideFromVec(o.Apply(s.Normal()))
+}
+
+// SideOf classifies where p lies on the boundary of r. Corners resolve
+// to the vertical sides (left/right) first. Points not on the boundary
+// return SideNone.
+func SideOf(r Rect, p Point) Side {
+	if !r.Contains(p) {
+		return SideNone
+	}
+	switch {
+	case p.X == r.Min.X:
+		return SideLeft
+	case p.X == r.Max.X:
+		return SideRight
+	case p.Y == r.Min.Y:
+		return SideBottom
+	case p.Y == r.Max.Y:
+		return SideTop
+	}
+	return SideNone
+}

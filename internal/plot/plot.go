@@ -1,0 +1,111 @@
+// Package plot drives the hardcopy plotter of the Caltech graphic
+// workstation. The original was a Hewlett-Packard 7221A four-color pen
+// plotter; this package emits the HP-GL pen-plotter language (the
+// 7221A's own binary protocol is long dead — see DESIGN.md,
+// Substitutions), preserving the pen-up/pen-down, four-pen structure
+// of the hardcopy path.
+package plot
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"riot/internal/geom"
+)
+
+// Plotter writes HP-GL commands. Coordinates are plotter units; the
+// display package scales design coordinates down before calling.
+type Plotter struct {
+	w       *bufio.Writer
+	err     error
+	pen     int
+	penDown bool
+	ops     int
+}
+
+// New starts a plot: the plotter is initialized and pen 1 selected.
+func New(w io.Writer) *Plotter {
+	p := &Plotter{w: bufio.NewWriter(w), pen: 0}
+	p.cmd("IN;")
+	return p
+}
+
+func (p *Plotter) cmd(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+	p.ops++
+}
+
+// SelectPen loads one of the four pens (1-4). Out-of-range values are
+// clamped, like the hardware's carousel.
+func (p *Plotter) SelectPen(n int) {
+	if n < 1 {
+		n = 1
+	}
+	if n > 4 {
+		n = 4
+	}
+	if n == p.pen {
+		return
+	}
+	if p.penDown {
+		p.cmd("PU;")
+		p.penDown = false
+	}
+	p.pen = n
+	p.cmd("SP%d;", n)
+}
+
+// MoveTo lifts the pen and moves to (x,y).
+func (p *Plotter) MoveTo(at geom.Point) {
+	p.cmd("PU%d,%d;", at.X, at.Y)
+	p.penDown = false
+}
+
+// LineTo lowers the pen and draws to (x,y).
+func (p *Plotter) LineTo(at geom.Point) {
+	p.cmd("PD%d,%d;", at.X, at.Y)
+	p.penDown = true
+}
+
+// Line draws a single segment.
+func (p *Plotter) Line(a, b geom.Point) {
+	p.MoveTo(a)
+	p.LineTo(b)
+}
+
+// Rect traces a rectangle outline.
+func (p *Plotter) Rect(r geom.Rect) {
+	p.MoveTo(r.Min)
+	p.LineTo(geom.Pt(r.Max.X, r.Min.Y))
+	p.LineTo(r.Max)
+	p.LineTo(geom.Pt(r.Min.X, r.Max.Y))
+	p.LineTo(r.Min)
+}
+
+// Cross draws a connector cross.
+func (p *Plotter) Cross(at geom.Point, size int) {
+	p.Line(geom.Pt(at.X-size, at.Y-size), geom.Pt(at.X+size, at.Y+size))
+	p.Line(geom.Pt(at.X-size, at.Y+size), geom.Pt(at.X+size, at.Y-size))
+}
+
+// Label writes a text label at the current position using HP-GL's LB
+// instruction (ETX-terminated).
+func (p *Plotter) Label(s string) {
+	p.cmd("LB%s\x03", s)
+}
+
+// Ops returns the number of plotter instructions emitted so far.
+func (p *Plotter) Ops() int { return p.ops }
+
+// Finish parks the pen and flushes the stream.
+func (p *Plotter) Finish() error {
+	p.cmd("PU;SP0;")
+	if p.err != nil {
+		return p.err
+	}
+	return p.w.Flush()
+}

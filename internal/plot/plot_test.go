@@ -1,0 +1,75 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/geom"
+)
+
+func TestPlotterBasics(t *testing.T) {
+	var b strings.Builder
+	p := New(&b)
+	p.SelectPen(1)
+	p.MoveTo(geom.Pt(100, 100))
+	p.LineTo(geom.Pt(200, 100))
+	p.SelectPen(3)
+	p.Rect(geom.R(0, 0, 50, 40))
+	p.Cross(geom.Pt(10, 10), 5)
+	p.Label("VDD")
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	for _, want := range []string{"IN;", "SP1;", "PU100,100;", "PD200,100;", "SP3;", "LBVDD\x03", "SP0;"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("missing %q in %q", want, s)
+		}
+	}
+}
+
+func TestPenClampAndDedup(t *testing.T) {
+	var b strings.Builder
+	p := New(&b)
+	p.SelectPen(0)  // clamps to 1
+	p.SelectPen(99) // clamps to 4
+	p.SelectPen(4)  // no-op: already 4
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if strings.Count(s, "SP4;") != 1 {
+		t.Errorf("redundant pen selects: %q", s)
+	}
+	if !strings.Contains(s, "SP1;") {
+		t.Errorf("pen clamp low missing: %q", s)
+	}
+}
+
+func TestPenSelectLiftsPen(t *testing.T) {
+	var b strings.Builder
+	p := New(&b)
+	p.SelectPen(1)
+	p.LineTo(geom.Pt(5, 5)) // pen now down
+	p.SelectPen(2)
+	if err := p.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	i := strings.Index(s, "PD5,5;")
+	j := strings.Index(s, "SP2;")
+	k := strings.Index(s[i:], "PU;")
+	if i < 0 || j < 0 || k < 0 || i+k > j {
+		t.Errorf("pen not lifted before change: %q", s)
+	}
+}
+
+func TestOpsCount(t *testing.T) {
+	var b strings.Builder
+	p := New(&b)
+	n0 := p.Ops()
+	p.Line(geom.Pt(0, 0), geom.Pt(1, 1))
+	if p.Ops() != n0+2 {
+		t.Errorf("ops = %d, want %d", p.Ops(), n0+2)
+	}
+}

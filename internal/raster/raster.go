@@ -1,0 +1,209 @@
+// Package raster is the frame buffer behind the simulated "Charles"
+// color terminal: an indexed-color image with the line, box, cross and
+// text primitives the Riot graphics package needs, and a PPM writer
+// for screenshots. The original graphics package was 4,000 of Riot's
+// 9,000 lines; this one is rather smaller because Go's standard
+// library carries more of the weight.
+package raster
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"riot/internal/geom"
+)
+
+// Image is an indexed-color frame buffer. Pixel (0,0) is the top-left
+// corner; x grows right, y grows down (screen convention — the display
+// package flips design-space y).
+type Image struct {
+	W, H int
+	Pix  []geom.Color
+}
+
+// New allocates a cleared (black) frame buffer.
+func New(w, h int) *Image {
+	if w < 1 {
+		w = 1
+	}
+	if h < 1 {
+		h = 1
+	}
+	return &Image{W: w, H: h, Pix: make([]geom.Color, w*h)}
+}
+
+// In reports whether (x,y) is inside the image.
+func (im *Image) In(x, y int) bool {
+	return x >= 0 && x < im.W && y >= 0 && y < im.H
+}
+
+// Set paints one pixel, clipping silently.
+func (im *Image) Set(x, y int, c geom.Color) {
+	if im.In(x, y) {
+		im.Pix[y*im.W+x] = c
+	}
+}
+
+// At returns the pixel color at (x,y); out-of-range reads return
+// black.
+func (im *Image) At(x, y int) geom.Color {
+	if !im.In(x, y) {
+		return geom.ColorBlack
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Clear fills the whole image with one color.
+func (im *Image) Clear(c geom.Color) {
+	for i := range im.Pix {
+		im.Pix[i] = c
+	}
+}
+
+// HLine draws a horizontal run [x0,x1] at y.
+func (im *Image) HLine(x0, x1, y int, c geom.Color) {
+	if x0 > x1 {
+		x0, x1 = x1, x0
+	}
+	for x := x0; x <= x1; x++ {
+		im.Set(x, y, c)
+	}
+}
+
+// VLine draws a vertical run [y0,y1] at x.
+func (im *Image) VLine(x, y0, y1 int, c geom.Color) {
+	if y0 > y1 {
+		y0, y1 = y1, y0
+	}
+	for y := y0; y <= y1; y++ {
+		im.Set(x, y, c)
+	}
+}
+
+// Line draws a Bresenham line from a to b.
+func (im *Image) Line(a, b geom.Point, c geom.Color) {
+	if a.Y == b.Y {
+		im.HLine(a.X, b.X, a.Y, c)
+		return
+	}
+	if a.X == b.X {
+		im.VLine(a.X, a.Y, b.Y, c)
+		return
+	}
+	dx, dy := abs(b.X-a.X), -abs(b.Y-a.Y)
+	sx, sy := 1, 1
+	if a.X > b.X {
+		sx = -1
+	}
+	if a.Y > b.Y {
+		sy = -1
+	}
+	err := dx + dy
+	x, y := a.X, a.Y
+	for {
+		im.Set(x, y, c)
+		if x == b.X && y == b.Y {
+			return
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+// Rect outlines a rectangle (inclusive corners).
+func (im *Image) Rect(r geom.Rect, c geom.Color) {
+	im.HLine(r.Min.X, r.Max.X, r.Min.Y, c)
+	im.HLine(r.Min.X, r.Max.X, r.Max.Y, c)
+	im.VLine(r.Min.X, r.Min.Y, r.Max.Y, c)
+	im.VLine(r.Max.X, r.Min.Y, r.Max.Y, c)
+}
+
+// FillRect paints a solid rectangle (inclusive corners).
+func (im *Image) FillRect(r geom.Rect, c geom.Color) {
+	for y := r.Min.Y; y <= r.Max.Y; y++ {
+		im.HLine(r.Min.X, r.Max.X, y, c)
+	}
+}
+
+// Cross draws the x-shaped connector marker of the Riot display: "the
+// size and color of the connector crosses indicates width and layer".
+func (im *Image) Cross(at geom.Point, size int, c geom.Color) {
+	if size < 1 {
+		size = 1
+	}
+	im.Line(geom.Pt(at.X-size, at.Y-size), geom.Pt(at.X+size, at.Y+size), c)
+	im.Line(geom.Pt(at.X-size, at.Y+size), geom.Pt(at.X+size, at.Y-size), c)
+}
+
+// Text renders a string in the built-in 5x7 font with its top-left
+// corner at (x,y). Lowercase letters print as uppercase, like the
+// terminals of the era. Returns the x coordinate after the last glyph.
+func (im *Image) Text(x, y int, s string, c geom.Color) int {
+	for _, r := range s {
+		g := glyph(r)
+		for col := 0; col < 5; col++ {
+			bits := g[col]
+			for row := 0; row < 7; row++ {
+				if bits&(1<<uint(row)) != 0 {
+					im.Set(x+col, y+row, c)
+				}
+			}
+		}
+		x += 6
+	}
+	return x
+}
+
+// TextWidth returns the pixel width of a string in the built-in font.
+func TextWidth(s string) int { return 6 * len(s) }
+
+// GlyphHeight is the pixel height of the built-in font.
+const GlyphHeight = 7
+
+// WritePPM writes the image as a binary PPM (P6) using the standard
+// palette.
+func (im *Image) WritePPM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P6\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 0, im.W*3)
+	for y := 0; y < im.H; y++ {
+		buf = buf[:0]
+		for x := 0; x < im.W; x++ {
+			r, g, b := im.Pix[y*im.W+x].RGB()
+			buf = append(buf, r, g, b)
+		}
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// CountColor returns how many pixels carry the given color — used by
+// tests and the display self-checks.
+func (im *Image) CountColor(c geom.Color) int {
+	n := 0
+	for _, p := range im.Pix {
+		if p == c {
+			n++
+		}
+	}
+	return n
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,159 @@
+package raster
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"riot/internal/geom"
+)
+
+func TestSetAtClip(t *testing.T) {
+	im := New(10, 10)
+	im.Set(3, 4, geom.ColorRed)
+	if im.At(3, 4) != geom.ColorRed {
+		t.Error("Set/At failed")
+	}
+	// out-of-range access must not panic or write
+	im.Set(-1, 0, geom.ColorRed)
+	im.Set(10, 10, geom.ColorRed)
+	if im.At(-1, 0) != geom.ColorBlack || im.At(100, 100) != geom.ColorBlack {
+		t.Error("out-of-range reads not black")
+	}
+}
+
+func TestClearAndCount(t *testing.T) {
+	im := New(4, 4)
+	im.Clear(geom.ColorBlue)
+	if im.CountColor(geom.ColorBlue) != 16 {
+		t.Errorf("count = %d", im.CountColor(geom.ColorBlue))
+	}
+}
+
+func TestLines(t *testing.T) {
+	im := New(20, 20)
+	im.HLine(2, 8, 5, geom.ColorGreen)
+	for x := 2; x <= 8; x++ {
+		if im.At(x, 5) != geom.ColorGreen {
+			t.Errorf("HLine missing at %d", x)
+		}
+	}
+	im.VLine(3, 9, 2, geom.ColorRed) // reversed order
+	for y := 2; y <= 9; y++ {
+		if im.At(3, y) != geom.ColorRed {
+			t.Errorf("VLine missing at %d", y)
+		}
+	}
+	// diagonal Bresenham hits both endpoints
+	im.Line(geom.Pt(0, 0), geom.Pt(10, 7), geom.ColorWhite)
+	if im.At(0, 0) != geom.ColorWhite || im.At(10, 7) != geom.ColorWhite {
+		t.Error("Line endpoints missing")
+	}
+}
+
+func TestRectAndFill(t *testing.T) {
+	im := New(20, 20)
+	r := geom.R(2, 3, 10, 8)
+	im.Rect(r, geom.ColorWhite)
+	if im.At(2, 3) != geom.ColorWhite || im.At(10, 8) != geom.ColorWhite {
+		t.Error("Rect corners missing")
+	}
+	if im.At(5, 5) != geom.ColorBlack {
+		t.Error("Rect filled interior")
+	}
+	im.FillRect(geom.R(12, 12, 15, 15), geom.ColorRed)
+	if im.CountColor(geom.ColorRed) != 16 {
+		t.Errorf("FillRect painted %d pixels", im.CountColor(geom.ColorRed))
+	}
+}
+
+func TestCross(t *testing.T) {
+	im := New(21, 21)
+	im.Cross(geom.Pt(10, 10), 3, geom.ColorYellow)
+	if im.At(10, 10) != geom.ColorYellow {
+		t.Error("cross center missing")
+	}
+	if im.At(7, 7) != geom.ColorYellow || im.At(13, 7) != geom.ColorYellow {
+		t.Error("cross arms missing")
+	}
+}
+
+func TestTextRenders(t *testing.T) {
+	im := New(120, 12)
+	end := im.Text(1, 1, "RIOT 1982", geom.ColorWhite)
+	if end != 1+TextWidth("RIOT 1982") {
+		t.Errorf("advance = %d", end)
+	}
+	if im.CountColor(geom.ColorWhite) == 0 {
+		t.Fatal("no pixels rendered")
+	}
+	// distinct glyphs are distinct pixel patterns
+	a, b := New(8, 8), New(8, 8)
+	a.Text(0, 0, "A", geom.ColorWhite)
+	b.Text(0, 0, "B", geom.ColorWhite)
+	if bytes.Equal(colorsOf(a), colorsOf(b)) {
+		t.Error("A and B render identically")
+	}
+	// lowercase folds to uppercase
+	lower := New(8, 8)
+	lower.Text(0, 0, "a", geom.ColorWhite)
+	if !bytes.Equal(colorsOf(a), colorsOf(lower)) {
+		t.Error("lowercase not folded")
+	}
+	// unknown glyphs render as a block, not nothing
+	u := New(8, 8)
+	u.Text(0, 0, "\x01", geom.ColorWhite)
+	if u.CountColor(geom.ColorWhite) != 35 {
+		t.Errorf("unknown glyph = %d pixels, want full 5x7 block", u.CountColor(geom.ColorWhite))
+	}
+}
+
+func colorsOf(im *Image) []byte {
+	out := make([]byte, len(im.Pix))
+	for i, p := range im.Pix {
+		out[i] = byte(p)
+	}
+	return out
+}
+
+func TestAllGlyphsHavePixels(t *testing.T) {
+	for r := range font {
+		if r == ' ' {
+			continue
+		}
+		im := New(8, 8)
+		im.Text(0, 0, string(r), geom.ColorWhite)
+		if im.CountColor(geom.ColorWhite) == 0 {
+			t.Errorf("glyph %q renders empty", r)
+		}
+	}
+}
+
+func TestWritePPM(t *testing.T) {
+	im := New(3, 2)
+	im.Set(0, 0, geom.ColorRed)
+	var b bytes.Buffer
+	if err := im.WritePPM(&b); err != nil {
+		t.Fatal(err)
+	}
+	s := b.String()
+	if !strings.HasPrefix(s, "P6\n3 2\n255\n") {
+		t.Errorf("header wrong: %q", s[:20])
+	}
+	if b.Len() != len("P6\n3 2\n255\n")+3*2*3 {
+		t.Errorf("size = %d", b.Len())
+	}
+	// first pixel is red
+	body := b.Bytes()[len("P6\n3 2\n255\n"):]
+	r, g, bl := geom.ColorRed.RGB()
+	if body[0] != r || body[1] != g || body[2] != bl {
+		t.Errorf("pixel = %v", body[:3])
+	}
+}
+
+func TestNewClampsSize(t *testing.T) {
+	im := New(0, -5)
+	if im.W < 1 || im.H < 1 {
+		t.Error("degenerate image allocated")
+	}
+}

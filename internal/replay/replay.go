@@ -1,0 +1,98 @@
+// Package replay implements Riot's REPLAY facility, its "inexpensive
+// solution" to the positional-connection problem: "Riot saves the
+// commands given by the user and can re-run an editing session if some
+// of the input files have changed. The replay file uses instance names
+// and connector names to identify connections, and the positions are
+// re-calculated, thereby avoiding the problems with differently-shaped
+// cells. The replay also enables users to recover an
+// abnormally-terminated editing session or an accidentally-deleted
+// file."
+//
+// A Journal is an append-only log of textual commands (the same
+// language the keyboard interface speaks). Replaying feeds the lines
+// back through any Runner — normally a fresh shell over re-read input
+// files.
+package replay
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Runner executes one journal line. The shell's Exec method satisfies
+// this signature.
+type Runner func(line string) error
+
+// Journal is a recorded editing session.
+type Journal struct {
+	lines []string
+}
+
+// New returns an empty journal.
+func New() *Journal { return &Journal{} }
+
+// Record appends a command to the journal. Blank lines are ignored.
+func (j *Journal) Record(line string) {
+	line = strings.TrimRight(line, "\r\n")
+	if strings.TrimSpace(line) == "" {
+		return
+	}
+	j.lines = append(j.lines, line)
+}
+
+// Len returns the number of recorded commands.
+func (j *Journal) Len() int { return len(j.lines) }
+
+// Lines returns a copy of the recorded commands.
+func (j *Journal) Lines() []string {
+	return append([]string(nil), j.lines...)
+}
+
+// Reset discards all recorded commands.
+func (j *Journal) Reset() { j.lines = nil }
+
+// Save writes the journal, one command per line.
+func (j *Journal) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# riot replay journal")
+	for _, l := range j.lines {
+		if _, err := fmt.Fprintln(bw, l); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// Load reads a journal saved with Save. Comment lines (#) and blank
+// lines are skipped.
+func Load(r io.Reader) (*Journal, error) {
+	j := New()
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if t := strings.TrimSpace(line); t == "" || strings.HasPrefix(t, "#") {
+			continue
+		}
+		j.lines = append(j.lines, line)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	return j, nil
+}
+
+// Replay re-runs the journal through the runner. It stops at the first
+// failing command, reporting which line failed; the commands before it
+// have already taken effect, which is exactly the recovery behaviour
+// the paper describes for crashed sessions.
+func (j *Journal) Replay(run Runner) error {
+	for i, l := range j.lines {
+		if err := run(l); err != nil {
+			return fmt.Errorf("replay: command %d (%q): %w", i+1, l, err)
+		}
+	}
+	return nil
+}

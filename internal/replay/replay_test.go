@@ -1,0 +1,99 @@
+package replay
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestRecordAndLines(t *testing.T) {
+	j := New()
+	j.Record("EDIT TOP")
+	j.Record("  ")
+	j.Record("CREATE GATE a\n")
+	if j.Len() != 2 {
+		t.Fatalf("len = %d", j.Len())
+	}
+	lines := j.Lines()
+	if lines[0] != "EDIT TOP" || lines[1] != "CREATE GATE a" {
+		t.Errorf("lines = %v", lines)
+	}
+	// Lines returns a copy
+	lines[0] = "HACKED"
+	if j.Lines()[0] == "HACKED" {
+		t.Error("Lines exposes internal state")
+	}
+	j.Reset()
+	if j.Len() != 0 {
+		t.Error("Reset failed")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	j := New()
+	j.Record("EDIT TOP")
+	j.Record("CREATE GATE a AT 0 0")
+	var b strings.Builder
+	if err := j.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := Load(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(j2.Lines(), "|") != strings.Join(j.Lines(), "|") {
+		t.Errorf("round trip: %v vs %v", j2.Lines(), j.Lines())
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	j, err := Load(strings.NewReader("# header\n\nCMD ONE\n  # another\nCMD TWO\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Len() != 2 {
+		t.Errorf("len = %d: %v", j.Len(), j.Lines())
+	}
+}
+
+func TestReplayRunsInOrder(t *testing.T) {
+	j := New()
+	j.Record("a")
+	j.Record("b")
+	j.Record("c")
+	var got []string
+	err := j.Replay(func(l string) error {
+		got = append(got, l)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got, "") != "abc" {
+		t.Errorf("order = %v", got)
+	}
+}
+
+func TestReplayStopsAtFirstError(t *testing.T) {
+	j := New()
+	j.Record("ok")
+	j.Record("boom")
+	j.Record("never")
+	var got []string
+	err := j.Replay(func(l string) error {
+		got = append(got, l)
+		if l == "boom" {
+			return errors.New("kaput")
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error swallowed")
+	}
+	if !strings.Contains(err.Error(), "command 2") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("uninformative error: %v", err)
+	}
+	if len(got) != 2 {
+		t.Errorf("ran %d commands, want 2", len(got))
+	}
+}

@@ -1,0 +1,73 @@
+// Package rules holds the lambda-based nMOS design rules shared by the
+// stick compactor, the river router and the cell library. The values
+// are the Mead & Conway rules the Caltech tools of 1982 targeted; all
+// distances are in lambda. The conversion to the centimicron geometry
+// that CIF carries is a single multiplication by Lambda.
+package rules
+
+import "riot/internal/geom"
+
+// Lambda is the length of one lambda in centimicrons (2.5 micrometres,
+// the Mead & Conway textbook process).
+const Lambda = 250
+
+// Rule gives the minimum width and the minimum same-layer spacing of a
+// layer, in lambda.
+type Rule struct {
+	MinWidth   int
+	MinSpacing int
+}
+
+// table is the Mead & Conway nMOS rule set.
+var table = map[geom.Layer]Rule{
+	geom.ND: {2, 3}, // diffusion: 2 wide, 3 apart
+	geom.NP: {2, 2}, // poly: 2 wide, 2 apart
+	geom.NM: {3, 3}, // metal: 3 wide, 3 apart
+	geom.NC: {2, 2}, // contact cut: 2x2
+	geom.NI: {4, 2}, // implant surround is handled by generators
+	geom.NB: {2, 2},
+	geom.NG: {4, 4},
+}
+
+// Of returns the rule for a layer. Unknown layers get conservative
+// metal-like values so geometry from foreign files still spaces safely.
+func Of(l geom.Layer) Rule {
+	if r, ok := table[l]; ok {
+		return r
+	}
+	return Rule{3, 3}
+}
+
+// MinWidth returns the minimum wire width of a layer in lambda.
+func MinWidth(l geom.Layer) int { return Of(l).MinWidth }
+
+// MinSpacing returns the minimum same-layer spacing of a layer in
+// lambda.
+func MinSpacing(l geom.Layer) int { return Of(l).MinSpacing }
+
+// Pitch returns the center-to-center pitch of minimum-width wires on a
+// layer: width + spacing.
+func Pitch(l geom.Layer) int {
+	r := Of(l)
+	return r.MinWidth + r.MinSpacing
+}
+
+// WirePitch returns the center-to-center distance needed between two
+// parallel wires of the given widths on the same layer.
+func WirePitch(l geom.Layer, w1, w2 int) int {
+	r := Of(l)
+	if w1 <= 0 {
+		w1 = r.MinWidth
+	}
+	if w2 <= 0 {
+		w2 = r.MinWidth
+	}
+	return (w1+w2+1)/2 + r.MinSpacing
+}
+
+// ContactSize is the side of the square metal/poly/diffusion contact
+// structure in lambda (cut plus required overlap).
+const ContactSize = 4
+
+// TransistorChannelLength is the minimum gate length in lambda.
+const TransistorChannelLength = 2

@@ -1,0 +1,57 @@
+package rules
+
+import (
+	"testing"
+
+	"riot/internal/geom"
+)
+
+func TestKnownLayerRules(t *testing.T) {
+	cases := []struct {
+		layer   geom.Layer
+		w, s    int
+	}{
+		{geom.NM, 3, 3},
+		{geom.NP, 2, 2},
+		{geom.ND, 2, 3},
+		{geom.NC, 2, 2},
+	}
+	for _, c := range cases {
+		if MinWidth(c.layer) != c.w || MinSpacing(c.layer) != c.s {
+			t.Errorf("%v: %d/%d, want %d/%d", c.layer, MinWidth(c.layer), MinSpacing(c.layer), c.w, c.s)
+		}
+		if Pitch(c.layer) != c.w+c.s {
+			t.Errorf("%v pitch = %d", c.layer, Pitch(c.layer))
+		}
+	}
+}
+
+func TestUnknownLayerConservative(t *testing.T) {
+	r := Of(geom.Layer("XX"))
+	if r.MinWidth < 3 || r.MinSpacing < 3 {
+		t.Errorf("unknown layer rule too permissive: %+v", r)
+	}
+}
+
+func TestWirePitch(t *testing.T) {
+	// two minimum metal wires: (3+3)/2 rounded up + 3 spacing
+	if got := WirePitch(geom.NM, 0, 0); got != 6 {
+		t.Errorf("min metal pitch = %d", got)
+	}
+	// a wide and a narrow wire need more separation
+	if got := WirePitch(geom.NM, 6, 4); got != (6+4+1)/2+3 {
+		t.Errorf("mixed pitch = %d", got)
+	}
+	if WirePitch(geom.NM, 8, 8) <= WirePitch(geom.NM, 0, 0) {
+		t.Error("wider wires should pitch farther apart")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	if Lambda != 250 {
+		t.Errorf("lambda = %d centimicrons (Mead & Conway is 2.5 um)", Lambda)
+	}
+	if ContactSize < TransistorChannelLength {
+		t.Error("contact smaller than a channel?")
+	}
+}

@@ -1,0 +1,198 @@
+// Package sim is a switch-level simulator for extracted nMOS circuits,
+// in the spirit of the simulators the Sticks format fed ("Sticks ... is
+// also used as input to simulation"). It models ratioed nMOS logic:
+// enhancement transistors conduct when their gate is high, depletion
+// loads always conduct but pull up weakly, and a conducting path to
+// ground overpowers any pullup.
+//
+// The simulator is used by the test suite to run truth tables on the
+// library gates after extraction — closing the loop from symbolic
+// layout through composition to electrical behaviour.
+package sim
+
+import (
+	"fmt"
+
+	"riot/internal/extract"
+	"riot/internal/sticks"
+)
+
+// Level is a node value.
+type Level uint8
+
+// The three node levels.
+const (
+	L0 Level = iota
+	L1
+	LX // unknown / undriven
+)
+
+// String renders the level as "0", "1" or "X".
+func (l Level) String() string {
+	switch l {
+	case L0:
+		return "0"
+	case L1:
+		return "1"
+	default:
+		return "X"
+	}
+}
+
+// Simulator evaluates an extracted circuit.
+type Simulator struct {
+	ckt *extract.Circuit
+	vdd int
+	gnd int
+}
+
+// New builds a simulator; vddLabel and gndLabel name connectors on the
+// supply rails (e.g. "PWRL" and "GNDL").
+func New(ckt *extract.Circuit, vddLabel, gndLabel string) (*Simulator, error) {
+	vdd, ok := ckt.Net(vddLabel)
+	if !ok {
+		return nil, fmt.Errorf("sim: no net for %q", vddLabel)
+	}
+	gnd, ok := ckt.Net(gndLabel)
+	if !ok {
+		return nil, fmt.Errorf("sim: no net for %q", gndLabel)
+	}
+	if vdd == gnd {
+		return nil, fmt.Errorf("sim: power and ground are shorted")
+	}
+	return &Simulator{ckt: ckt, vdd: vdd, gnd: gnd}, nil
+}
+
+// Eval computes steady-state node levels for the given input levels
+// (keyed by connector label). It returns the level of every labelled
+// connector.
+func (s *Simulator) Eval(inputs map[string]Level) (map[string]Level, error) {
+	fixed := map[int]Level{s.vdd: L1, s.gnd: L0}
+	for name, lv := range inputs {
+		n, ok := s.ckt.Net(name)
+		if !ok {
+			return nil, fmt.Errorf("sim: no net for input %q", name)
+		}
+		if prev, dup := fixed[n]; dup && prev != lv {
+			return nil, fmt.Errorf("sim: input %q conflicts with another driver of the same net", name)
+		}
+		fixed[n] = lv
+	}
+
+	level := make([]Level, s.ckt.NetCount)
+	for i := range level {
+		level[i] = LX
+	}
+	for n, lv := range fixed {
+		level[n] = lv
+	}
+
+	// relax to a fixpoint: conduction depends on gate levels, levels
+	// depend on conduction
+	for iter := 0; iter < s.ckt.NetCount+len(s.ckt.Transistors)+2; iter++ {
+		enhOn := func(t extract.Transistor) bool {
+			return t.Kind == sticks.Enhancement && level[t.Gate] == L1
+		}
+		anyOn := func(t extract.Transistor) bool {
+			return t.Kind == sticks.Depletion || enhOn(t)
+		}
+		// strong 0: reachable from ground through ON enhancement
+		// devices only — depletion loads are weak and cannot sink a
+		// node to ground; externally driven nets block propagation
+		strong0 := s.reach(s.gnd, enhOn, fixed)
+		// weak 1: reachable from power through any conducting device
+		weak1 := s.reach(s.vdd, anyOn, fixed)
+
+		changed := false
+		for n := 0; n < s.ckt.NetCount; n++ {
+			want := level[n]
+			if lv, isFixed := fixed[n]; isFixed {
+				want = lv
+			} else if strong0[n] {
+				want = L0 // ground wins in ratioed nMOS
+			} else if weak1[n] {
+				want = L1
+			} else {
+				want = LX
+			}
+			if want != level[n] {
+				level[n] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+
+	out := map[string]Level{}
+	for name := range s.ckt.NetOf {
+		n, _ := s.ckt.Net(name)
+		out[name] = level[n]
+	}
+	return out, nil
+}
+
+// reach BFS-es the conduction graph from a source net. Externally
+// driven (fixed) nets are marked reachable but not expanded through —
+// a supply rail or an input pin clamps its own value rather than
+// relaying someone else's.
+func (s *Simulator) reach(src int, conducting func(extract.Transistor) bool, fixed map[int]Level) []bool {
+	seen := make([]bool, s.ckt.NetCount)
+	seen[src] = true
+	queue := []int{src}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		if _, isFixed := fixed[n]; isFixed && n != src {
+			continue
+		}
+		for _, t := range s.ckt.Transistors {
+			if !conducting(t) {
+				continue
+			}
+			var other int
+			switch n {
+			case t.A:
+				other = t.B
+			case t.B:
+				other = t.A
+			default:
+				continue
+			}
+			if !seen[other] {
+				seen[other] = true
+				queue = append(queue, other)
+			}
+		}
+	}
+	return seen
+}
+
+// TruthTable evaluates the circuit for every combination of the given
+// inputs and returns the output levels in input-counting order (input
+// 0 is the least significant bit).
+func (s *Simulator) TruthTable(inputs []string, output string) ([]Level, error) {
+	rows := 1 << len(inputs)
+	out := make([]Level, rows)
+	for v := 0; v < rows; v++ {
+		vec := map[string]Level{}
+		for i, name := range inputs {
+			if v&(1<<i) != 0 {
+				vec[name] = L1
+			} else {
+				vec[name] = L0
+			}
+		}
+		res, err := s.Eval(vec)
+		if err != nil {
+			return nil, err
+		}
+		lv, ok := res[output]
+		if !ok {
+			return nil, fmt.Errorf("sim: no output %q", output)
+		}
+		out[v] = lv
+	}
+	return out, nil
+}

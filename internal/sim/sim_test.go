@@ -1,0 +1,129 @@
+package sim
+
+import (
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/extract"
+	"riot/internal/lib"
+)
+
+func extractGate(t *testing.T, name string) *extract.Circuit {
+	t.Helper()
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	cell, ok := d.Cell(name)
+	if !ok {
+		t.Fatalf("no cell %s", name)
+	}
+	ckt, err := extract.FromCell(cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ckt
+}
+
+// TestNANDTruthTable closes the loop: the symbolic NAND laid out "in
+// REST" extracts to a transistor netlist whose switch-level behaviour
+// is exactly NAND.
+func TestNANDTruthTable(t *testing.T) {
+	ckt := extractGate(t, "NAND")
+	if len(ckt.Transistors) != 3 {
+		t.Fatalf("transistors = %d, want 3", len(ckt.Transistors))
+	}
+	s, err := New(ckt, "PWRL", "GNDL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TruthTable([]string{"A", "B"}, "OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Level{L1, L1, L1, L0} // NAND: only A=1,B=1 gives 0
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("row %02b: OUT = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+// TestOR4TruthTable: the four-input OR (NOR + inverter) behaves as OR
+// on all sixteen input rows.
+func TestOR4TruthTable(t *testing.T) {
+	ckt := extractGate(t, "OR4")
+	// 4 NOR pulldowns + NOR pullup + inverter pulldown + pullup
+	if len(ckt.Transistors) != 7 {
+		t.Fatalf("transistors = %d, want 7", len(ckt.Transistors))
+	}
+	s, err := New(ckt, "PWRL", "GNDL")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.TruthTable([]string{"IN0", "IN1", "IN2", "IN3"}, "OUT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, lv := range got {
+		want := L0
+		if v != 0 {
+			want = L1
+		}
+		if lv != want {
+			t.Errorf("row %04b: OUT = %v, want %v", v, lv, want)
+		}
+	}
+}
+
+func TestRailsConnectAcross(t *testing.T) {
+	// the NAND's left and right rail connectors are one net each
+	ckt := extractGate(t, "NAND")
+	if !ckt.SameNet("PWRL", "PWRR") {
+		t.Error("power rail not continuous")
+	}
+	if !ckt.SameNet("GNDL", "GNDR") {
+		t.Error("ground rail not continuous")
+	}
+	if ckt.SameNet("PWRL", "GNDL") {
+		t.Error("power and ground shorted")
+	}
+	if ckt.SameNet("A", "B") {
+		t.Error("inputs shorted")
+	}
+	if ckt.SameNet("A", "OUT") || ckt.SameNet("B", "OUT") {
+		t.Error("input shorted to output")
+	}
+}
+
+func TestSimulatorErrors(t *testing.T) {
+	ckt := extractGate(t, "NAND")
+	if _, err := New(ckt, "NOPE", "GNDL"); err == nil {
+		t.Error("unknown vdd accepted")
+	}
+	if _, err := New(ckt, "PWRL", "PWRL"); err == nil {
+		t.Error("vdd == gnd accepted")
+	}
+	s, _ := New(ckt, "PWRL", "GNDL")
+	if _, err := s.Eval(map[string]Level{"NOPE": L1}); err == nil {
+		t.Error("unknown input accepted")
+	}
+}
+
+func TestUndrivenInputIsX(t *testing.T) {
+	ckt := extractGate(t, "NAND")
+	s, _ := New(ckt, "PWRL", "GNDL")
+	res, err := s.Eval(map[string]Level{"A": L1}) // B undriven
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res["B"] != LX {
+		t.Errorf("undriven B = %v", res["B"])
+	}
+}
+
+func TestLevelString(t *testing.T) {
+	if L0.String() != "0" || L1.String() != "1" || LX.String() != "X" {
+		t.Error("level names wrong")
+	}
+}

@@ -1,0 +1,223 @@
+package sticks
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"riot/internal/geom"
+)
+
+// Parse reads one Sticks cell from r. The format is described in the
+// package comment.
+func Parse(r io.Reader) (*Cell, error) {
+	cells, err := ParseAll(r)
+	if err != nil {
+		return nil, err
+	}
+	if len(cells) != 1 {
+		return nil, fmt.Errorf("sticks: expected one cell, found %d", len(cells))
+	}
+	return cells[0], nil
+}
+
+// ParseString parses Sticks text held in a string.
+func ParseString(s string) (*Cell, error) { return Parse(strings.NewReader(s)) }
+
+// ParseAll reads every cell in a Sticks file (a file may carry several
+// STICKS...END blocks back to back).
+func ParseAll(r io.Reader) ([]*Cell, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	var cells []*Cell
+	var cur *Cell
+	lineno := 0
+	errf := func(format string, args ...any) error {
+		return fmt.Errorf("sticks: line %d: %s", lineno, fmt.Sprintf(format, args...))
+	}
+	for sc.Scan() {
+		lineno++
+		line := sc.Text()
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		fs := strings.Fields(line)
+		if len(fs) == 0 {
+			continue
+		}
+		kw := strings.ToUpper(fs[0])
+		if kw == "STICKS" {
+			if cur != nil {
+				return nil, errf("STICKS inside cell %q (missing END)", cur.Name)
+			}
+			if len(fs) != 2 {
+				return nil, errf("STICKS needs a cell name")
+			}
+			cur = &Cell{Name: fs[1]}
+			continue
+		}
+		if cur == nil {
+			return nil, errf("%s outside a STICKS block", kw)
+		}
+		args := fs[1:]
+		switch kw {
+		case "UNITS":
+			v, err := intArgs(args, 1)
+			if err != nil {
+				return nil, errf("UNITS: %v", err)
+			}
+			if v[0] <= 0 {
+				return nil, errf("UNITS must be positive")
+			}
+			cur.Units = v[0]
+		case "BBOX":
+			v, err := intArgs(args, 4)
+			if err != nil {
+				return nil, errf("BBOX: %v", err)
+			}
+			cur.Box = geom.R(v[0], v[1], v[2], v[3])
+			cur.HasBox = true
+		case "WIRE":
+			if len(args) < 6 {
+				return nil, errf("WIRE needs layer, width and at least two points")
+			}
+			layer := geom.Layer(strings.ToUpper(args[0]))
+			width, err := strconv.Atoi(args[1])
+			if err != nil || width < 0 {
+				return nil, errf("WIRE: bad width %q", args[1])
+			}
+			coords, err := intArgs(args[2:], -1)
+			if err != nil {
+				return nil, errf("WIRE: %v", err)
+			}
+			if len(coords)%2 != 0 || len(coords) < 4 {
+				return nil, errf("WIRE: odd or short coordinate list")
+			}
+			pts := make([]geom.Point, len(coords)/2)
+			for i := range pts {
+				pts[i] = geom.Pt(coords[2*i], coords[2*i+1])
+			}
+			cur.Wires = append(cur.Wires, Wire{Layer: layer, Width: width, Points: pts})
+		case "DEVICE":
+			if len(args) != 6 {
+				return nil, errf("DEVICE needs kind x y orient w l")
+			}
+			var kind DeviceKind
+			switch strings.ToUpper(args[0]) {
+			case "ENH":
+				kind = Enhancement
+			case "DEP":
+				kind = Depletion
+			default:
+				return nil, errf("DEVICE: unknown kind %q", args[0])
+			}
+			v, err := intArgs(args[1:3], 2)
+			if err != nil {
+				return nil, errf("DEVICE: %v", err)
+			}
+			var vertical bool
+			switch strings.ToUpper(args[3]) {
+			case "H":
+				vertical = false
+			case "V":
+				vertical = true
+			default:
+				return nil, errf("DEVICE: orientation must be H or V, got %q", args[3])
+			}
+			wl, err := intArgs(args[4:6], 2)
+			if err != nil {
+				return nil, errf("DEVICE: %v", err)
+			}
+			if wl[0] <= 0 || wl[1] <= 0 {
+				return nil, errf("DEVICE: non-positive channel dimensions")
+			}
+			cur.Devices = append(cur.Devices, Device{Kind: kind, At: geom.Pt(v[0], v[1]), Vertical: vertical, W: wl[0], L: wl[1]})
+		case "CONTACT":
+			if len(args) != 4 {
+				return nil, errf("CONTACT needs layerA layerB x y")
+			}
+			v, err := intArgs(args[2:4], 2)
+			if err != nil {
+				return nil, errf("CONTACT: %v", err)
+			}
+			cur.Contacts = append(cur.Contacts, Contact{
+				From: geom.Layer(strings.ToUpper(args[0])),
+				To:   geom.Layer(strings.ToUpper(args[1])),
+				At:   geom.Pt(v[0], v[1]),
+			})
+		case "CONNECTOR":
+			if len(args) != 6 {
+				return nil, errf("CONNECTOR needs name x y layer width side")
+			}
+			v, err := intArgs(args[1:3], 2)
+			if err != nil {
+				return nil, errf("CONNECTOR: %v", err)
+			}
+			width, err := strconv.Atoi(args[4])
+			if err != nil || width < 0 {
+				return nil, errf("CONNECTOR: bad width %q", args[4])
+			}
+			side, err := geom.ParseSide(strings.ToLower(args[5]))
+			if err != nil {
+				return nil, errf("CONNECTOR: %v", err)
+			}
+			cur.Connectors = append(cur.Connectors, Connector{
+				Name:  args[0],
+				At:    geom.Pt(v[0], v[1]),
+				Layer: geom.Layer(strings.ToUpper(args[3])),
+				Width: width,
+				Side:  side,
+			})
+		case "CONSTRAINT":
+			if len(args) != 4 {
+				return nil, errf("CONSTRAINT needs axis nameA nameB min")
+			}
+			var axis Axis
+			switch strings.ToUpper(args[0]) {
+			case "X":
+				axis = AxisX
+			case "Y":
+				axis = AxisY
+			default:
+				return nil, errf("CONSTRAINT: axis must be X or Y")
+			}
+			minv, err := strconv.Atoi(args[3])
+			if err != nil {
+				return nil, errf("CONSTRAINT: bad min %q", args[3])
+			}
+			cur.Constraints = append(cur.Constraints, Constraint{Axis: axis, A: args[1], B: args[2], Min: minv})
+		case "END":
+			if err := cur.Validate(); err != nil {
+				return nil, err
+			}
+			cells = append(cells, cur)
+			cur = nil
+		default:
+			return nil, errf("unknown keyword %q", kw)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("sticks: %w", err)
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("sticks: cell %q not terminated by END", cur.Name)
+	}
+	return cells, nil
+}
+
+func intArgs(args []string, n int) ([]int, error) {
+	if n >= 0 && len(args) != n {
+		return nil, fmt.Errorf("expected %d integers, got %d", n, len(args))
+	}
+	out := make([]int, len(args))
+	for i, a := range args {
+		v, err := strconv.Atoi(a)
+		if err != nil {
+			return nil, fmt.Errorf("bad integer %q", a)
+		}
+		out[i] = v
+	}
+	return out, nil
+}

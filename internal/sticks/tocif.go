@@ -1,0 +1,113 @@
+package sticks
+
+import (
+	"fmt"
+
+	"riot/internal/cif"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// ToCIF renders the symbolic cell into mask geometry as a CIF symbol
+// with the given definition number. This is the conversion Riot applies
+// when a composition containing Sticks cells is written out "to CIF for
+// mask generation":
+//
+//   - wires become CIF wires at their declared (or layer-minimum) width,
+//   - transistors become a poly gate crossing a diffusion channel, with
+//     an implant box for depletion devices,
+//   - contacts become a contact cut with pads on both joined layers,
+//   - connectors become the 94 connector extension.
+//
+// All coordinates are multiplied by the cell's unit size so the symbol
+// is in centimicrons.
+func ToCIF(c *Cell, id int) (*cif.Symbol, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	u := c.EffUnits()
+	sp := func(p geom.Point) geom.Point { return geom.Pt(p.X*u, p.Y*u) }
+	sym := &cif.Symbol{ID: id, A: 1, B: 1, Name: c.Name}
+
+	for _, w := range c.Wires {
+		width := w.Width
+		if width <= 0 {
+			width = rules.MinWidth(w.Layer)
+		}
+		pts := make([]geom.Point, len(w.Points))
+		for i, p := range w.Points {
+			pts[i] = sp(p)
+		}
+		sym.Elements = append(sym.Elements, cif.Wire{Layer: w.Layer, Width: width * u, Points: pts})
+	}
+
+	for _, d := range c.Devices {
+		gate, chan_, implant, err := DeviceBoxes(d)
+		if err != nil {
+			return nil, fmt.Errorf("sticks: %s: %w", c.Name, err)
+		}
+		sym.Elements = append(sym.Elements,
+			boxFromRect(geom.ND, scaleRect(chan_, u)),
+			boxFromRect(geom.NP, scaleRect(gate, u)),
+		)
+		if d.Kind == Depletion {
+			sym.Elements = append(sym.Elements, boxFromRect(geom.NI, scaleRect(implant, u)))
+		}
+	}
+
+	for _, ct := range c.Contacts {
+		h := rules.ContactSize / 2
+		pad := geom.R(ct.At.X-h, ct.At.Y-h, ct.At.X+h, ct.At.Y+h)
+		cut := pad.Inset(1)
+		sym.Elements = append(sym.Elements,
+			boxFromRect(ct.From, scaleRect(pad, u)),
+			boxFromRect(ct.To, scaleRect(pad, u)),
+			boxFromRect(geom.NC, scaleRect(cut, u)),
+		)
+	}
+
+	for _, cn := range c.Connectors {
+		sym.Elements = append(sym.Elements, cif.Connector{
+			Name:  cn.Name,
+			At:    sp(cn.At),
+			Layer: cn.Layer,
+			Width: cn.EffWidth() * u,
+		})
+	}
+	return sym, nil
+}
+
+// DeviceBoxes computes the gate (poly), channel (diffusion) and implant
+// rectangles of a transistor in cell units.
+func DeviceBoxes(d Device) (gate, channel, implant geom.Rect, err error) {
+	if d.W <= 0 || d.L < rules.TransistorChannelLength {
+		return gate, channel, implant, fmt.Errorf("bad device dimensions W=%d L=%d", d.W, d.L)
+	}
+	// The gate extends 2 lambda past the channel on both ends; the
+	// diffusion extends 2 lambda past the gate on both ends.
+	const ext = 2
+	if d.Vertical {
+		// diffusion runs vertically, poly gate horizontal
+		channel = geom.R(d.At.X-d.W/2, d.At.Y-d.L/2-ext, d.At.X+d.W-d.W/2, d.At.Y+d.L-d.L/2+ext)
+		gate = geom.R(d.At.X-d.W/2-ext, d.At.Y-d.L/2, d.At.X+d.W-d.W/2+ext, d.At.Y+d.L-d.L/2)
+	} else {
+		channel = geom.R(d.At.X-d.L/2-ext, d.At.Y-d.W/2, d.At.X+d.L-d.L/2+ext, d.At.Y+d.W-d.W/2)
+		gate = geom.R(d.At.X-d.L/2, d.At.Y-d.W/2-ext, d.At.X+d.L-d.L/2, d.At.Y+d.W-d.W/2+ext)
+	}
+	implant = gate.Inset(-1)
+	return gate, channel, implant, nil
+}
+
+func scaleRect(r geom.Rect, u int) geom.Rect {
+	return geom.R(r.Min.X*u, r.Min.Y*u, r.Max.X*u, r.Max.Y*u)
+}
+
+func boxFromRect(l geom.Layer, r geom.Rect) cif.Box {
+	return cif.Box{
+		Layer:     l,
+		Length:    r.W(),
+		Width:     r.H(),
+		Center:    geom.Pt(r.Min.X+r.W()/2, r.Min.Y+r.H()/2),
+		Direction: geom.Pt(1, 0),
+	}
+}

@@ -1,0 +1,67 @@
+package sticks
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Write emits the cell in the Sticks text format. The output
+// round-trips through Parse.
+func Write(w io.Writer, c *Cell) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "STICKS %s\n", c.Name); err != nil {
+		return err
+	}
+	if c.Units > 0 {
+		fmt.Fprintf(bw, "UNITS %d\n", c.Units)
+	}
+	if c.HasBox {
+		fmt.Fprintf(bw, "BBOX %d %d %d %d\n", c.Box.Min.X, c.Box.Min.Y, c.Box.Max.X, c.Box.Max.Y)
+	}
+	for _, wr := range c.Wires {
+		fmt.Fprintf(bw, "WIRE %s %d", wr.Layer, wr.Width)
+		for _, p := range wr.Points {
+			fmt.Fprintf(bw, " %d %d", p.X, p.Y)
+		}
+		fmt.Fprintln(bw)
+	}
+	for _, d := range c.Devices {
+		orient := "H"
+		if d.Vertical {
+			orient = "V"
+		}
+		fmt.Fprintf(bw, "DEVICE %s %d %d %s %d %d\n", d.Kind, d.At.X, d.At.Y, orient, d.W, d.L)
+	}
+	for _, ct := range c.Contacts {
+		fmt.Fprintf(bw, "CONTACT %s %s %d %d\n", ct.From, ct.To, ct.At.X, ct.At.Y)
+	}
+	for _, cn := range c.Connectors {
+		fmt.Fprintf(bw, "CONNECTOR %s %d %d %s %d %s\n", cn.Name, cn.At.X, cn.At.Y, cn.Layer, cn.Width, cn.Side)
+	}
+	for _, k := range c.Constraints {
+		fmt.Fprintf(bw, "CONSTRAINT %s %s %s %d\n", k.Axis, k.A, k.B, k.Min)
+	}
+	if _, err := fmt.Fprintln(bw, "END"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteAll emits several cells back to back.
+func WriteAll(w io.Writer, cells []*Cell) error {
+	for _, c := range cells {
+		if err := Write(w, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// String renders the cell as Sticks text.
+func String(c *Cell) string {
+	var b strings.Builder
+	_ = Write(&b, c)
+	return b.String()
+}

@@ -1,0 +1,278 @@
+package ui
+
+import (
+	"strings"
+	"testing"
+	"testing/fstest"
+
+	"riot/internal/geom"
+	"riot/internal/raster"
+	"riot/internal/rules"
+	"riot/internal/shell"
+	"riot/internal/workstation"
+)
+
+const gateSticks = `STICKS GATE
+BBOX 0 0 20 10
+WIRE NM 2 0 5 20 5
+CONNECTOR IN 0 5 NM 2 left
+CONNECTOR OUT 20 5 NM 2 right
+END
+`
+
+func newUI(t *testing.T) (*UI, *shell.Shell, *workstation.Workstation) {
+	t.Helper()
+	sh := shell.New(nil)
+	sh.FS = fstest.MapFS{"gate.sticks": {Data: []byte(gateSticks)}}
+	files := map[string][]byte{}
+	sh.WriteFile = func(name string, data []byte) error {
+		files[name] = data
+		return nil
+	}
+	if err := sh.ExecAll("READ gate.sticks", "EDIT TOP"); err != nil {
+		t.Fatal(err)
+	}
+	ws := workstation.Charles()
+	u, err := New(ws, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return u, sh, ws
+}
+
+func TestNewRequiresEditor(t *testing.T) {
+	sh := shell.New(nil)
+	if _, err := New(workstation.Charles(), sh); err == nil {
+		t.Error("UI opened with no cell under edit")
+	}
+}
+
+func TestLayoutRegions(t *testing.T) {
+	u, _, ws := newUI(t)
+	edit, cellMenu, cmdMenu := u.Layout()
+	// figure 2: editing area left, menus stacked on the right edge
+	if edit.Max.X >= cellMenu.Min.X {
+		t.Errorf("editing area overlaps menus: %v vs %v", edit, cellMenu)
+	}
+	if cellMenu.Max.Y >= cmdMenu.Min.Y {
+		t.Errorf("menus overlap: %v vs %v", cellMenu, cmdMenu)
+	}
+	full := geom.R(0, 0, ws.Screen.W-1, ws.Screen.H-1)
+	for _, r := range []geom.Rect{edit, cellMenu, cmdMenu} {
+		if !full.ContainsRect(r) {
+			t.Errorf("region %v escapes the screen", r)
+		}
+	}
+	// the editing area dominates ("a large editing area")
+	if edit.Area() < 2*(cellMenu.Area()+cmdMenu.Area()) {
+		t.Error("editing area is not the large region")
+	}
+}
+
+func TestMenuSelectionAndCreate(t *testing.T) {
+	u, sh, ws := newUI(t)
+	_, cellMenu, cmdMenu := u.Layout()
+	// click the first cell-menu row (GATE)
+	ws.Click(geom.Pt(cellMenu.Min.X+5, cellMenu.Min.Y+3+raster.GlyphHeight+3+2))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	if u.Selected != "GATE" {
+		t.Fatalf("selected = %q", u.Selected)
+	}
+	// click CREATE in the command menu (row 0)
+	ws.Click(geom.Pt(cmdMenu.Min.X+5, cmdMenu.Min.Y+3+raster.GlyphHeight+3+2))
+	// then click in the editing area
+	ws.Click(geom.Pt(100, 300))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := sh.Design.Cell("TOP")
+	if len(top.Instances) != 1 {
+		t.Fatalf("instances = %d (status %q)", len(top.Instances), u.Status)
+	}
+	// the gesture was journaled as a CREATE command
+	found := false
+	for _, l := range sh.Journal.Lines() {
+		if strings.HasPrefix(l, "CREATE GATE AT") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("journal: %v", sh.Journal.Lines())
+	}
+}
+
+func menuRowPoint(menu geom.Rect, row int) geom.Point {
+	return geom.Pt(menu.Min.X+5, menu.Min.Y+3+raster.GlyphHeight+3+row*(raster.GlyphHeight+2)+2)
+}
+
+func TestConnectGesture(t *testing.T) {
+	u, sh, ws := newUI(t)
+	if err := sh.ExecAll(
+		"CREATE GATE a AT 0 0",
+		"CREATE GATE b AT 40 0",
+	); err != nil {
+		t.Fatal(err)
+	}
+	u.Fit()
+	_, _, cmdMenu := u.Layout()
+	// arm CONNECT (row 4 of the command menu)
+	ws.Click(menuRowPoint(cmdMenu, 4))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	// click near b.IN, then near a.OUT
+	top, _ := sh.Design.Cell("TOP")
+	b, _ := top.InstanceByName("b")
+	a, _ := top.InstanceByName("a")
+	bin, _ := b.Connector("IN")
+	aout, _ := a.Connector("OUT")
+	ws.Click(u.View.ToScreen(bin.At))
+	ws.Click(u.View.ToScreen(aout.At))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	if len(sh.Editor.Pending) != 1 {
+		t.Fatalf("pending = %d (status %q)", len(sh.Editor.Pending), u.Status)
+	}
+	// ABUT via menu (row 5)
+	ws.Click(menuRowPoint(cmdMenu, 5))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	bin, _ = b.Connector("IN")
+	aout, _ = a.Connector("OUT")
+	if bin.At != aout.At {
+		t.Errorf("gesture-driven abut failed: %v vs %v (status %q)", bin.At, aout.At, u.Status)
+	}
+}
+
+func TestMoveGesture(t *testing.T) {
+	u, sh, ws := newUI(t)
+	if err := sh.Exec("CREATE GATE a AT 0 0"); err != nil {
+		t.Fatal(err)
+	}
+	u.Fit()
+	_, _, cmdMenu := u.Layout()
+	ws.Click(menuRowPoint(cmdMenu, 1)) // MOVE
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	top, _ := sh.Design.Cell("TOP")
+	a, _ := top.InstanceByName("a")
+	before := a.BBox().Min
+	// pick up a, drop it somewhere else in the editing area
+	ws.Click(u.View.ToScreen(a.BBox().Center()))
+	ws.Click(geom.Pt(300, 100))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	if a.BBox().Min == before {
+		t.Errorf("move gesture did nothing (status %q)", u.Status)
+	}
+}
+
+func TestDeleteGesture(t *testing.T) {
+	u, sh, ws := newUI(t)
+	if err := sh.Exec("CREATE GATE a AT 0 0"); err != nil {
+		t.Fatal(err)
+	}
+	u.Fit()
+	_, _, cmdMenu := u.Layout()
+	ws.Click(menuRowPoint(cmdMenu, 3)) // DELETE
+	top, _ := sh.Design.Cell("TOP")
+	a, _ := top.InstanceByName("a")
+	ws.Click(u.View.ToScreen(a.BBox().Center()))
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	if len(top.Instances) != 0 {
+		t.Errorf("delete gesture failed (status %q)", u.Status)
+	}
+}
+
+func TestZoomMenu(t *testing.T) {
+	u, _, ws := newUI(t)
+	_, _, cmdMenu := u.Layout()
+	w0 := u.View.Window.W()
+	ws.Click(menuRowPoint(cmdMenu, 9)) // ZOOM IN
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+	if u.View.Window.W() >= w0 {
+		t.Error("zoom in did not shrink the window")
+	}
+	ws.Click(menuRowPoint(cmdMenu, 10)) // ZOOM OUT
+	if err := u.RunPending(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRenderScreens(t *testing.T) {
+	u, sh, ws := newUI(t)
+	if err := sh.ExecAll("CREATE GATE a AT 0 0", "CREATE GATE b AT 40 0", "CONNECT b.IN a.OUT"); err != nil {
+		t.Fatal(err)
+	}
+	u.Fit()
+	u.Render()
+	im := ws.Screen
+	if im.CountColor(geom.ColorWhite) == 0 {
+		t.Error("nothing rendered")
+	}
+	// pending connection list is on screen (cyan text)
+	if im.CountColor(geom.ColorCyan) == 0 {
+		t.Error("pending connection list not shown")
+	}
+	// menus are labelled (yellow headers)
+	if im.CountColor(geom.ColorYellow) == 0 {
+		t.Error("menu headers missing")
+	}
+}
+
+func TestScreenshot(t *testing.T) {
+	u, sh, _ := newUI(t)
+	files := map[string][]byte{}
+	sh.WriteFile = func(name string, data []byte) error {
+		files[name] = data
+		return nil
+	}
+	if err := u.Screenshot("screen.ppm"); err != nil {
+		t.Fatal(err)
+	}
+	if len(files["screen.ppm"]) == 0 {
+		t.Fatal("screenshot empty")
+	}
+	if !strings.HasPrefix(string(files["screen.ppm"]), "P6\n") {
+		t.Error("not a PPM")
+	}
+}
+
+func TestRoundLambda(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 0}, {rules.Lambda, 1}, {rules.Lambda/2 + 1, 1},
+		{rules.Lambda / 3, 0}, {-rules.Lambda, -1}, {-rules.Lambda / 3, 0},
+	}
+	for _, c := range cases {
+		if got := roundLambda(c.in); got != c.want {
+			t.Errorf("roundLambda(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestGIGIWorkstationRunsUIToo(t *testing.T) {
+	sh := shell.New(nil)
+	sh.FS = fstest.MapFS{"gate.sticks": {Data: []byte(gateSticks)}}
+	if err := sh.ExecAll("READ gate.sticks", "EDIT TOP"); err != nil {
+		t.Fatal(err)
+	}
+	ws := workstation.GIGI()
+	u, err := New(ws, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u.Render()
+	if ws.Screen.CountColor(geom.ColorWhite) == 0 {
+		t.Error("GIGI render empty")
+	}
+}

@@ -1,0 +1,189 @@
+// Package workstation simulates the two hardware configurations Riot
+// ran on (the paper's figure 1):
+//
+//	1a. the Caltech graphic workstation — a "Charles" color terminal
+//	    (high-resolution color raster display), a CRT text terminal, a
+//	    Xerox mouse and an HP 7221A pen plotter, all driven by a DEC
+//	    LSI-11 connected to the DEC-20;
+//	1b. the low-cost GIGI workstation — a DEC GIGI color terminal with
+//	    a Summagraphics BitPad.
+//
+// Go has no native 1982 hardware, so the devices are simulated: each
+// device is a descriptor plus, for pointing devices, a posted event
+// queue, and for displays, a raster frame buffer. The ui package runs
+// identically on either configuration — exactly the portability
+// property the original had.
+package workstation
+
+import (
+	"fmt"
+	"strings"
+
+	"riot/internal/geom"
+	"riot/internal/raster"
+)
+
+// DeviceKind classifies a workstation device.
+type DeviceKind uint8
+
+// The device kinds of figure 1.
+const (
+	ColorDisplay DeviceKind = iota
+	TextTerminal
+	PointingDevice
+	PenPlotter
+	Host
+)
+
+func (k DeviceKind) String() string {
+	switch k {
+	case ColorDisplay:
+		return "color display"
+	case TextTerminal:
+		return "text terminal"
+	case PointingDevice:
+		return "pointing device"
+	case PenPlotter:
+		return "pen plotter"
+	default:
+		return "host"
+	}
+}
+
+// Device describes one piece of workstation hardware.
+type Device struct {
+	Kind DeviceKind
+	Name string
+	W, H int // resolution, for displays
+}
+
+// EventKind classifies input events.
+type EventKind uint8
+
+// The input event kinds.
+const (
+	MouseMove EventKind = iota
+	ButtonDown
+	ButtonUp
+	KeyPress
+)
+
+// Event is one input occurrence from the pointing device or keyboard.
+type Event struct {
+	Kind   EventKind
+	At     geom.Point // device coordinates for pointer events
+	Button int        // 1..3 for button events
+	Key    byte       // for KeyPress
+}
+
+// Workstation is a simulated configuration: its device list, a frame
+// buffer for the color display, and an input event queue.
+type Workstation struct {
+	Name    string
+	Devices []Device
+	Screen  *raster.Image
+
+	queue []Event
+	pos   geom.Point // current pointer position
+}
+
+// Charles builds the figure-1a configuration: the full Caltech color
+// workstation. The Charles terminal is given a 768x512 frame buffer
+// ("a high resolution color raster display device" by 1982 standards).
+func Charles() *Workstation {
+	w := &Workstation{
+		Name: "Caltech graphic workstation (Charles)",
+		Devices: []Device{
+			{Host, "DEC-20", 0, 0},
+			{Host, "DEC LSI-11", 0, 0},
+			{ColorDisplay, "Charles color terminal", 768, 512},
+			{TextTerminal, "CRT text terminal", 80, 24},
+			{PointingDevice, "Xerox mouse", 0, 0},
+			{PenPlotter, "HP 7221A four-color pen plotter", 0, 0},
+		},
+	}
+	w.Screen = raster.New(768, 512)
+	return w
+}
+
+// GIGI builds the figure-1b configuration: the low-cost workstation.
+// The GIGI's native resolution was 768x240; the BitPad replaces the
+// mouse.
+func GIGI() *Workstation {
+	w := &Workstation{
+		Name: "GIGI terminal workstation",
+		Devices: []Device{
+			{Host, "DEC-20", 0, 0},
+			{ColorDisplay, "DEC GIGI color terminal", 768, 240},
+			{PointingDevice, "Summagraphics BitPad", 0, 0},
+		},
+	}
+	w.Screen = raster.New(768, 240)
+	return w
+}
+
+// Display returns the workstation's color display descriptor.
+func (w *Workstation) Display() Device {
+	for _, d := range w.Devices {
+		if d.Kind == ColorDisplay {
+			return d
+		}
+	}
+	return Device{}
+}
+
+// HasPlotter reports whether the configuration includes hardcopy.
+func (w *Workstation) HasPlotter() bool {
+	for _, d := range w.Devices {
+		if d.Kind == PenPlotter {
+			return true
+		}
+	}
+	return false
+}
+
+// Post queues an input event, tracking the pointer position.
+func (w *Workstation) Post(ev Event) {
+	if ev.Kind == MouseMove || ev.Kind == ButtonDown || ev.Kind == ButtonUp {
+		w.pos = ev.At
+	}
+	w.queue = append(w.queue, ev)
+}
+
+// Click posts a press-and-release pair at a position — the basic
+// pointing gesture.
+func (w *Workstation) Click(at geom.Point) {
+	w.Post(Event{Kind: ButtonDown, At: at, Button: 1})
+	w.Post(Event{Kind: ButtonUp, At: at, Button: 1})
+}
+
+// Poll removes and returns the next queued event.
+func (w *Workstation) Poll() (Event, bool) {
+	if len(w.queue) == 0 {
+		return Event{}, false
+	}
+	ev := w.queue[0]
+	w.queue = w.queue[1:]
+	return ev, true
+}
+
+// Pending returns the number of queued events.
+func (w *Workstation) Pending() int { return len(w.queue) }
+
+// Pointer returns the current pointer position.
+func (w *Workstation) Pointer() geom.Point { return w.pos }
+
+// Describe renders the configuration as the figure-1 style block
+// diagram text.
+func (w *Workstation) Describe() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", w.Name)
+	for _, d := range w.Devices {
+		if d.W > 0 {
+			fmt.Fprintf(&b, "  %-16s %s (%dx%d)\n", d.Kind, d.Name, d.W, d.H)
+		} else {
+			fmt.Fprintf(&b, "  %-16s %s\n", d.Kind, d.Name)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package workstation
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/geom"
+)
+
+func TestCharlesConfiguration(t *testing.T) {
+	w := Charles()
+	if w.Screen == nil || w.Screen.W != 768 || w.Screen.H != 512 {
+		t.Errorf("screen = %+v", w.Screen)
+	}
+	if !w.HasPlotter() {
+		t.Error("Charles workstation lost its plotter")
+	}
+	d := w.Display()
+	if d.Name == "" || d.Kind != ColorDisplay {
+		t.Errorf("display = %+v", d)
+	}
+	desc := w.Describe()
+	for _, want := range []string{"Charles", "LSI-11", "mouse", "7221A", "text terminal"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("description missing %q:\n%s", want, desc)
+		}
+	}
+}
+
+func TestGIGIConfiguration(t *testing.T) {
+	w := GIGI()
+	if w.HasPlotter() {
+		t.Error("GIGI workstation has no plotter in figure 1b")
+	}
+	desc := w.Describe()
+	for _, want := range []string{"GIGI", "BitPad"} {
+		if !strings.Contains(desc, want) {
+			t.Errorf("description missing %q:\n%s", want, desc)
+		}
+	}
+	if w.Screen.H != 240 {
+		t.Errorf("GIGI height = %d", w.Screen.H)
+	}
+}
+
+func TestEventQueue(t *testing.T) {
+	w := GIGI()
+	if _, ok := w.Poll(); ok {
+		t.Error("empty queue returned an event")
+	}
+	w.Post(Event{Kind: MouseMove, At: geom.Pt(10, 20)})
+	w.Click(geom.Pt(30, 40))
+	if w.Pending() != 3 {
+		t.Errorf("pending = %d", w.Pending())
+	}
+	if w.Pointer() != geom.Pt(30, 40) {
+		t.Errorf("pointer = %v", w.Pointer())
+	}
+	ev, ok := w.Poll()
+	if !ok || ev.Kind != MouseMove || ev.At != geom.Pt(10, 20) {
+		t.Errorf("first event = %+v", ev)
+	}
+	ev, _ = w.Poll()
+	if ev.Kind != ButtonDown {
+		t.Errorf("second event = %+v", ev)
+	}
+	ev, _ = w.Poll()
+	if ev.Kind != ButtonUp || ev.Button != 1 {
+		t.Errorf("third event = %+v", ev)
+	}
+	if w.Pending() != 0 {
+		t.Error("queue not drained")
+	}
+}
+
+func TestDeviceKindStrings(t *testing.T) {
+	for k := ColorDisplay; k <= Host; k++ {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+}

@@ -1,0 +1,235 @@
+// Package riot is a Go reproduction of RIOT, the simple graphical chip
+// assembly tool of Trimberger & Rowson (19th Design Automation
+// Conference, 1982). Riot assembles pre-designed leaf cells into
+// integrated systems: the designer places instances and chooses, at
+// every connection, one of three guaranteed-correct connection
+// primitives — abutment, river routing, or stretching — while the tool
+// takes care of "the tedious and exacting implementation detail".
+//
+// This package is the public facade. A Session bundles a design (the
+// cell menu), the textual command interpreter, an in-memory file
+// system pre-loaded with the standard cell library, rendering to PPM
+// screenshots and HP-GL plots, and the replay journal. The underlying
+// subsystems live in internal/ packages:
+//
+//	internal/core     cells, instances, connectors, ABUT/ROUTE/STRETCH
+//	internal/cif      Caltech Intermediate Form reader/writer
+//	internal/sticks   symbolic layout (Sticks Standard)
+//	internal/compact  the stick optimizer (REST stand-in) for stretching
+//	internal/river    the multi-layer river router
+//	internal/compo    composition format (session persistence)
+//	internal/replay   command journal and replay
+//	internal/shell    the textual command interface
+//	internal/ui       the graphical command interface (figure 2)
+//	internal/...      raster, plot, display, workstation, lib
+//
+// Quickstart:
+//
+//	s, _ := riot.NewSession(os.Stdout)
+//	s.ExecAll(
+//	    "READ nand.sticks",
+//	    "EDIT CHIP",
+//	    "CREATE NAND g1 AT 0 0",
+//	    "CREATE NAND g2 AT 40 5",
+//	    "CONNECT g2.PWRL g1.PWRR",
+//	    "ABUT",
+//	)
+//	png, _ := s.RenderPPM("CHIP", 768, 512, false)
+package riot
+
+import (
+	"fmt"
+	"io"
+	"io/fs"
+	"strings"
+	"testing/fstest"
+
+	"riot/internal/cif"
+	"riot/internal/core"
+	"riot/internal/display"
+	"riot/internal/geom"
+	"riot/internal/lib"
+	"riot/internal/plot"
+	"riot/internal/raster"
+	"riot/internal/shell"
+	"riot/internal/ui"
+	"riot/internal/workstation"
+)
+
+// Re-exported core types, so downstream users rarely need the internal
+// import paths.
+type (
+	// Design is the cell registry (the cell menu).
+	Design = core.Design
+	// Cell is a leaf or composition cell.
+	Cell = core.Cell
+	// Instance is a placed, oriented, optionally replicated cell.
+	Instance = core.Instance
+	// Editor is an editing session on one composition cell.
+	Editor = core.Editor
+	// Connector is a cell connection point.
+	Connector = core.Connector
+)
+
+// Session is one Riot run: a design, a shell, files, and devices.
+type Session struct {
+	Shell *shell.Shell
+
+	files map[string][]byte
+	extra fs.FS
+}
+
+// NewSession starts a session with the standard cell library (the
+// paper's figure-8 pads and gates plus pipe fittings) available as
+// files: pads.cif, srcell.sticks, nand.sticks, or4.sticks,
+// pipem.sticks, pipep.sticks. Output (command reports, warnings) goes
+// to out; pass nil to discard.
+func NewSession(out io.Writer) (*Session, error) {
+	libFiles, err := lib.Files()
+	if err != nil {
+		return nil, err
+	}
+	s := &Session{files: libFiles}
+	sh := shell.New(out)
+	sh.FS = sessionFS{s}
+	sh.WriteFile = func(name string, data []byte) error {
+		s.files[name] = data
+		return nil
+	}
+	sh.Plot = func(cell *core.Cell, file string) error {
+		data, err := plotCell(cell, true)
+		if err != nil {
+			return err
+		}
+		s.files[file] = data
+		return nil
+	}
+	s.Shell = sh
+	return s, nil
+}
+
+// sessionFS resolves file names against the session's in-memory files
+// first, then any mounted external file system.
+type sessionFS struct{ s *Session }
+
+func (m sessionFS) Open(name string) (fs.File, error) {
+	if data, ok := m.s.files[name]; ok {
+		return fstest.MapFS{name: &fstest.MapFile{Data: data}}.Open(name)
+	}
+	if m.s.extra != nil {
+		return m.s.extra.Open(name)
+	}
+	return nil, fmt.Errorf("open %s: %w", name, fs.ErrNotExist)
+}
+
+// Mount attaches an external file system (e.g. os.DirFS) behind the
+// in-memory files.
+func (s *Session) Mount(fsys fs.FS) { s.extra = fsys }
+
+// AddFile places a file in the session's in-memory file system.
+func (s *Session) AddFile(name string, data []byte) { s.files[name] = data }
+
+// File retrieves a file written during the session (WRITE, PLOT,
+// SAVEJOURNAL, screenshots).
+func (s *Session) File(name string) ([]byte, bool) {
+	data, ok := s.files[name]
+	return data, ok
+}
+
+// Exec runs one textual command.
+func (s *Session) Exec(line string) error { return s.Shell.Exec(line) }
+
+// ExecAll runs a batch of commands, failing fast.
+func (s *Session) ExecAll(lines ...string) error { return s.Shell.ExecAll(lines...) }
+
+// Run interprets commands from r until EOF or QUIT, reporting errors
+// to the session output without stopping (interactive semantics).
+func (s *Session) Run(r io.Reader) error { return s.Shell.Run(r) }
+
+// Design returns the session's cell registry.
+func (s *Session) Design() *Design { return s.Shell.Design }
+
+// Editor returns the current editing session, or nil.
+func (s *Session) Editor() *Editor { return s.Shell.Editor }
+
+// InstallLibrary registers the standard library cells directly in the
+// design (the file-free path; READ the .sticks/.cif files for the
+// interchange path).
+func (s *Session) InstallLibrary() error { return lib.Install(s.Shell.Design) }
+
+// RenderPPM draws a cell into a w x h frame buffer and returns it as a
+// binary PPM image. With geometry=false the cell renders in Riot's
+// editing view (bounding boxes and connector crosses); with true, full
+// mask geometry.
+func (s *Session) RenderPPM(cellName string, w, h int, geometry bool) ([]byte, error) {
+	cell, ok := s.Shell.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	}
+	im := raster.New(w, h)
+	v := display.FitView(cell.BBox(), geom.R(0, 0, w-1, h-1), true)
+	display.DrawCell(display.RasterCanvas{Im: im}, v, cell, display.Options{Geometry: geometry})
+	var b strings.Builder
+	if err := im.WritePPM(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// PlotHPGL renders a cell for the four-pen plotter and returns the
+// HP-GL command stream.
+func (s *Session) PlotHPGL(cellName string, geometry bool) ([]byte, error) {
+	cell, ok := s.Shell.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	}
+	return plotCell(cell, geometry)
+}
+
+func plotCell(cell *core.Cell, geometry bool) ([]byte, error) {
+	var b strings.Builder
+	p := plot.New(&b)
+	v := display.FitView(cell.BBox(), geom.R(0, 0, 10000, 7200), false)
+	display.DrawCell(display.PlotCanvas{P: p}, v, cell, display.Options{Geometry: geometry})
+	if err := p.Finish(); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// ExportCIF flattens a cell into CIF text for mask generation.
+func (s *Session) ExportCIF(cellName string) ([]byte, error) {
+	cell, ok := s.Shell.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	}
+	f, err := core.ExportCIF(cell)
+	if err != nil {
+		return nil, err
+	}
+	return []byte(cif.String(f)), nil
+}
+
+// OpenWorkstation attaches a simulated graphic workstation and opens
+// the graphical editor on the cell under edit. kind is "charles"
+// (figure 1a) or "gigi" (figure 1b).
+func (s *Session) OpenWorkstation(kind string) (*ui.UI, *workstation.Workstation, error) {
+	var ws *workstation.Workstation
+	switch strings.ToLower(kind) {
+	case "charles", "":
+		ws = workstation.Charles()
+	case "gigi":
+		ws = workstation.GIGI()
+	default:
+		return nil, nil, fmt.Errorf("riot: unknown workstation %q (want charles or gigi)", kind)
+	}
+	u, err := ui.New(ws, s.Shell)
+	if err != nil {
+		return nil, nil, err
+	}
+	return u, ws, nil
+}
+
+// JournalLines returns the commands recorded so far (the REPLAY
+// journal).
+func (s *Session) JournalLines() []string { return s.Shell.Journal.Lines() }

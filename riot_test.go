@@ -1,0 +1,150 @@
+package riot
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSessionLibraryFiles(t *testing.T) {
+	s, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []string{"pads.cif", "srcell.sticks", "nand.sticks", "or4.sticks"} {
+		if _, ok := s.File(f); !ok {
+			t.Errorf("library file %s missing", f)
+		}
+	}
+}
+
+func TestSessionQuickstartFlow(t *testing.T) {
+	s, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.ExecAll(
+		"READ nand.sticks",
+		"EDIT CHIP",
+		"CREATE NAND g1 AT 0 0",
+		"CREATE NAND g2 AT 40 5",
+		"CONNECT g2.PWRL g1.PWRR",
+		"CONNECT g2.GNDL g1.GNDR",
+		"ABUT",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chip, ok := s.Design().Cell("CHIP")
+	if !ok {
+		t.Fatal("CHIP missing")
+	}
+	g1, _ := chip.InstanceByName("g1")
+	g2, _ := chip.InstanceByName("g2")
+	if g2.BBox().Min.X != g1.BBox().Max.X {
+		t.Error("abut failed through the facade")
+	}
+}
+
+func TestSessionInstallLibrary(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.InstallLibrary(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Design().Cell("SRCELL"); !ok {
+		t.Error("library not installed")
+	}
+}
+
+func TestSessionRenderAndPlot(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.ExecAll("READ nand.sticks", "EDIT TOP", "CREATE NAND g AT 0 0", "ENDEDIT"); err != nil {
+		t.Fatal(err)
+	}
+	ppm, err := s.RenderPPM("TOP", 320, 240, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(ppm), "P6\n320 240\n") {
+		t.Error("bad PPM header")
+	}
+	hpgl, err := s.PlotHPGL("TOP", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(hpgl), "IN;") || !strings.Contains(string(hpgl), "PD") {
+		t.Error("bad HP-GL stream")
+	}
+	if _, err := s.RenderPPM("NOPE", 10, 10, false); err == nil {
+		t.Error("render of unknown cell accepted")
+	}
+}
+
+func TestSessionExportCIF(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.ExecAll("READ nand.sticks", "EDIT TOP", "CREATE NAND g AT 0 0", "ENDEDIT"); err != nil {
+		t.Fatal(err)
+	}
+	text, err := s.ExportCIF("TOP")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(text), "9 TOP;") || !strings.Contains(string(text), "DS") {
+		t.Errorf("CIF looks wrong:\n%s", text)
+	}
+}
+
+func TestSessionPlotCommand(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.ExecAll("READ nand.sticks", "EDIT TOP", "CREATE NAND g AT 0 0", "PLOT top.hpgl"); err != nil {
+		t.Fatal(err)
+	}
+	data, ok := s.File("top.hpgl")
+	if !ok || !strings.Contains(string(data), "SP") {
+		t.Error("PLOT command produced nothing")
+	}
+}
+
+func TestSessionWorkstations(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.ExecAll("READ nand.sticks", "EDIT TOP"); err != nil {
+		t.Fatal(err)
+	}
+	for _, kind := range []string{"charles", "gigi"} {
+		u, ws, err := s.OpenWorkstation(kind)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if u == nil || ws == nil {
+			t.Fatalf("%s: nil workstation", kind)
+		}
+		u.Render()
+	}
+	if _, _, err := s.OpenWorkstation("vt100"); err == nil {
+		t.Error("unknown workstation accepted")
+	}
+}
+
+func TestSessionJournal(t *testing.T) {
+	s, _ := NewSession(nil)
+	if err := s.ExecAll("READ nand.sticks", "EDIT TOP", "CREATE NAND g AT 0 0"); err != nil {
+		t.Fatal(err)
+	}
+	if len(s.JournalLines()) != 3 {
+		t.Errorf("journal = %v", s.JournalLines())
+	}
+}
+
+func TestSessionRun(t *testing.T) {
+	var out strings.Builder
+	s, _ := NewSession(&out)
+	input := "READ nand.sticks\nCELLS\nBOGUS\nQUIT\n"
+	if err := s.Run(strings.NewReader(input)); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "NAND") {
+		t.Error("CELLS output missing")
+	}
+	if !strings.Contains(out.String(), "?") {
+		t.Error("error report missing")
+	}
+}
