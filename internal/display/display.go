@@ -134,54 +134,192 @@ type Options struct {
 
 // DrawCell renders a cell onto the canvas through the view.
 func DrawCell(cv Canvas, v View, cell *core.Cell, opt Options) {
-	drawCell(cv, v, cell, geom.Identity, opt, true)
+	drawCell(cv, v, cell, geom.Identity, opt, true, newDrawCache())
 }
 
 // DrawInstance renders one instance (the figure-3 view).
 func DrawInstance(cv Canvas, v View, in *core.Instance, opt Options) {
-	drawInstance(cv, v, in, geom.Identity, opt)
+	drawInstance(cv, v, in, geom.Identity, opt, newDrawCache())
 }
 
-func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, top bool) {
+// drawCache memoizes per-draw derived geometry: called CIF symbols'
+// bounding boxes (keyed per file, since symbol ids are only unique
+// within a file) and cells' worst-case mask overhang. Both are
+// transform-independent, so one computation serves every instance
+// copy in the frame.
+type drawCache struct {
+	symBox   map[symKey]geom.Rect
+	overhang map[*core.Cell]int
+}
+
+type symKey struct {
+	f  *cif.File
+	id int
+}
+
+func newDrawCache() *drawCache {
+	return &drawCache{symBox: map[symKey]geom.Rect{}, overhang: map[*core.Cell]int{}}
+}
+
+func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, top bool, sb *drawCache) {
 	switch cell.Kind {
 	case core.Composition:
-		for _, in := range cell.Instances {
-			drawInstance(cv, v, in, tr, opt)
-		}
+		drawComposition(cv, v, cell, tr, opt, sb)
 		if top {
 			// outline the cell under edit
 			cv.Rect(v.ToScreenRect(tr.ApplyRect(cell.BBox())), geom.ColorWhite)
 		}
 	default:
 		if opt.Geometry {
-			drawLeafGeometry(cv, v, cell, tr)
+			drawLeafGeometry(cv, v, cell, tr, sb)
 		} else {
 			drawBoxAndConnectors(cv, v, cell, tr, opt)
 		}
 	}
 }
 
-func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options) {
-	for i := 0; i < in.Nx; i++ {
-		for j := 0; j < in.Ny; j++ {
-			ct := in.CopyTransform(i, j).Then(outer)
-			if opt.Geometry && in.Cell.Kind == core.Composition {
-				drawCell(cv, v, in.Cell, ct, opt, false)
-				continue
-			}
-			if opt.Geometry {
-				drawLeafGeometry(cv, v, in.Cell, ct)
-				continue
-			}
-			// the Riot instance view: bounding box plus connector
-			// crosses; array copies show "the gridding due to the
-			// replication"
-			drawBoxAndConnectors(cv, v, in.Cell, ct, opt)
-			if opt.ShowNames && i == 0 && j == 0 {
-				r := v.ToScreenRect(ct.ApplyRect(in.Cell.BBox()))
-				cv.Text(geom.Pt(r.Min.X+2, (r.Min.Y+r.Max.Y)/2), in.Name+":"+in.Cell.Name, geom.ColorWhite)
+// cullMinCopies is the instance-copy count below which a composition is
+// drawn without building a cull index; tiny compositions are cheaper to
+// draw outright.
+const cullMinCopies = 16
+
+// cullMargin returns the design-space slop added around the window when
+// deciding visibility: marks that render a few device pixels past a
+// copy's bounding box (connector crosses, cell overhangs) must not be
+// culled while their overhang is on screen.
+func cullMargin(v View) int {
+	dpp := v.Window.W() / max(1, v.Screen.W()) // design units per device pixel
+	return 16*dpp + 4*rules.Lambda
+}
+
+// drawComposition renders a composition's instances. Replicated
+// compositions — the Nx x Ny arrays the paper's composition primitives
+// produce — are culled against the viewport through a geom.Index over
+// the copies' bounding boxes, so panning around a large array redraws
+// only the visible copies instead of walking every one. Copies draw in
+// the same instance/grid order as the plain loop, keeping output
+// deterministic. Name labels can extend arbitrarily far past a box, so
+// ShowNames disables culling.
+func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, sb *drawCache) {
+	total := 0
+	for _, in := range cell.Instances {
+		total += in.Nx * in.Ny
+	}
+	// name text only renders in the box view; in Geometry mode ShowNames
+	// draws nothing, so culling stays on
+	if (opt.ShowNames && !opt.Geometry) || total < cullMinCopies {
+		for _, in := range cell.Instances {
+			drawInstance(cv, v, in, tr, opt, sb)
+		}
+		return
+	}
+	ix := geom.NewIndex()
+	for _, in := range cell.Instances {
+		// a sticks cell's mask geometry can overhang its declared
+		// bounding box (wires are centered on their path), so the cull
+		// rect grows by the cell's worst-case overhang
+		cb := in.Cell.BBox().Inset(-sb.cellOverhang(in.Cell))
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				ix.Insert(in.CopyTransform(i, j).Then(tr).ApplyRect(cb))
 			}
 		}
+	}
+	visible := make([]bool, ix.Len())
+	ix.QueryRect(v.Window.Inset(-cullMargin(v)), func(id int) bool {
+		visible[id] = true
+		return true
+	})
+	k := 0
+	for _, in := range cell.Instances {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				if visible[k] {
+					drawInstanceCopy(cv, v, in, i, j, tr, opt, sb)
+				}
+				k++
+			}
+		}
+	}
+}
+
+// cellOverhang memoizes geomOverhang per draw: shared sub-composition
+// DAGs would otherwise be re-walked once per instance entry per frame.
+func (sb *drawCache) cellOverhang(c *core.Cell) int {
+	if o, ok := sb.overhang[c]; ok {
+		return o
+	}
+	o := sb.geomOverhang(c)
+	sb.overhang[c] = o
+	return o
+}
+
+// geomOverhang returns how far a cell's mask geometry can extend past
+// its declared bounding box, in centimicrons. Sticks wires and devices
+// are centered on their paths, so material up to half the widest
+// element can stick out when the path runs along the box edge; the
+// full width is used as a safely generous bound. CIF boxes are
+// computed from real geometry and never overhang.
+func (sb *drawCache) geomOverhang(c *core.Cell) int {
+	switch c.Kind {
+	case core.LeafSticks:
+		w := rules.ContactSize
+		for _, wire := range c.Sticks.Wires {
+			width := wire.Width
+			if width <= 0 {
+				width = rules.MinWidth(wire.Layer)
+			}
+			if width > w {
+				w = width
+			}
+		}
+		for _, d := range c.Sticks.Devices {
+			// DeviceBoxes extends at most ceil(max(W,L)/2) plus a
+			// 3-unit diffusion/implant extension from the device
+			// center; W+L+3 safely dominates that
+			if e := d.W + d.L + 3; e > w {
+				w = e
+			}
+		}
+		return w * c.Sticks.EffUnits()
+	case core.Composition:
+		over := 0
+		for _, in := range c.Instances {
+			if o := sb.cellOverhang(in.Cell); o > over {
+				over = o
+			}
+		}
+		return over
+	default:
+		return 0
+	}
+}
+
+func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options, sb *drawCache) {
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			drawInstanceCopy(cv, v, in, i, j, outer, opt, sb)
+		}
+	}
+}
+
+func drawInstanceCopy(cv Canvas, v View, in *core.Instance, i, j int, outer geom.Transform, opt Options, sb *drawCache) {
+	ct := in.CopyTransform(i, j).Then(outer)
+	if opt.Geometry && in.Cell.Kind == core.Composition {
+		drawCell(cv, v, in.Cell, ct, opt, false, sb)
+		return
+	}
+	if opt.Geometry {
+		drawLeafGeometry(cv, v, in.Cell, ct, sb)
+		return
+	}
+	// the Riot instance view: bounding box plus connector
+	// crosses; array copies show "the gridding due to the
+	// replication"
+	drawBoxAndConnectors(cv, v, in.Cell, ct, opt)
+	if opt.ShowNames && i == 0 && j == 0 {
+		r := v.ToScreenRect(ct.ApplyRect(in.Cell.BBox()))
+		cv.Text(geom.Pt(r.Min.X+2, (r.Min.Y+r.Max.Y)/2), in.Name+":"+in.Cell.Name, geom.ColorWhite)
 	}
 }
 
@@ -215,10 +353,10 @@ func crossSize(v View, width int) int {
 }
 
 // drawLeafGeometry renders the actual mask geometry of a leaf cell.
-func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform) {
+func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform, sb *drawCache) {
 	switch cell.Kind {
 	case core.LeafCIF:
-		drawCIF(cv, v, cell.CIFFile, cell.Symbol, tr)
+		drawCIFCulled(cv, v, cell.CIFFile, cell.Symbol, tr, sb)
 	case core.LeafSticks:
 		sym, err := cell.SticksCIF()
 		if err != nil {
@@ -226,18 +364,31 @@ func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform) {
 			drawBoxAndConnectors(cv, v, cell, tr, Options{})
 			return
 		}
-		drawCIF(cv, v, &cif.File{Symbols: []*cif.Symbol{sym}}, sym, tr)
+		drawCIFCulled(cv, v, &cif.File{Symbols: []*cif.Symbol{sym}}, sym, tr, sb)
 	default:
-		drawCell(cv, v, cell, tr, Options{Geometry: true}, false)
+		drawCell(cv, v, cell, tr, Options{Geometry: true}, false, sb)
 	}
 }
 
-func drawCIF(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform) {
+// drawCIFCulled renders a CIF symbol with viewport culling. The
+// symbol-bbox cache lets an offscreen called subtree be skipped with a
+// single rectangle test instead of being traversed element by element.
+func drawCIFCulled(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform, sb *drawCache) {
+	// viewport culling: skip mask shapes wholly outside the (slightly
+	// inflated) window; zoomed-in views of big chips draw only what
+	// shows
+	win := v.Window.Inset(-cullMargin(v))
+	vis := func(r geom.Rect) bool { return tr.ApplyRect(r).Touches(win) }
 	for _, e := range sym.ResolveScale() {
 		switch el := e.(type) {
 		case cif.Box:
-			cv.FillRect(v.ToScreenRect(tr.ApplyRect(el.Rect())), geom.LayerColor(el.Layer))
+			if r := el.Rect(); vis(r) {
+				cv.FillRect(v.ToScreenRect(tr.ApplyRect(r)), geom.LayerColor(el.Layer))
+			}
 		case cif.Polygon:
+			if !vis(pointsBBox(el.Points)) {
+				continue
+			}
 			for i := 1; i < len(el.Points); i++ {
 				cv.Line(v.ToScreen(tr.Apply(el.Points[i-1])), v.ToScreen(tr.Apply(el.Points[i])), geom.LayerColor(el.Layer))
 			}
@@ -250,21 +401,52 @@ func drawCIF(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform)
 				a, b := el.Points[i-1], el.Points[i]
 				seg := geom.RectFromPoints(a, b)
 				seg = geom.R(seg.Min.X-h, seg.Min.Y-h, seg.Max.X+h, seg.Max.Y+h)
-				cv.FillRect(v.ToScreenRect(tr.ApplyRect(seg)), geom.LayerColor(el.Layer))
+				if vis(seg) {
+					cv.FillRect(v.ToScreenRect(tr.ApplyRect(seg)), geom.LayerColor(el.Layer))
+				}
 			}
 		case cif.RoundFlash:
 			h := el.Diameter / 2
 			r := geom.R(el.Center.X-h, el.Center.Y-h, el.Center.X+h, el.Center.Y+h)
-			cv.FillRect(v.ToScreenRect(tr.ApplyRect(r)), geom.LayerColor(el.Layer))
+			if vis(r) {
+				cv.FillRect(v.ToScreenRect(tr.ApplyRect(r)), geom.LayerColor(el.Layer))
+			}
 		case cif.Call:
 			child := f.SymbolByID(el.SymbolID)
-			if child != nil {
-				drawCIF(cv, v, f, child, el.Transform.Then(tr))
+			if child == nil {
+				continue
 			}
+			key := symKey{f, el.SymbolID}
+			cb, cached := sb.symBox[key]
+			if !cached {
+				var err error
+				if cb, err = f.SymbolBBox(el.SymbolID); err != nil {
+					cb = geom.Rect{} // unknown extent: draw unconditionally
+				}
+				sb.symBox[key] = cb
+			}
+			if cb != (geom.Rect{}) && !el.Transform.Then(tr).ApplyRect(cb).Touches(win) {
+				continue
+			}
+			drawCIFCulled(cv, v, f, child, el.Transform.Then(tr), sb)
 		case cif.Connector:
-			cv.Cross(v.ToScreen(tr.Apply(el.At)), crossSize(v, el.Width), geom.LayerColor(el.Layer))
+			if vis(geom.Rect{Min: el.At, Max: el.At}) {
+				cv.Cross(v.ToScreen(tr.Apply(el.At)), crossSize(v, el.Width), geom.LayerColor(el.Layer))
+			}
 		}
 	}
+}
+
+// pointsBBox returns the bounding box of a point path.
+func pointsBBox(pts []geom.Point) geom.Rect {
+	if len(pts) == 0 {
+		return geom.Rect{}
+	}
+	r := geom.Rect{Min: pts[0], Max: pts[0]}
+	for _, p := range pts[1:] {
+		r = r.UnionPoint(p)
+	}
+	return r
 }
 
 // Describe returns a short textual summary of a view, used in status

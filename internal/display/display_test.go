@@ -14,7 +14,7 @@ import (
 
 const L = rules.Lambda
 
-func testCell(t *testing.T) *core.Cell {
+func testCell(t testing.TB) *core.Cell {
 	t.Helper()
 	sc := &sticks.Cell{
 		Name: "G", Box: geom.R(0, 0, 20, 10), HasBox: true,

@@ -1,0 +1,191 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/lib"
+	"riot/internal/rules"
+)
+
+// srArray builds a composition holding one SRCELL instance replicated
+// nx x ny with abutting spacing (the cell is 20x24 lambda), the
+// paper's shift-register-chain composition.
+func srArray(t testing.TB, nx, ny int) *core.Cell {
+	t.Helper()
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	top := core.NewComposition(fmt.Sprintf("TOP%dX%d", nx, ny))
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	sr, _ := d.Cell("SRCELL")
+	in := core.NewInstance("a", sr, geom.Identity)
+	in.Nx, in.Ny = nx, ny
+	in.Sx, in.Sy = 20*rules.Lambda, 24*rules.Lambda
+	top.Instances = append(top.Instances, in)
+	return top
+}
+
+// TestExtractArraySeams extracts a 3x2 SRCELL array and checks the
+// connectivity the replication grid creates: rails run unbroken across
+// every column seam, abutting rows short row N's power rail into row
+// N+1's ground rail (the cells abut at y=24 lambda where both rails'
+// edges meet), and every copy contributes its transistors.
+func TestExtractArraySeams(t *testing.T) {
+	ckt, err := FromCell(srArray(t, 3, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 devices per SRCELL, 6 copies
+	if got := len(ckt.Transistors); got != 24 {
+		t.Errorf("transistors = %d, want 24", got)
+	}
+	// rail continuity across the two column seams, both rows
+	for _, pair := range [][2]string{
+		{"a.PWRL[0,0]", "a.PWRR[2,0]"},
+		{"a.PWRL[0,1]", "a.PWRR[2,1]"},
+		{"a.GNDL[0,0]", "a.GNDR[2,0]"},
+		{"a.GNDL[0,1]", "a.GNDR[2,1]"},
+		// the poly data/clock comb is continuous across columns
+		{"a.IN[0,0]", "a.OUT[2,0]"},
+		{"a.IN[0,1]", "a.OUT[2,1]"},
+		// vertical abutment: row 0's power rail (top edge y=24) meets
+		// row 1's ground rail (bottom edge y=24)
+		{"a.PWRL[0,0]", "a.GNDL[0,1]"},
+	} {
+		if !ckt.SameNet(pair[0], pair[1]) {
+			t.Errorf("%s and %s should be one net across the array seam", pair[0], pair[1])
+		}
+	}
+	// row 1's power rail tops the array and touches nothing above
+	if ckt.SameNet("a.PWRL[0,1]", "a.PWRL[0,0]") {
+		t.Error("top row's power rail should not short into the row below")
+	}
+	for _, lbl := range []string{"a.PWRL[0,0]", "a.GNDR[2,1]", "a.IN[0,0]", "a.TAP[1,0]"} {
+		if _, ok := ckt.Net(lbl); !ok {
+			t.Errorf("label %s did not resolve to material", lbl)
+		}
+	}
+}
+
+// TestExtractArrayRow checks a one-axis array: single-index connector
+// names and the shift-register chain the paper describes ("the array
+// elements abut, making the shift register chain connections as well
+// as power and ground connections").
+func TestExtractArrayRow(t *testing.T) {
+	ckt, err := FromCell(srArray(t, 4, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(ckt.Transistors); got != 16 {
+		t.Errorf("transistors = %d, want 16", got)
+	}
+	for _, pair := range [][2]string{
+		{"a.PWRL[0]", "a.PWRR[3]"},
+		{"a.GNDL[0]", "a.GNDR[3]"},
+		{"a.IN[0]", "a.OUT[3]"},
+	} {
+		if !ckt.SameNet(pair[0], pair[1]) {
+			t.Errorf("%s and %s should be one net", pair[0], pair[1])
+		}
+	}
+	if ckt.SameNet("a.PWRL[0]", "a.GNDL[0]") {
+		t.Error("rails shorted")
+	}
+}
+
+// TestExtractIndexedMatchesBrute runs the production extractor and the
+// brute-force reference over every library cell and several replicated
+// arrays, requiring byte-identical circuits (same dense net numbering,
+// same transistor list, same label map).
+func TestExtractIndexedMatchesBrute(t *testing.T) {
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	var cells []*core.Cell
+	for _, name := range []string{"SRCELL", "NAND", "OR4", "PIPEM", "PIPEP", "PADIN", "PADOUT"} {
+		c, ok := d.Cell(name)
+		if !ok {
+			t.Fatalf("library cell %s missing", name)
+		}
+		cells = append(cells, c)
+	}
+	cells = append(cells, srArray(t, 2, 2), srArray(t, 5, 1), srArray(t, 4, 3))
+	for _, c := range cells {
+		fast, errF := FromCell(c)
+		slow, errB := fromCell(c, true)
+		if (errF == nil) != (errB == nil) {
+			t.Fatalf("%s: indexed err=%v, brute err=%v", c.Name, errF, errB)
+		}
+		if errF != nil {
+			continue
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Errorf("%s: indexed and brute circuits differ:\nindexed: %+v\nbrute:   %+v", c.Name, fast, slow)
+		}
+	}
+}
+
+// TestExtractConnectivityFuzz cross-checks the sweep-line/indexed
+// solver against the all-pairs reference on random rectangle soups:
+// random sizes (including degenerate slivers), random layers, random
+// cross-layer contact joins, and a label probing every rectangle's
+// center. Any divergence in fragmentation, connectivity or point
+// location shows up as a circuit mismatch.
+func TestExtractConnectivityFuzz(t *testing.T) {
+	layers := []geom.Layer{geom.ND, geom.NP, geom.NM}
+	rng := rand.New(rand.NewSource(1982))
+	for trial := 0; trial < 40; trial++ {
+		span := 200 + rng.Intn(2000)
+		n := 5 + rng.Intn(120)
+		mk := func() *builder {
+			b := &builder{labels: map[string]struct {
+				at    geom.Point
+				layer geom.Layer
+			}{}}
+			for i := 0; i < n; i++ {
+				x, y := rng.Intn(span), rng.Intn(span)
+				w, h := rng.Intn(span/4), rng.Intn(span/4)
+				lay := layers[rng.Intn(len(layers))]
+				r := geom.R(x, y, x+w, y+h)
+				b.shapes = append(b.shapes, shape{lay, r})
+				b.labels[fmt.Sprintf("s%d", i)] = struct {
+					at    geom.Point
+					layer geom.Layer
+				}{r.Center(), lay}
+				if rng.Intn(4) == 0 {
+					// contact join at this rect's center to a random layer
+					// (or the LayerNone wildcard)
+					to := geom.Layer(geom.LayerNone)
+					if rng.Intn(2) == 0 {
+						to = layers[rng.Intn(len(layers))]
+					}
+					b.joins = append(b.joins, [2]geom.Point{r.Center(), r.Center()})
+					b.joinLay = append(b.joinLay, [2]geom.Layer{lay, to})
+				}
+			}
+			return b
+		}
+		// identical builders: mk consumes rng, so build once and copy
+		b1 := mk()
+		b2 := &builder{shapes: b1.shapes, devices: b1.devices,
+			joins: b1.joins, joinLay: b1.joinLay, labels: b1.labels}
+		fast, errF := b1.solve(false)
+		slow, errB := b2.solve(true)
+		if errF != nil || errB != nil {
+			t.Fatalf("trial %d: solve errors %v / %v", trial, errF, errB)
+		}
+		if !reflect.DeepEqual(fast, slow) {
+			t.Fatalf("trial %d (n=%d): indexed and brute circuits differ\nindexed: %+v\nbrute:   %+v",
+				trial, n, fast, slow)
+		}
+	}
+}

@@ -10,10 +10,35 @@
 // prove that abutment, routing and stretching really do produce
 // electrically connected nets, and the switch-level simulator
 // (internal/sim) runs gate truth tables from extracted circuits.
+//
+// # Algorithm
+//
+// Extraction has two phases. Flattening walks the cell hierarchy and
+// emits every mask rectangle, device and contact in top-level
+// coordinates; replicated arrays (Nx x Ny instances) fan out across
+// goroutines, each filling a private shard that is merged back in grid
+// order so the flattened shape list is deterministic. Solving then
+// recovers connectivity:
+//
+//   - diffusion is fragmented at transistor gates, finding the gates
+//     that actually cut each diffusion shape through a spatial index
+//     (geom.Index) over the gate strips;
+//   - same-layer touching material is unioned into nets by a per-layer
+//     sweep-line over rectangle x-extents with a union-by-rank,
+//     path-compressing union-find — O(n log n + k) instead of the
+//     all-pairs O(n^2) touch test;
+//   - contacts, device probes and connector labels resolve points to
+//     fragments through per-layer geom.Index point location.
+//
+// A brute-force solver (all-pairs touch, linear point scans,
+// sequential flatten) is retained for differential testing; both paths
+// produce byte-identical circuits.
 package extract
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"riot/internal/cif"
 	"riot/internal/core"
@@ -79,16 +104,27 @@ type builder struct {
 		at    geom.Point
 		layer geom.Layer
 	}
+	// sequential disables the parallel array flatten (set on shard
+	// builders and on the brute-force reference path).
+	sequential bool
 }
 
 // FromCell extracts the circuit of a cell. Labels cover the cell's own
 // connectors and, for composition cells, every instance connector
 // ("inst.CONN").
 func FromCell(c *core.Cell) (*Circuit, error) {
+	return fromCell(c, false)
+}
+
+// fromCell runs either the production extractor (indexed solve,
+// parallel flatten) or the brute-force reference (linear scans,
+// sequential flatten). Both produce identical circuits; the reference
+// exists for differential tests and the scaling benchmark.
+func fromCell(c *core.Cell, brute bool) (*Circuit, error) {
 	b := &builder{labels: map[string]struct {
 		at    geom.Point
 		layer geom.Layer
-	}{}}
+	}{}, sequential: brute}
 	if err := b.cell(c, geom.Identity); err != nil {
 		return nil, err
 	}
@@ -108,19 +144,15 @@ func FromCell(c *core.Cell) (*Circuit, error) {
 			}
 		}
 	}
-	return b.solve()
+	return b.solve(brute)
 }
 
 func (b *builder) cell(c *core.Cell, tr geom.Transform) error {
 	switch c.Kind {
 	case core.Composition:
 		for _, in := range c.Instances {
-			for i := 0; i < in.Nx; i++ {
-				for j := 0; j < in.Ny; j++ {
-					if err := b.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); err != nil {
-						return err
-					}
-				}
+			if err := b.instance(in, tr); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -129,6 +161,65 @@ func (b *builder) cell(c *core.Cell, tr geom.Transform) error {
 	default:
 		return b.cifLeaf(c.CIFFile, c.Symbol, tr)
 	}
+}
+
+// parallelFlattenMin is the replication count below which an array is
+// flattened inline; tiny arrays are not worth the goroutine handoff.
+const parallelFlattenMin = 8
+
+// instance flattens every array copy of an instance. Large replication
+// grids — the paper's Nx x Ny composition primitive — fan out across
+// goroutines: the copy list is chunked, each chunk flattens into a
+// private shard builder, and shards merge back in chunk order so the
+// result is byte-identical to the sequential loop.
+func (b *builder) instance(in *core.Instance, tr geom.Transform) error {
+	n := in.Nx * in.Ny
+	workers := runtime.GOMAXPROCS(0)
+	if b.sequential || n < parallelFlattenMin || workers < 2 {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				if err := b.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	shards := make([]*builder, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		sb := &builder{sequential: true}
+		shards[w] = sb
+		wg.Add(1)
+		go func(sb *builder, lo, hi int, err *error) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				// copy k in the sequential loop's (i outer, j inner)
+				// order
+				i, j := k/in.Ny, k%in.Ny
+				if e := sb.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); e != nil {
+					*err = e
+					return
+				}
+			}
+		}(sb, lo, hi, &errs[w])
+	}
+	wg.Wait()
+	for w, sb := range shards {
+		if errs[w] != nil {
+			return errs[w]
+		}
+		b.shapes = append(b.shapes, sb.shapes...)
+		b.devices = append(b.devices, sb.devices...)
+		b.joins = append(b.joins, sb.joins...)
+		b.joinLay = append(b.joinLay, sb.joinLay...)
+	}
+	return nil
 }
 
 // sticksLeaf flattens a symbolic cell's material.
@@ -228,162 +319,4 @@ func (b *builder) cifLeaf(f *cif.File, sym *cif.Symbol, tr geom.Transform) error
 		}
 	}
 	return nil
-}
-
-// solve fragments diffusion at gates, unions touching material and
-// assigns nets.
-func (b *builder) solve() (*Circuit, error) {
-	// split ND shapes around every gate strip
-	var frags []shape
-	for _, s := range b.shapes {
-		if s.layer != geom.ND {
-			frags = append(frags, s)
-			continue
-		}
-		pieces := []geom.Rect{s.r}
-		for _, d := range b.devices {
-			var next []geom.Rect
-			for _, p := range pieces {
-				next = append(next, subtract(p, d.gate)...)
-			}
-			pieces = next
-		}
-		for _, p := range pieces {
-			frags = append(frags, shape{geom.ND, p})
-		}
-	}
-
-	uf := newUnionFind(len(frags))
-	// same-layer touching material is one net
-	for i := range frags {
-		for j := i + 1; j < len(frags); j++ {
-			if frags[i].layer != frags[j].layer {
-				continue
-			}
-			if frags[i].r.Touches(frags[j].r) {
-				uf.union(i, j)
-			}
-		}
-	}
-	// contacts join layers at a point
-	findAt := func(at geom.Point, layer geom.Layer) int {
-		for i, s := range frags {
-			if layer != geom.LayerNone && s.layer != layer {
-				continue
-			}
-			if layer == geom.LayerNone && (s.layer == geom.NM || s.layer == geom.NC) {
-				continue
-			}
-			if s.r.Contains(at) {
-				return i
-			}
-		}
-		return -1
-	}
-	for k, j := range b.joins {
-		la, lb := b.joinLay[k][0], b.joinLay[k][1]
-		ia := findAt(j[0], la)
-		ib := findAt(j[1], lb)
-		if ia >= 0 && ib >= 0 {
-			uf.union(ia, ib)
-		}
-	}
-
-	// dense net numbering
-	netID := map[int]int{}
-	nets := 0
-	netOfFrag := make([]int, len(frags))
-	for i := range frags {
-		root := uf.find(i)
-		id, ok := netID[root]
-		if !ok {
-			id = nets
-			nets++
-			netID[root] = id
-		}
-		netOfFrag[i] = id
-	}
-
-	ckt := &Circuit{NetCount: nets, NetOf: map[string]int{}}
-	netAt := func(at geom.Point, layer geom.Layer) (int, bool) {
-		best := -1
-		for i, s := range frags {
-			if s.layer != layer {
-				continue
-			}
-			if s.r.Contains(at) {
-				best = i
-				break
-			}
-		}
-		if best < 0 {
-			return 0, false
-		}
-		return netOfFrag[best], true
-	}
-
-	for _, d := range b.devices {
-		gnet, ok := netAt(centerOf(d.gate), geom.NP)
-		if !ok {
-			return nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.gate)
-		}
-		anet, okA := netAt(d.probeA, geom.ND)
-		bnet, okB := netAt(d.probeB, geom.ND)
-		if !okA || !okB {
-			return nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.gate)
-		}
-		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.kind, Gate: gnet, A: anet, B: bnet})
-	}
-
-	for name, lb := range b.labels {
-		if n, ok := netAt(lb.at, lb.layer); ok {
-			ckt.NetOf[name] = n
-		}
-	}
-	return ckt, nil
-}
-
-func centerOf(r geom.Rect) geom.Point { return r.Center() }
-
-// subtract returns r minus s (up to four rectangles).
-func subtract(r, s geom.Rect) []geom.Rect {
-	i := r.Intersect(s)
-	if i.Empty() {
-		return []geom.Rect{r}
-	}
-	var out []geom.Rect
-	add := func(x geom.Rect) {
-		if !x.Empty() {
-			out = append(out, x)
-		}
-	}
-	add(geom.R(r.Min.X, r.Min.Y, r.Max.X, i.Min.Y)) // below
-	add(geom.R(r.Min.X, i.Max.Y, r.Max.X, r.Max.Y)) // above
-	add(geom.R(r.Min.X, i.Min.Y, i.Min.X, i.Max.Y)) // left
-	add(geom.R(i.Max.X, i.Min.Y, r.Max.X, i.Max.Y)) // right
-	return out
-}
-
-type unionFind struct {
-	parent []int
-}
-
-func newUnionFind(n int) *unionFind {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
-	}
-	return &unionFind{p}
-}
-
-func (u *unionFind) find(x int) int {
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]]
-		x = u.parent[x]
-	}
-	return x
-}
-
-func (u *unionFind) union(a, b int) {
-	u.parent[u.find(a)] = u.find(b)
 }

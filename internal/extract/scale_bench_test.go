@@ -1,0 +1,32 @@
+package extract
+
+import (
+	"fmt"
+	"testing"
+)
+
+// BenchmarkExtractScale times full extraction of N x N SRCELL arrays —
+// the replicated-composition workload the paper's Nx/Ny primitive
+// creates — for both the production extractor (spatial index,
+// sweep-line connectivity, parallel flatten) and the brute-force
+// reference it replaced. BENCH_extract.json records the trajectory;
+// the 16x16 case is the ISSUE's >=10x target.
+func BenchmarkExtractScale(b *testing.B) {
+	for _, n := range []int{2, 4, 8, 16} {
+		top := srArray(b, n, n)
+		b.Run(fmt.Sprintf("%dx%d/indexed", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := FromCell(top); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/brute", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := fromCell(top, true); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,361 @@
+package extract
+
+import (
+	"fmt"
+	"sort"
+
+	"riot/internal/geom"
+)
+
+// solve fragments diffusion at gates, unions touching material and
+// assigns nets. With brute set it runs the quadratic reference
+// algorithms instead of the sweep-line and spatial index; both paths
+// yield byte-identical circuits (the fragment list, and therefore the
+// dense net numbering, is order-identical).
+func (b *builder) solve(brute bool) (*Circuit, error) {
+	frags := b.fragment(brute)
+
+	uf := newUnionFind(len(frags))
+	// same-layer touching material is one net
+	if brute {
+		for i := range frags {
+			for j := i + 1; j < len(frags); j++ {
+				if frags[i].layer != frags[j].layer {
+					continue
+				}
+				if frags[i].r.Touches(frags[j].r) {
+					uf.union(i, j)
+				}
+			}
+		}
+	} else {
+		byLayer := map[geom.Layer][]int{}
+		for i, s := range frags {
+			byLayer[s.layer] = append(byLayer[s.layer], i)
+		}
+		for _, idxs := range byLayer {
+			sweepUnion(frags, idxs, uf)
+		}
+	}
+
+	// point location over the fragments: the brute path scans the full
+	// slice, the indexed path asks a per-layer geom.Index. Both return
+	// the LOWEST matching fragment index so downstream choices are
+	// identical.
+	loc := newLocator(frags, brute)
+
+	// contacts join layers at a point
+	for k, j := range b.joins {
+		la, lb := b.joinLay[k][0], b.joinLay[k][1]
+		ia := loc.findAt(j[0], la)
+		ib := loc.findAt(j[1], lb)
+		if ia >= 0 && ib >= 0 {
+			uf.union(ia, ib)
+		}
+	}
+
+	// dense net numbering
+	netID := map[int]int{}
+	nets := 0
+	netOfFrag := make([]int, len(frags))
+	for i := range frags {
+		root := uf.find(i)
+		id, ok := netID[root]
+		if !ok {
+			id = nets
+			nets++
+			netID[root] = id
+		}
+		netOfFrag[i] = id
+	}
+
+	ckt := &Circuit{NetCount: nets, NetOf: map[string]int{}}
+	netAt := func(at geom.Point, layer geom.Layer) (int, bool) {
+		i := loc.findOnLayer(at, layer)
+		if i < 0 {
+			return 0, false
+		}
+		return netOfFrag[i], true
+	}
+
+	for _, d := range b.devices {
+		gnet, ok := netAt(centerOf(d.gate), geom.NP)
+		if !ok {
+			return nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.gate)
+		}
+		anet, okA := netAt(d.probeA, geom.ND)
+		bnet, okB := netAt(d.probeB, geom.ND)
+		if !okA || !okB {
+			return nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.gate)
+		}
+		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.kind, Gate: gnet, A: anet, B: bnet})
+	}
+
+	for name, lb := range b.labels {
+		if n, ok := netAt(lb.at, lb.layer); ok {
+			ckt.NetOf[name] = n
+		}
+	}
+	return ckt, nil
+}
+
+// fragment splits every ND shape around every gate strip that cuts it.
+// The indexed path finds cutting gates through a spatial index over
+// the gate strips instead of testing all devices against all diffusion;
+// candidates are subtracted in device order (non-intersecting gates
+// are no-ops in subtract), so the piece sequence matches the brute
+// path exactly.
+func (b *builder) fragment(brute bool) []shape {
+	var gates *geom.Index
+	if !brute && len(b.devices) > 0 {
+		gates = geom.NewIndex()
+		for _, d := range b.devices {
+			gates.Insert(d.gate)
+		}
+		gates.Build()
+	}
+	frags := make([]shape, 0, len(b.shapes))
+	var cand []int
+	for _, s := range b.shapes {
+		if s.layer != geom.ND {
+			frags = append(frags, s)
+			continue
+		}
+		// candidate gate ids, always in device order: the full device
+		// list on the brute path, the index's (sorted) touch set
+		// otherwise — one subtraction loop keeps both paths
+		// byte-identical by construction
+		cand = cand[:0]
+		if gates != nil {
+			gates.QueryRect(s.r, func(id int) bool { cand = append(cand, id); return true })
+			sort.Ints(cand)
+		} else {
+			for id := range b.devices {
+				cand = append(cand, id)
+			}
+		}
+		pieces := []geom.Rect{s.r}
+		for _, id := range cand {
+			var next []geom.Rect
+			for _, p := range pieces {
+				next = append(next, subtract(p, b.devices[id].gate)...)
+			}
+			pieces = next
+		}
+		for _, p := range pieces {
+			frags = append(frags, shape{geom.ND, p})
+		}
+	}
+	return frags
+}
+
+// sweepUnion unions every touching pair among the given same-layer
+// fragments with one sweep over their x-extents. Events are sorted by
+// x with entries before exits, so material that only shares an edge or
+// corner (x ranges meeting exactly) still counts as touching — the
+// closed-interval rule Rect.Touches implements. The active set is kept
+// ordered by Min.Y; an entering rectangle unions with the active
+// prefix whose Min.Y does not exceed its Max.Y.
+func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
+	if len(idxs) < 2 {
+		return
+	}
+	type event struct {
+		x    int
+		exit bool
+		frag int
+	}
+	events := make([]event, 0, 2*len(idxs))
+	for _, i := range idxs {
+		events = append(events, event{frags[i].r.Min.X, false, i}, event{frags[i].r.Max.X, true, i})
+	}
+	sort.Slice(events, func(a, b int) bool {
+		if events[a].x != events[b].x {
+			return events[a].x < events[b].x
+		}
+		if events[a].exit != events[b].exit {
+			return !events[a].exit // entries first: edge contact at shared x still touches
+		}
+		return events[a].frag < events[b].frag
+	})
+
+	// active fragments ordered by (Min.Y, frag)
+	var active []int
+	less := func(f, g int) bool {
+		if frags[f].r.Min.Y != frags[g].r.Min.Y {
+			return frags[f].r.Min.Y < frags[g].r.Min.Y
+		}
+		return f < g
+	}
+	for _, ev := range events {
+		if ev.exit {
+			at := sort.Search(len(active), func(k int) bool { return !less(active[k], ev.frag) })
+			if at < len(active) && active[at] == ev.frag {
+				active = append(active[:at], active[at+1:]...)
+			}
+			continue
+		}
+		r := frags[ev.frag].r
+		// all active rects with Min.Y <= r.Max.Y are y-candidates
+		end := sort.Search(len(active), func(k int) bool { return frags[active[k]].r.Min.Y > r.Max.Y })
+		for _, a := range active[:end] {
+			if frags[a].r.Max.Y >= r.Min.Y {
+				uf.union(a, ev.frag)
+			}
+		}
+		at := sort.Search(len(active), func(k int) bool { return !less(active[k], ev.frag) })
+		active = append(active, 0)
+		copy(active[at+1:], active[at:])
+		active[at] = ev.frag
+	}
+}
+
+// locator answers "which fragment is at this point?" queries. The
+// indexed form holds one geom.Index per layer; the brute form scans
+// the fragment slice. Both return the lowest fragment index that
+// matches, so net lookups are deterministic and identical across the
+// two implementations.
+type locator struct {
+	frags   []shape
+	brute   bool
+	byLayer map[geom.Layer]*geom.Index
+	fragIDs map[geom.Layer][]int // index id -> fragment index, per layer
+}
+
+func newLocator(frags []shape, brute bool) *locator {
+	l := &locator{frags: frags, brute: brute}
+	if brute {
+		return l
+	}
+	l.byLayer = map[geom.Layer]*geom.Index{}
+	l.fragIDs = map[geom.Layer][]int{}
+	for i, s := range frags {
+		ix, ok := l.byLayer[s.layer]
+		if !ok {
+			ix = geom.NewIndex()
+			l.byLayer[s.layer] = ix
+		}
+		ix.Insert(s.r)
+		l.fragIDs[s.layer] = append(l.fragIDs[s.layer], i)
+	}
+	return l
+}
+
+// findOnLayer returns the lowest fragment index on the given layer
+// containing at, or -1.
+func (l *locator) findOnLayer(at geom.Point, layer geom.Layer) int {
+	if l.brute {
+		for i, s := range l.frags {
+			if s.layer == layer && s.r.Contains(at) {
+				return i
+			}
+		}
+		return -1
+	}
+	ix, ok := l.byLayer[layer]
+	if !ok {
+		return -1
+	}
+	best := -1
+	ids := l.fragIDs[layer]
+	ix.QueryPoint(at, func(id int) bool {
+		if f := ids[id]; best < 0 || f < best {
+			best = f
+		}
+		return true
+	})
+	return best
+}
+
+// findAt resolves a contact join point. A named layer restricts the
+// search to that layer; LayerNone means "any layer below the cut"
+// (anything but metal and the cut itself), the rule cifLeaf uses for
+// NC boxes.
+func (l *locator) findAt(at geom.Point, layer geom.Layer) int {
+	if layer != geom.LayerNone {
+		return l.findOnLayer(at, layer)
+	}
+	if l.brute {
+		for i, s := range l.frags {
+			if s.layer == geom.NM || s.layer == geom.NC {
+				continue
+			}
+			if s.r.Contains(at) {
+				return i
+			}
+		}
+		return -1
+	}
+	best := -1
+	for layer := range l.byLayer {
+		if layer == geom.NM || layer == geom.NC {
+			continue
+		}
+		if f := l.findOnLayer(at, layer); f >= 0 && (best < 0 || f < best) {
+			best = f
+		}
+	}
+	return best
+}
+
+func centerOf(r geom.Rect) geom.Point { return r.Center() }
+
+// subtract returns r minus s (up to four rectangles).
+func subtract(r, s geom.Rect) []geom.Rect {
+	i := r.Intersect(s)
+	if i.Empty() {
+		return []geom.Rect{r}
+	}
+	var out []geom.Rect
+	add := func(x geom.Rect) {
+		if !x.Empty() {
+			out = append(out, x)
+		}
+	}
+	add(geom.R(r.Min.X, r.Min.Y, r.Max.X, i.Min.Y)) // below
+	add(geom.R(r.Min.X, i.Max.Y, r.Max.X, r.Max.Y)) // above
+	add(geom.R(r.Min.X, i.Min.Y, i.Min.X, i.Max.Y)) // left
+	add(geom.R(i.Max.X, i.Min.Y, r.Max.X, i.Max.Y)) // right
+	return out
+}
+
+// unionFind is a union-by-rank, path-compressing disjoint-set forest:
+// find is effectively O(1) amortized, and union never grafts a taller
+// tree under a shorter one, so the chains the old rank-less version
+// could build on adversarial union orders cannot form.
+type unionFind struct {
+	parent []int
+	rank   []uint8
+}
+
+func newUnionFind(n int) *unionFind {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	return &unionFind{p, make([]uint8, n)}
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	switch {
+	case u.rank[ra] < u.rank[rb]:
+		u.parent[ra] = rb
+	case u.rank[ra] > u.rank[rb]:
+		u.parent[rb] = ra
+	default:
+		u.parent[rb] = ra
+		u.rank[ra]++
+	}
+}

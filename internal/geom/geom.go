@@ -10,6 +10,13 @@
 // when they are converted to geometry. Integer arithmetic keeps every
 // placement, abutment and routing operation exact, which is what lets
 // Riot "guarantee that connections are made correctly".
+//
+// Beyond the primitives, the package provides Index, a uniform-grid
+// spatial index over rectangle sets that turns the system's hot
+// geometric queries — rectangle-touch enumeration and point location —
+// from linear scans into expected constant-time bin lookups. The
+// circuit extractor and the display's viewport culling both build on
+// it.
 package geom
 
 import "fmt"

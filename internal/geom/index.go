@@ -1,0 +1,195 @@
+package geom
+
+import "math"
+
+// Index is a uniform-grid spatial index over integer rectangles. It
+// answers the two queries every hot geometry path in Riot needs —
+// "which rectangles touch this rectangle?" and "which rectangles
+// contain this point?" — in expected O(1 + answer) time instead of a
+// linear scan over the whole shape set.
+//
+// The index is built over a batch of rectangles: Insert rectangles
+// (each gets a dense integer id in insertion order), then query.
+// Building is lazy — the first query after an Insert rebins everything
+// — so the typical collect-then-query usage pays one O(n) build.
+//
+// Geometry follows the package's closed-interval convention: a query
+// reports every rectangle that Touches the query rectangle (shared
+// edges and corners included), matching the electrical-connectivity
+// rule that edge-adjacent material on one mask layer is connected.
+//
+// The grid is sized so the expected occupancy is a few rectangles per
+// bin; degenerate distributions (everything in one bin) degrade to the
+// linear scan the index replaces, never worse. An Index is not safe
+// for concurrent use.
+type Index struct {
+	rects []Rect
+
+	built  bool
+	bounds Rect
+	nx, ny int // grid dimensions
+	cw, ch int // bin size in design units
+	bins   [][]int32
+	stamp  []uint32 // per-id visit marker, keyed by epoch
+	epoch  uint32
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index { return &Index{} }
+
+// NewIndexFrom returns an index over a copy of the given rectangles;
+// ids are the slice indices. Rectangles are normalized on the way in,
+// exactly as Insert does.
+func NewIndexFrom(rects []Rect) *Index {
+	ix := &Index{rects: make([]Rect, len(rects))}
+	for i, r := range rects {
+		ix.rects[i] = r.Canon()
+	}
+	return ix
+}
+
+// Insert adds a rectangle and returns its id (dense, in insertion
+// order). Inserting invalidates the built grid; the next query
+// rebuilds it.
+func (ix *Index) Insert(r Rect) int {
+	ix.rects = append(ix.rects, r.Canon())
+	ix.built = false
+	return len(ix.rects) - 1
+}
+
+// Len returns the number of indexed rectangles.
+func (ix *Index) Len() int { return len(ix.rects) }
+
+// RectOf returns the rectangle stored under id.
+func (ix *Index) RectOf(id int) Rect { return ix.rects[id] }
+
+// Build bins every rectangle into the uniform grid. Calling Build is
+// optional — queries build on demand — but lets callers front-load the
+// cost.
+func (ix *Index) Build() {
+	n := len(ix.rects)
+	ix.built = true
+	ix.epoch = 0
+	if n == 0 {
+		ix.nx, ix.ny = 0, 0
+		ix.bins = nil
+		ix.stamp = nil
+		return
+	}
+	b := ix.rects[0]
+	for _, r := range ix.rects[1:] {
+		b = Rect{
+			Point{min(b.Min.X, r.Min.X), min(b.Min.Y, r.Min.Y)},
+			Point{max(b.Max.X, r.Max.X), max(b.Max.Y, r.Max.Y)},
+		}
+	}
+	ix.bounds = b
+	// Aim for about one rectangle per bin on a square-ish grid, capped
+	// so pathological counts cannot allocate an absurd grid.
+	side := int(math.Sqrt(float64(n))) + 1
+	if side > 2048 {
+		side = 2048
+	}
+	ix.nx, ix.ny = side, side
+	ix.cw = (b.W() / side) + 1
+	ix.ch = (b.H() / side) + 1
+	ix.bins = make([][]int32, ix.nx*ix.ny)
+	ix.stamp = make([]uint32, n)
+	for id, r := range ix.rects {
+		x0, y0 := ix.col(r.Min.X), ix.row(r.Min.Y)
+		x1, y1 := ix.col(r.Max.X), ix.row(r.Max.Y)
+		for y := y0; y <= y1; y++ {
+			row := y * ix.nx
+			for x := x0; x <= x1; x++ {
+				ix.bins[row+x] = append(ix.bins[row+x], int32(id))
+			}
+		}
+	}
+}
+
+// col maps an x coordinate to a grid column, clamped to the grid.
+func (ix *Index) col(x int) int {
+	c := (x - ix.bounds.Min.X) / ix.cw
+	if c < 0 {
+		return 0
+	}
+	if c >= ix.nx {
+		return ix.nx - 1
+	}
+	return c
+}
+
+// row maps a y coordinate to a grid row, clamped to the grid.
+func (ix *Index) row(y int) int {
+	r := (y - ix.bounds.Min.Y) / ix.ch
+	if r < 0 {
+		return 0
+	}
+	if r >= ix.ny {
+		return ix.ny - 1
+	}
+	return r
+}
+
+// nextEpoch advances the per-query visit marker, resetting the stamps
+// on the (practically unreachable) wraparound.
+func (ix *Index) nextEpoch() uint32 {
+	ix.epoch++
+	if ix.epoch == 0 {
+		for i := range ix.stamp {
+			ix.stamp[i] = 0
+		}
+		ix.epoch = 1
+	}
+	return ix.epoch
+}
+
+// QueryRect calls fn once for each rectangle that touches q (shared
+// edges and corners count). fn returning false stops the query. Ids
+// arrive in grid-scan order, not sorted; callers that need the lowest
+// id must track the minimum themselves.
+func (ix *Index) QueryRect(q Rect, fn func(id int) bool) {
+	if !ix.built {
+		ix.Build()
+	}
+	if len(ix.rects) == 0 {
+		return
+	}
+	q = q.Canon()
+	if !ix.bounds.Touches(q) {
+		return
+	}
+	epoch := ix.nextEpoch()
+	x0, y0 := ix.col(q.Min.X), ix.row(q.Min.Y)
+	x1, y1 := ix.col(q.Max.X), ix.row(q.Max.Y)
+	for y := y0; y <= y1; y++ {
+		row := y * ix.nx
+		for x := x0; x <= x1; x++ {
+			for _, id := range ix.bins[row+x] {
+				if ix.stamp[id] == epoch {
+					continue
+				}
+				ix.stamp[id] = epoch
+				if ix.rects[id].Touches(q) && !fn(int(id)) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// QueryPoint calls fn once for each rectangle containing p (boundary
+// included). fn returning false stops the query.
+func (ix *Index) QueryPoint(p Point, fn func(id int) bool) {
+	if !ix.built {
+		ix.Build()
+	}
+	if len(ix.rects) == 0 || !ix.bounds.Contains(p) {
+		return
+	}
+	for _, id := range ix.bins[ix.row(p.Y)*ix.nx+ix.col(p.X)] {
+		if ix.rects[id].Contains(p) && !fn(int(id)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func collectRect(ix *Index, q Rect) []int {
+	var got []int
+	ix.QueryRect(q, func(id int) bool { got = append(got, id); return true })
+	sort.Ints(got)
+	return got
+}
+
+func collectPoint(ix *Index, p Point) []int {
+	var got []int
+	ix.QueryPoint(p, func(id int) bool { got = append(got, id); return true })
+	sort.Ints(got)
+	return got
+}
+
+func bruteRect(rects []Rect, q Rect) []int {
+	var got []int
+	for i, r := range rects {
+		if r.Touches(q) {
+			got = append(got, i)
+		}
+	}
+	return got
+}
+
+func brutePoint(rects []Rect, p Point) []int {
+	var got []int
+	for i, r := range rects {
+		if r.Contains(p) {
+			got = append(got, i)
+		}
+	}
+	return got
+}
+
+func sameInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestIndexEmpty(t *testing.T) {
+	ix := NewIndex()
+	if got := collectRect(ix, R(0, 0, 10, 10)); got != nil {
+		t.Errorf("empty QueryRect = %v", got)
+	}
+	if got := collectPoint(ix, Pt(3, 3)); got != nil {
+		t.Errorf("empty QueryPoint = %v", got)
+	}
+}
+
+func TestIndexEdgeTouch(t *testing.T) {
+	// Two rects sharing only an edge, one sharing only a corner: the
+	// electrical rule counts both as touching.
+	ix := NewIndexFrom([]Rect{
+		R(0, 0, 10, 10),   // 0
+		R(10, 0, 20, 10),  // 1: shares the x=10 edge with 0
+		R(10, 10, 20, 20), // 2: shares only the corner (10,10) with 0
+		R(30, 30, 40, 40), // 3: far away
+	})
+	if got := collectRect(ix, R(0, 0, 10, 10)); !sameInts(got, []int{0, 1, 2}) {
+		t.Errorf("QueryRect = %v, want [0 1 2]", got)
+	}
+	if got := collectPoint(ix, Pt(10, 10)); !sameInts(got, []int{0, 1, 2}) {
+		t.Errorf("QueryPoint corner = %v, want [0 1 2]", got)
+	}
+	if got := collectPoint(ix, Pt(35, 35)); !sameInts(got, []int{3}) {
+		t.Errorf("QueryPoint = %v, want [3]", got)
+	}
+}
+
+func TestIndexInsertInvalidates(t *testing.T) {
+	ix := NewIndex()
+	ix.Insert(R(0, 0, 5, 5))
+	if got := collectPoint(ix, Pt(2, 2)); !sameInts(got, []int{0}) {
+		t.Fatalf("first query = %v", got)
+	}
+	// Insert after a build: the grid must rebuild and see the new rect
+	// even though it falls outside the first build's bounds.
+	id := ix.Insert(R(100, 100, 110, 110))
+	if id != 1 {
+		t.Fatalf("second id = %d", id)
+	}
+	if got := collectPoint(ix, Pt(105, 105)); !sameInts(got, []int{1}) {
+		t.Errorf("post-insert query = %v, want [1]", got)
+	}
+}
+
+func TestIndexEarlyStop(t *testing.T) {
+	ix := NewIndexFrom([]Rect{R(0, 0, 10, 10), R(0, 0, 10, 10), R(0, 0, 10, 10)})
+	calls := 0
+	ix.QueryRect(R(0, 0, 10, 10), func(id int) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early-stop QueryRect made %d calls", calls)
+	}
+	calls = 0
+	ix.QueryPoint(Pt(5, 5), func(id int) bool { calls++; return false })
+	if calls != 1 {
+		t.Errorf("early-stop QueryPoint made %d calls", calls)
+	}
+}
+
+// TestIndexRandomized cross-checks the grid against the brute-force
+// scan it replaces, on rect soups with heavy overlap, degenerate
+// (zero-area) rects, and negative coordinates.
+func TestIndexRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		rects := make([]Rect, n)
+		for i := range rects {
+			x, y := rng.Intn(400)-200, rng.Intn(400)-200
+			w, h := rng.Intn(60), rng.Intn(60)
+			rects[i] = R(x, y, x+w, y+h)
+		}
+		ix := NewIndexFrom(rects)
+		for q := 0; q < 50; q++ {
+			x, y := rng.Intn(500)-250, rng.Intn(500)-250
+			qr := R(x, y, x+rng.Intn(100), y+rng.Intn(100))
+			if got, want := collectRect(ix, qr), bruteRect(rects, qr); !sameInts(got, want) {
+				t.Fatalf("trial %d: QueryRect(%v) = %v, want %v", trial, qr, got, want)
+			}
+			p := Pt(x, y)
+			if got, want := collectPoint(ix, p), brutePoint(rects, p); !sameInts(got, want) {
+				t.Fatalf("trial %d: QueryPoint(%v) = %v, want %v", trial, p, got, want)
+			}
+		}
+	}
+}
+
+func BenchmarkIndexQueryRect(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	rects := make([]Rect, 10000)
+	for i := range rects {
+		x, y := rng.Intn(100000), rng.Intn(100000)
+		rects[i] = R(x, y, x+rng.Intn(500), y+rng.Intn(500))
+	}
+	ix := NewIndexFrom(rects)
+	ix.Build()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		q := rects[i%len(rects)]
+		ix.QueryRect(q, func(int) bool { return true })
+	}
+}

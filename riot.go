@@ -38,6 +38,7 @@
 package riot
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 	"io/fs"
@@ -169,11 +170,11 @@ func (s *Session) RenderPPM(cellName string, w, h int, geometry bool) ([]byte, e
 	im := raster.New(w, h)
 	v := display.FitView(cell.BBox(), geom.R(0, 0, w-1, h-1), true)
 	display.DrawCell(display.RasterCanvas{Im: im}, v, cell, display.Options{Geometry: geometry})
-	var b strings.Builder
+	var b bytes.Buffer
 	if err := im.WritePPM(&b); err != nil {
 		return nil, err
 	}
-	return []byte(b.String()), nil
+	return b.Bytes(), nil
 }
 
 // PlotHPGL renders a cell for the four-pen plotter and returns the
@@ -187,14 +188,14 @@ func (s *Session) PlotHPGL(cellName string, geometry bool) ([]byte, error) {
 }
 
 func plotCell(cell *core.Cell, geometry bool) ([]byte, error) {
-	var b strings.Builder
+	var b bytes.Buffer
 	p := plot.New(&b)
 	v := display.FitView(cell.BBox(), geom.R(0, 0, 10000, 7200), false)
 	display.DrawCell(display.PlotCanvas{P: p}, v, cell, display.Options{Geometry: geometry})
 	if err := p.Finish(); err != nil {
 		return nil, err
 	}
-	return []byte(b.String()), nil
+	return b.Bytes(), nil
 }
 
 // ExportCIF flattens a cell into CIF text for mask generation.
