@@ -11,6 +11,9 @@
 //	                          edit through the figure-2 screen layout
 //	riot -workstation gigi    use the GIGI configuration (default
 //	                          charles)
+//	riot -drc CHIP            after the script, design-rule check the
+//	                          named cell; exit status 1 if it has
+//	                          violations
 //
 // Files are read from and written to the working directory. The
 // standard cell library (pads.cif, srcell.sticks, nand.sticks,
@@ -32,6 +35,7 @@ func main() {
 	cmds := flag.String("c", "", "semicolon-separated commands to run")
 	screenshot := flag.String("screenshot", "", "write a screen image (PPM) after the script")
 	station := flag.String("workstation", "charles", "workstation configuration: charles or gigi")
+	drcCell := flag.String("drc", "", "design-rule check a cell after the script (exit 1 on violations)")
 	flag.Parse()
 
 	s, err := riot.NewSession(os.Stdout)
@@ -79,6 +83,26 @@ func main() {
 		}
 	}
 
+	drcDirty := false
+	if *drcCell != "" {
+		// failures exit 1, but only after a requested screenshot is
+		// written — the render of the failing layout is what the user
+		// wants
+		switch vs, err := s.CheckDRC(*drcCell); {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			drcDirty = true
+		case len(vs) > 0:
+			for _, v := range vs {
+				fmt.Println(v)
+			}
+			fmt.Printf("%s: %d design-rule violation(s)\n", *drcCell, len(vs))
+			drcDirty = true
+		default:
+			fmt.Printf("%s: no design-rule violations\n", *drcCell)
+		}
+	}
+
 	if *screenshot != "" {
 		if s.Editor() == nil {
 			fail(fmt.Errorf("riot: -screenshot needs a cell under edit at script end"))
@@ -88,5 +112,9 @@ func main() {
 		u.ShowNames = true
 		fail(u.Screenshot(*screenshot))
 		fmt.Printf("screenshot written to %s\n", *screenshot)
+	}
+
+	if drcDirty {
+		os.Exit(1)
 	}
 }

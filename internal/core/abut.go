@@ -22,6 +22,7 @@ import (
 // The pending list is consumed. Warnings report connections the final
 // position does not satisfy.
 func (e *Editor) Abut(overlap bool) ([]string, error) {
+	e.touch()
 	from, conns, err := e.pendingFrom()
 	if err != nil {
 		return nil, err

@@ -41,6 +41,14 @@ type Editor struct {
 	TracksPerChannel int
 
 	nextInst int
+
+	// Pointing support: a geom.Index over the instances' bounding
+	// boxes, keyed by an edit generation so pan/zoom pointing over an
+	// unchanged cell never rebuilds or rescans. Every editing
+	// operation bumps gen.
+	gen    uint64
+	hitIx  *geom.Index
+	hitGen uint64
 }
 
 // NewEditor opens a composition cell for editing.
@@ -49,6 +57,44 @@ func NewEditor(d *Design, cell *Cell) (*Editor, error) {
 		return nil, fmt.Errorf("core: cannot edit leaf cell %q (Riot edits composition cells only)", cell.Name)
 	}
 	return &Editor{Design: d, Cell: cell}, nil
+}
+
+// touch records that the cell under edit changed, invalidating the
+// pointing index.
+func (e *Editor) touch() { e.gen++ }
+
+// Invalidate marks the cell under edit as externally modified. Callers
+// that mutate instances directly (rather than through Editor methods)
+// must call it before the next HitInstance.
+func (e *Editor) Invalidate() { e.touch() }
+
+// HitInstance returns the topmost (last-created, so last-drawn)
+// instance whose bounding box contains the design-plane point, or nil.
+// Lookups go through a spatial index over the instance boxes instead
+// of a linear scan; the index is rebuilt only after an editing
+// operation, so repeated pointing at a static cell is O(1) per query.
+func (e *Editor) HitInstance(p geom.Point) *Instance {
+	insts := e.Cell.Instances
+	if e.hitIx == nil || e.hitGen != e.gen || e.hitIx.Len() != len(insts) {
+		ix := geom.NewIndex()
+		for _, in := range insts {
+			ix.Insert(in.BBox())
+		}
+		ix.Build()
+		e.hitIx = ix
+		e.hitGen = e.gen
+	}
+	best := -1
+	e.hitIx.QueryPoint(p, func(id int) bool {
+		if id > best {
+			best = id
+		}
+		return true
+	})
+	if best < 0 {
+		return nil
+	}
+	return insts[best]
 }
 
 // CreateInstance adds an instance of a named cell to the cell under
@@ -88,6 +134,7 @@ func (e *Editor) CreateInstance(cellName, instName string, tr geom.Transform, nx
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	e.touch()
 	e.Cell.Instances = append(e.Cell.Instances, in)
 	return in, nil
 }
@@ -95,6 +142,7 @@ func (e *Editor) CreateInstance(cellName, instName string, tr geom.Transform, nx
 // DeleteInstance removes an instance and every pending connection that
 // references it.
 func (e *Editor) DeleteInstance(in *Instance) error {
+	e.touch()
 	found := false
 	for i, x := range e.Cell.Instances {
 		if x == in {
@@ -120,11 +168,13 @@ func (e *Editor) DeleteInstance(in *Instance) error {
 // instance can silently destroy a previously made (positional)
 // connection — the fundamental Riot limitation the paper discusses.
 func (e *Editor) MoveInstance(in *Instance, d geom.Point) {
+	e.touch()
 	in.Tr = in.Tr.Translated(d)
 }
 
 // PlaceInstance sets an instance's transform outright.
 func (e *Editor) PlaceInstance(in *Instance, tr geom.Transform) {
+	e.touch()
 	in.Tr = tr
 }
 
@@ -132,6 +182,7 @@ func (e *Editor) PlaceInstance(in *Instance, tr geom.Transform) {
 // instance's bounding-box minimum corner, so the instance stays in
 // place while turning.
 func (e *Editor) OrientInstance(in *Instance, o geom.Orient) {
+	e.touch()
 	before := in.BBox()
 	in.Tr = in.Tr.Then(geom.MakeTransform(o, geom.Point{}))
 	after := in.BBox()
@@ -140,6 +191,7 @@ func (e *Editor) OrientInstance(in *Instance, o geom.Orient) {
 
 // Replicate sets an instance's array replication.
 func (e *Editor) Replicate(in *Instance, nx, ny, sx, sy int) error {
+	e.touch()
 	if nx < 1 {
 		nx = 1
 	}

@@ -22,6 +22,7 @@ import (
 // cell reaches exactly to the current bounding-box edge, so the
 // brought-out connectors appear as connectors of the composition cell.
 func (e *Editor) BringOut(in *Instance, connNames []string, side geom.Side) (*Instance, error) {
+	e.touch()
 	if len(connNames) == 0 {
 		return nil, fmt.Errorf("core: BringOut needs at least one connector")
 	}

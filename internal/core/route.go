@@ -37,6 +37,7 @@ type RouteResult struct {
 //
 // The pending connection list is consumed.
 func (e *Editor) RouteConnect(opt RouteOptions) (*RouteResult, error) {
+	e.touch()
 	from, conns, err := e.pendingFrom()
 	if err != nil {
 		return nil, err

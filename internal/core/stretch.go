@@ -32,6 +32,7 @@ type StretchResult struct {
 // are abutted, completing the connection without routing. The pending
 // connection list is consumed.
 func (e *Editor) StretchConnect() (*StretchResult, error) {
+	e.touch()
 	from, conns, err := e.pendingFrom()
 	if err != nil {
 		return nil, err

@@ -143,3 +143,43 @@ func BenchmarkDrawCulledArray(b *testing.B) {
 		DrawCell(RasterCanvas{Im: im}, v, top, Options{})
 	}
 }
+
+// TestCullDrawInstance: the figure-3 DrawInstance entry point culls
+// off-window array copies itself — zoomed into one copy of a 10x10
+// array, it paints the same pixels as the uncull per-copy reference
+// but far fewer connector crosses than the whole array carries.
+func TestCullDrawInstance(t *testing.T) {
+	top := bigArray(t)
+	in := top.Instances[0]
+	v := View{
+		Window: geom.R(0, 0, 25*L, 15*L),
+		Screen: geom.R(0, 0, 399, 299),
+		FlipY:  true,
+	}
+	culled := raster.New(400, 300)
+	DrawInstance(RasterCanvas{Im: culled}, v, in, Options{})
+	if culled.CountColor(geom.ColorWhite) == 0 {
+		t.Fatal("visible copy culled away")
+	}
+	if culled.CountColor(geom.ColorBlue) == 0 {
+		t.Fatal("visible copy's connector crosses culled away")
+	}
+	// uncull reference: every copy drawn directly
+	plain := raster.New(400, 300)
+	sb := newDrawCache()
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			drawInstanceCopy(RasterCanvas{Im: plain}, v, in, i, j, geom.Identity, Options{}, sb)
+		}
+	}
+	var want, got bytes.Buffer
+	if err := plain.WritePPM(&want); err != nil {
+		t.Fatal(err)
+	}
+	if err := culled.WritePPM(&got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(want.Bytes(), got.Bytes()) {
+		t.Error("culled DrawInstance differs from the uncull reference render")
+	}
+}

@@ -178,9 +178,9 @@ func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options
 	}
 }
 
-// cullMinCopies is the instance-copy count below which a composition is
-// drawn without building a cull index; tiny compositions are cheaper to
-// draw outright.
+// cullMinCopies is the replication count below which an instance is
+// drawn without building a cull index; tiny arrays are cheaper to draw
+// outright.
 const cullMinCopies = 16
 
 // cullMargin returns the design-space slop added around the window when
@@ -192,21 +192,19 @@ func cullMargin(v View) int {
 	return 16*dpp + 4*rules.Lambda
 }
 
-// drawComposition renders a composition's instances. Replicated
-// compositions — the Nx x Ny arrays the paper's composition primitives
-// produce — are culled against the viewport through a geom.Index over
-// the copies' bounding boxes, so panning around a large array redraws
-// only the visible copies instead of walking every one. Copies draw in
-// the same instance/grid order as the plain loop, keeping output
-// deterministic. Name labels can extend arbitrarily far past a box, so
-// ShowNames disables culling.
+// drawComposition renders a composition's instances in declaration
+// order. Culling happens at two levels: compositions with many
+// instances cull whole instances against the viewport through a
+// geom.Index over their bounding boxes (so a padframe of dozens of
+// one-copy cells skips the off-window ones), and drawInstance culls
+// the array copies inside each instance that survives. Name labels can
+// extend arbitrarily far past a box, so ShowNames (box view) disables
+// culling.
 func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, sb *drawCache) {
 	total := 0
 	for _, in := range cell.Instances {
 		total += in.Nx * in.Ny
 	}
-	// name text only renders in the box view; in Geometry mode ShowNames
-	// draws nothing, so culling stays on
 	if (opt.ShowNames && !opt.Geometry) || total < cullMinCopies {
 		for _, in := range cell.Instances {
 			drawInstance(cv, v, in, tr, opt, sb)
@@ -215,30 +213,17 @@ func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt 
 	}
 	ix := geom.NewIndex()
 	for _, in := range cell.Instances {
-		// a sticks cell's mask geometry can overhang its declared
-		// bounding box (wires are centered on their path), so the cull
-		// rect grows by the cell's worst-case overhang
-		cb := in.Cell.BBox().Inset(-sb.cellOverhang(in.Cell))
-		for i := 0; i < in.Nx; i++ {
-			for j := 0; j < in.Ny; j++ {
-				ix.Insert(in.CopyTransform(i, j).Then(tr).ApplyRect(cb))
-			}
-		}
+		box := tr.ApplyRect(in.BBox()).Inset(-sb.cellOverhang(in.Cell))
+		ix.Insert(box)
 	}
 	visible := make([]bool, ix.Len())
 	ix.QueryRect(v.Window.Inset(-cullMargin(v)), func(id int) bool {
 		visible[id] = true
 		return true
 	})
-	k := 0
-	for _, in := range cell.Instances {
-		for i := 0; i < in.Nx; i++ {
-			for j := 0; j < in.Ny; j++ {
-				if visible[k] {
-					drawInstanceCopy(cv, v, in, i, j, tr, opt, sb)
-				}
-				k++
-			}
+	for k, in := range cell.Instances {
+		if visible[k] {
+			drawInstance(cv, v, in, tr, opt, sb)
 		}
 	}
 }
@@ -295,10 +280,46 @@ func (sb *drawCache) geomOverhang(c *core.Cell) int {
 	}
 }
 
+// drawInstance renders every array copy of an instance. Replicated
+// instances — the Nx x Ny arrays the paper's composition primitives
+// produce — are culled against the viewport through a geom.Index over
+// the copies' bounding boxes, so panning around a large array redraws
+// only the visible copies instead of walking every one. Copies draw in
+// grid order, matching the plain loop, so output is deterministic.
+// Name labels can extend arbitrarily far past a box, so ShowNames (in
+// the box view, the only mode that renders text) disables culling.
 func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options, sb *drawCache) {
+	n := in.Nx * in.Ny
+	if (opt.ShowNames && !opt.Geometry) || n < cullMinCopies {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				drawInstanceCopy(cv, v, in, i, j, outer, opt, sb)
+			}
+		}
+		return
+	}
+	// a sticks cell's mask geometry can overhang its declared bounding
+	// box (wires are centered on their path), so the cull rect grows by
+	// the cell's worst-case overhang
+	cb := in.Cell.BBox().Inset(-sb.cellOverhang(in.Cell))
+	ix := geom.NewIndex()
 	for i := 0; i < in.Nx; i++ {
 		for j := 0; j < in.Ny; j++ {
-			drawInstanceCopy(cv, v, in, i, j, outer, opt, sb)
+			ix.Insert(in.CopyTransform(i, j).Then(outer).ApplyRect(cb))
+		}
+	}
+	visible := make([]bool, ix.Len())
+	ix.QueryRect(v.Window.Inset(-cullMargin(v)), func(id int) bool {
+		visible[id] = true
+		return true
+	})
+	k := 0
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			if visible[k] {
+				drawInstanceCopy(cv, v, in, i, j, outer, opt, sb)
+			}
+			k++
 		}
 	}
 }

@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"riot/internal/core"
+	"riot/internal/flatten"
 	"riot/internal/geom"
 	"riot/internal/lib"
 	"riot/internal/rules"
@@ -146,21 +147,15 @@ func TestExtractConnectivityFuzz(t *testing.T) {
 	for trial := 0; trial < 40; trial++ {
 		span := 200 + rng.Intn(2000)
 		n := 5 + rng.Intn(120)
-		mk := func() *builder {
-			b := &builder{labels: map[string]struct {
-				at    geom.Point
-				layer geom.Layer
-			}{}}
+		mk := func() *flatten.Result {
+			fr := &flatten.Result{Labels: map[string]flatten.Label{}}
 			for i := 0; i < n; i++ {
 				x, y := rng.Intn(span), rng.Intn(span)
 				w, h := rng.Intn(span/4), rng.Intn(span/4)
 				lay := layers[rng.Intn(len(layers))]
 				r := geom.R(x, y, x+w, y+h)
-				b.shapes = append(b.shapes, shape{lay, r})
-				b.labels[fmt.Sprintf("s%d", i)] = struct {
-					at    geom.Point
-					layer geom.Layer
-				}{r.Center(), lay}
+				fr.Shapes = append(fr.Shapes, flatten.Shape{Layer: lay, R: r})
+				fr.Labels[fmt.Sprintf("s%d", i)] = flatten.Label{At: r.Center(), Layer: lay}
 				if rng.Intn(4) == 0 {
 					// contact join at this rect's center to a random layer
 					// (or the LayerNone wildcard)
@@ -168,18 +163,20 @@ func TestExtractConnectivityFuzz(t *testing.T) {
 					if rng.Intn(2) == 0 {
 						to = layers[rng.Intn(len(layers))]
 					}
-					b.joins = append(b.joins, [2]geom.Point{r.Center(), r.Center()})
-					b.joinLay = append(b.joinLay, [2]geom.Layer{lay, to})
+					fr.Joins = append(fr.Joins, flatten.Join{
+						At:     [2]geom.Point{r.Center(), r.Center()},
+						Layers: [2]geom.Layer{lay, to},
+					})
 				}
 			}
-			return b
+			return fr
 		}
-		// identical builders: mk consumes rng, so build once and copy
-		b1 := mk()
-		b2 := &builder{shapes: b1.shapes, devices: b1.devices,
-			joins: b1.joins, joinLay: b1.joinLay, labels: b1.labels}
-		fast, errF := b1.solve(false)
-		slow, errB := b2.solve(true)
+		// identical inputs: mk consumes rng, so build once and copy
+		fr1 := mk()
+		fr2 := &flatten.Result{Shapes: fr1.Shapes, Devices: fr1.Devices,
+			Joins: fr1.Joins, Labels: fr1.Labels}
+		fast, errF := solve(fr1, false)
+		slow, errB := solve(fr2, true)
 		if errF != nil || errB != nil {
 			t.Fatalf("trial %d: solve errors %v / %v", trial, errF, errB)
 		}

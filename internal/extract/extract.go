@@ -1,8 +1,7 @@
 // Package extract recovers a transistor-level circuit from an
-// assembled Riot cell, flattening the hierarchy into mask shapes and
-// computing electrical connectivity: same-layer material that touches
-// is one net, contacts join layers, and poly crossing a transistor
-// channel splits the diffusion into source and drain.
+// assembled Riot cell: same-layer material that touches is one net,
+// contacts join layers, and poly crossing a transistor channel splits
+// the diffusion into source and drain.
 //
 // The original Riot had nothing like this — which is exactly why its
 // users "must verify connections with extensive checking". The
@@ -13,11 +12,10 @@
 //
 // # Algorithm
 //
-// Extraction has two phases. Flattening walks the cell hierarchy and
-// emits every mask rectangle, device and contact in top-level
-// coordinates; replicated arrays (Nx x Ny instances) fan out across
-// goroutines, each filling a private shard that is merged back in grid
-// order so the flattened shape list is deterministic. Solving then
+// Extraction consumes the shared flattening layer (internal/flatten),
+// which walks the cell hierarchy and emits every mask rectangle,
+// device and contact in top-level coordinates — replicated arrays fan
+// out across goroutines with a deterministic shard merge. Solving then
 // recovers connectivity:
 //
 //   - diffusion is fragmented at transistor gates, finding the gates
@@ -36,14 +34,8 @@
 package extract
 
 import (
-	"fmt"
-	"runtime"
-	"sync"
-
-	"riot/internal/cif"
 	"riot/internal/core"
-	"riot/internal/geom"
-	"riot/internal/rules"
+	"riot/internal/flatten"
 	"riot/internal/sticks"
 )
 
@@ -79,36 +71,6 @@ func (c *Circuit) Net(label string) (int, bool) {
 	return n, ok
 }
 
-// shape is one rectangle of mask material.
-type shape struct {
-	layer geom.Layer
-	r     geom.Rect
-}
-
-// device is a transistor's geometry in flattened (centimicron) space.
-type device struct {
-	kind    sticks.DeviceKind
-	gate    geom.Rect // gate poly strip
-	channel geom.Rect // diffusion channel extent
-	probeA  geom.Point
-	probeB  geom.Point
-	probeG  geom.Point
-}
-
-type builder struct {
-	shapes  []shape
-	devices []device
-	joins   [][2]geom.Point // contact join points (same point, two layers)
-	joinLay [][2]geom.Layer
-	labels  map[string]struct {
-		at    geom.Point
-		layer geom.Layer
-	}
-	// sequential disables the parallel array flatten (set on shard
-	// builders and on the brute-force reference path).
-	sequential bool
-}
-
 // FromCell extracts the circuit of a cell. Labels cover the cell's own
 // connectors and, for composition cells, every instance connector
 // ("inst.CONN").
@@ -121,202 +83,9 @@ func FromCell(c *core.Cell) (*Circuit, error) {
 // sequential flatten). Both produce identical circuits; the reference
 // exists for differential tests and the scaling benchmark.
 func fromCell(c *core.Cell, brute bool) (*Circuit, error) {
-	b := &builder{labels: map[string]struct {
-		at    geom.Point
-		layer geom.Layer
-	}{}, sequential: brute}
-	if err := b.cell(c, geom.Identity); err != nil {
+	fr, err := flatten.Cell(c, flatten.Options{Sequential: brute})
+	if err != nil {
 		return nil, err
 	}
-	for _, cn := range c.Connectors() {
-		b.labels[cn.Name] = struct {
-			at    geom.Point
-			layer geom.Layer
-		}{cn.At, cn.Layer}
-	}
-	if c.Kind == core.Composition {
-		for _, in := range c.Instances {
-			for _, ic := range in.Connectors() {
-				b.labels[in.Name+"."+ic.Name] = struct {
-					at    geom.Point
-					layer geom.Layer
-				}{ic.At, ic.Layer}
-			}
-		}
-	}
-	return b.solve(brute)
-}
-
-func (b *builder) cell(c *core.Cell, tr geom.Transform) error {
-	switch c.Kind {
-	case core.Composition:
-		for _, in := range c.Instances {
-			if err := b.instance(in, tr); err != nil {
-				return err
-			}
-		}
-		return nil
-	case core.LeafSticks:
-		return b.sticksLeaf(c.Sticks, tr)
-	default:
-		return b.cifLeaf(c.CIFFile, c.Symbol, tr)
-	}
-}
-
-// parallelFlattenMin is the replication count below which an array is
-// flattened inline; tiny arrays are not worth the goroutine handoff.
-const parallelFlattenMin = 8
-
-// instance flattens every array copy of an instance. Large replication
-// grids — the paper's Nx x Ny composition primitive — fan out across
-// goroutines: the copy list is chunked, each chunk flattens into a
-// private shard builder, and shards merge back in chunk order so the
-// result is byte-identical to the sequential loop.
-func (b *builder) instance(in *core.Instance, tr geom.Transform) error {
-	n := in.Nx * in.Ny
-	workers := runtime.GOMAXPROCS(0)
-	if b.sequential || n < parallelFlattenMin || workers < 2 {
-		for i := 0; i < in.Nx; i++ {
-			for j := 0; j < in.Ny; j++ {
-				if err := b.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
-	}
-	if workers > n {
-		workers = n
-	}
-	shards := make([]*builder, workers)
-	errs := make([]error, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		lo, hi := w*n/workers, (w+1)*n/workers
-		sb := &builder{sequential: true}
-		shards[w] = sb
-		wg.Add(1)
-		go func(sb *builder, lo, hi int, err *error) {
-			defer wg.Done()
-			for k := lo; k < hi; k++ {
-				// copy k in the sequential loop's (i outer, j inner)
-				// order
-				i, j := k/in.Ny, k%in.Ny
-				if e := sb.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); e != nil {
-					*err = e
-					return
-				}
-			}
-		}(sb, lo, hi, &errs[w])
-	}
-	wg.Wait()
-	for w, sb := range shards {
-		if errs[w] != nil {
-			return errs[w]
-		}
-		b.shapes = append(b.shapes, sb.shapes...)
-		b.devices = append(b.devices, sb.devices...)
-		b.joins = append(b.joins, sb.joins...)
-		b.joinLay = append(b.joinLay, sb.joinLay...)
-	}
-	return nil
-}
-
-// sticksLeaf flattens a symbolic cell's material.
-func (b *builder) sticksLeaf(sc *sticks.Cell, tr geom.Transform) error {
-	u := sc.EffUnits()
-	sr := func(r geom.Rect) geom.Rect {
-		return tr.ApplyRect(geom.R(r.Min.X*u, r.Min.Y*u, r.Max.X*u, r.Max.Y*u))
-	}
-	sp := func(p geom.Point) geom.Point { return tr.Apply(geom.Pt(p.X*u, p.Y*u)) }
-
-	for _, w := range sc.Wires {
-		width := w.Width
-		if width <= 0 {
-			width = rules.MinWidth(w.Layer)
-		}
-		h1, h2 := width/2, width-width/2
-		for i := 1; i < len(w.Points); i++ {
-			seg := geom.RectFromPoints(w.Points[i-1], w.Points[i])
-			seg = geom.R(seg.Min.X-h1, seg.Min.Y-h1, seg.Max.X+h2, seg.Max.Y+h2)
-			b.shapes = append(b.shapes, shape{w.Layer, sr(seg)})
-		}
-	}
-	for _, ct := range sc.Contacts {
-		h := rules.ContactSize / 2
-		pad := geom.R(ct.At.X-h, ct.At.Y-h, ct.At.X+h, ct.At.Y+h)
-		b.shapes = append(b.shapes,
-			shape{ct.From, sr(pad)}, shape{ct.To, sr(pad)})
-		b.joins = append(b.joins, [2]geom.Point{sp(ct.At), sp(ct.At)})
-		b.joinLay = append(b.joinLay, [2]geom.Layer{ct.From, ct.To})
-	}
-	for _, d := range sc.Devices {
-		gate, channel, _, err := sticks.DeviceBoxes(d)
-		if err != nil {
-			return err
-		}
-		// probes just beyond the gate along the channel axis
-		var pa, pb geom.Point
-		if d.Vertical {
-			pa = geom.Pt(d.At.X, gate.Min.Y-1)
-			pb = geom.Pt(d.At.X, gate.Max.Y+1)
-		} else {
-			pa = geom.Pt(gate.Min.X-1, d.At.Y)
-			pb = geom.Pt(gate.Max.X+1, d.At.Y)
-		}
-		dev := device{
-			kind:    d.Kind,
-			gate:    sr(gate),
-			channel: sr(channel),
-			probeA:  sp(pa),
-			probeB:  sp(pb),
-			probeG:  sp(d.At),
-		}
-		b.devices = append(b.devices, dev)
-		// the gate strip is poly material connected to whatever poly
-		// feeds it; the channel is diffusion (split at the gate later)
-		b.shapes = append(b.shapes, shape{geom.NP, dev.gate})
-		b.shapes = append(b.shapes, shape{geom.ND, dev.channel})
-	}
-	return nil
-}
-
-// cifLeaf flattens CIF geometry (pads); CIF leaves carry no extracted
-// devices, only material.
-func (b *builder) cifLeaf(f *cif.File, sym *cif.Symbol, tr geom.Transform) error {
-	for _, e := range sym.ResolveScale() {
-		switch el := e.(type) {
-		case cif.Box:
-			b.shapes = append(b.shapes, shape{el.Layer, tr.ApplyRect(el.Rect())})
-		case cif.Wire:
-			h1, h2 := el.Width/2, el.Width-el.Width/2
-			for i := 1; i < len(el.Points); i++ {
-				seg := geom.RectFromPoints(el.Points[i-1], el.Points[i])
-				seg = geom.R(seg.Min.X-h1, seg.Min.Y-h1, seg.Max.X+h2, seg.Max.Y+h2)
-				b.shapes = append(b.shapes, shape{el.Layer, tr.ApplyRect(seg)})
-			}
-		case cif.Call:
-			child := f.SymbolByID(el.SymbolID)
-			if child == nil {
-				return fmt.Errorf("extract: call of undefined symbol %d", el.SymbolID)
-			}
-			if err := b.cifLeaf(f, child, el.Transform.Then(tr)); err != nil {
-				return err
-			}
-		case cif.Polygon, cif.RoundFlash, cif.Connector, cif.UserExt:
-			// polygons/flashes are rare decorations in this library;
-			// connectivity ignores them
-		}
-	}
-	// contacts inside CIF cells: an NC cut joins NM with NP/ND below;
-	// model each NC box as a join between NM and whichever other layer
-	// is present at its center
-	for _, e := range sym.ResolveScale() {
-		if el, ok := e.(cif.Box); ok && el.Layer == geom.NC {
-			at := tr.Apply(el.Center)
-			b.joins = append(b.joins, [2]geom.Point{at, at})
-			b.joinLay = append(b.joinLay, [2]geom.Layer{geom.NM, geom.LayerNone})
-		}
-	}
-	return nil
+	return solve(fr, brute)
 }

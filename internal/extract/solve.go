@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"riot/internal/flatten"
 	"riot/internal/geom"
 )
 
@@ -12,26 +13,26 @@ import (
 // algorithms instead of the sweep-line and spatial index; both paths
 // yield byte-identical circuits (the fragment list, and therefore the
 // dense net numbering, is order-identical).
-func (b *builder) solve(brute bool) (*Circuit, error) {
-	frags := b.fragment(brute)
+func solve(fr *flatten.Result, brute bool) (*Circuit, error) {
+	frags := fragment(fr, brute)
 
-	uf := newUnionFind(len(frags))
+	uf := geom.NewUnionFind(len(frags))
 	// same-layer touching material is one net
 	if brute {
 		for i := range frags {
 			for j := i + 1; j < len(frags); j++ {
-				if frags[i].layer != frags[j].layer {
+				if frags[i].Layer != frags[j].Layer {
 					continue
 				}
-				if frags[i].r.Touches(frags[j].r) {
-					uf.union(i, j)
+				if frags[i].R.Touches(frags[j].R) {
+					uf.Union(i, j)
 				}
 			}
 		}
 	} else {
 		byLayer := map[geom.Layer][]int{}
 		for i, s := range frags {
-			byLayer[s.layer] = append(byLayer[s.layer], i)
+			byLayer[s.Layer] = append(byLayer[s.Layer], i)
 		}
 		for _, idxs := range byLayer {
 			sweepUnion(frags, idxs, uf)
@@ -45,12 +46,11 @@ func (b *builder) solve(brute bool) (*Circuit, error) {
 	loc := newLocator(frags, brute)
 
 	// contacts join layers at a point
-	for k, j := range b.joins {
-		la, lb := b.joinLay[k][0], b.joinLay[k][1]
-		ia := loc.findAt(j[0], la)
-		ib := loc.findAt(j[1], lb)
+	for _, j := range fr.Joins {
+		ia := loc.findAt(j.At[0], j.Layers[0])
+		ib := loc.findAt(j.At[1], j.Layers[1])
 		if ia >= 0 && ib >= 0 {
-			uf.union(ia, ib)
+			uf.Union(ia, ib)
 		}
 	}
 
@@ -59,7 +59,7 @@ func (b *builder) solve(brute bool) (*Circuit, error) {
 	nets := 0
 	netOfFrag := make([]int, len(frags))
 	for i := range frags {
-		root := uf.find(i)
+		root := uf.Find(i)
 		id, ok := netID[root]
 		if !ok {
 			id = nets
@@ -78,21 +78,21 @@ func (b *builder) solve(brute bool) (*Circuit, error) {
 		return netOfFrag[i], true
 	}
 
-	for _, d := range b.devices {
-		gnet, ok := netAt(centerOf(d.gate), geom.NP)
+	for _, d := range fr.Devices {
+		gnet, ok := netAt(centerOf(d.Gate), geom.NP)
 		if !ok {
-			return nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.gate)
+			return nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.Gate)
 		}
-		anet, okA := netAt(d.probeA, geom.ND)
-		bnet, okB := netAt(d.probeB, geom.ND)
+		anet, okA := netAt(d.ProbeA, geom.ND)
+		bnet, okB := netAt(d.ProbeB, geom.ND)
 		if !okA || !okB {
-			return nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.gate)
+			return nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.Gate)
 		}
-		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.kind, Gate: gnet, A: anet, B: bnet})
+		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.Kind, Gate: gnet, A: anet, B: bnet})
 	}
 
-	for name, lb := range b.labels {
-		if n, ok := netAt(lb.at, lb.layer); ok {
+	for name, lb := range fr.Labels {
+		if n, ok := netAt(lb.At, lb.Layer); ok {
 			ckt.NetOf[name] = n
 		}
 	}
@@ -105,19 +105,19 @@ func (b *builder) solve(brute bool) (*Circuit, error) {
 // candidates are subtracted in device order (non-intersecting gates
 // are no-ops in subtract), so the piece sequence matches the brute
 // path exactly.
-func (b *builder) fragment(brute bool) []shape {
+func fragment(fr *flatten.Result, brute bool) []flatten.Shape {
 	var gates *geom.Index
-	if !brute && len(b.devices) > 0 {
+	if !brute && len(fr.Devices) > 0 {
 		gates = geom.NewIndex()
-		for _, d := range b.devices {
-			gates.Insert(d.gate)
+		for _, d := range fr.Devices {
+			gates.Insert(d.Gate)
 		}
 		gates.Build()
 	}
-	frags := make([]shape, 0, len(b.shapes))
+	frags := make([]flatten.Shape, 0, len(fr.Shapes))
 	var cand []int
-	for _, s := range b.shapes {
-		if s.layer != geom.ND {
+	for _, s := range fr.Shapes {
+		if s.Layer != geom.ND {
 			frags = append(frags, s)
 			continue
 		}
@@ -127,23 +127,23 @@ func (b *builder) fragment(brute bool) []shape {
 		// byte-identical by construction
 		cand = cand[:0]
 		if gates != nil {
-			gates.QueryRect(s.r, func(id int) bool { cand = append(cand, id); return true })
+			gates.QueryRect(s.R, func(id int) bool { cand = append(cand, id); return true })
 			sort.Ints(cand)
 		} else {
-			for id := range b.devices {
+			for id := range fr.Devices {
 				cand = append(cand, id)
 			}
 		}
-		pieces := []geom.Rect{s.r}
+		pieces := []geom.Rect{s.R}
 		for _, id := range cand {
 			var next []geom.Rect
 			for _, p := range pieces {
-				next = append(next, subtract(p, b.devices[id].gate)...)
+				next = append(next, subtract(p, fr.Devices[id].Gate)...)
 			}
 			pieces = next
 		}
 		for _, p := range pieces {
-			frags = append(frags, shape{geom.ND, p})
+			frags = append(frags, flatten.Shape{Layer: geom.ND, R: p})
 		}
 	}
 	return frags
@@ -156,7 +156,7 @@ func (b *builder) fragment(brute bool) []shape {
 // closed-interval rule Rect.Touches implements. The active set is kept
 // ordered by Min.Y; an entering rectangle unions with the active
 // prefix whose Min.Y does not exceed its Max.Y.
-func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
+func sweepUnion(frags []flatten.Shape, idxs []int, uf *geom.UnionFind) {
 	if len(idxs) < 2 {
 		return
 	}
@@ -167,7 +167,7 @@ func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
 	}
 	events := make([]event, 0, 2*len(idxs))
 	for _, i := range idxs {
-		events = append(events, event{frags[i].r.Min.X, false, i}, event{frags[i].r.Max.X, true, i})
+		events = append(events, event{frags[i].R.Min.X, false, i}, event{frags[i].R.Max.X, true, i})
 	}
 	sort.Slice(events, func(a, b int) bool {
 		if events[a].x != events[b].x {
@@ -182,8 +182,8 @@ func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
 	// active fragments ordered by (Min.Y, frag)
 	var active []int
 	less := func(f, g int) bool {
-		if frags[f].r.Min.Y != frags[g].r.Min.Y {
-			return frags[f].r.Min.Y < frags[g].r.Min.Y
+		if frags[f].R.Min.Y != frags[g].R.Min.Y {
+			return frags[f].R.Min.Y < frags[g].R.Min.Y
 		}
 		return f < g
 	}
@@ -195,12 +195,12 @@ func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
 			}
 			continue
 		}
-		r := frags[ev.frag].r
+		r := frags[ev.frag].R
 		// all active rects with Min.Y <= r.Max.Y are y-candidates
-		end := sort.Search(len(active), func(k int) bool { return frags[active[k]].r.Min.Y > r.Max.Y })
+		end := sort.Search(len(active), func(k int) bool { return frags[active[k]].R.Min.Y > r.Max.Y })
 		for _, a := range active[:end] {
-			if frags[a].r.Max.Y >= r.Min.Y {
-				uf.union(a, ev.frag)
+			if frags[a].R.Max.Y >= r.Min.Y {
+				uf.Union(a, ev.frag)
 			}
 		}
 		at := sort.Search(len(active), func(k int) bool { return !less(active[k], ev.frag) })
@@ -216,13 +216,13 @@ func sweepUnion(frags []shape, idxs []int, uf *unionFind) {
 // matches, so net lookups are deterministic and identical across the
 // two implementations.
 type locator struct {
-	frags   []shape
+	frags   []flatten.Shape
 	brute   bool
 	byLayer map[geom.Layer]*geom.Index
 	fragIDs map[geom.Layer][]int // index id -> fragment index, per layer
 }
 
-func newLocator(frags []shape, brute bool) *locator {
+func newLocator(frags []flatten.Shape, brute bool) *locator {
 	l := &locator{frags: frags, brute: brute}
 	if brute {
 		return l
@@ -230,13 +230,13 @@ func newLocator(frags []shape, brute bool) *locator {
 	l.byLayer = map[geom.Layer]*geom.Index{}
 	l.fragIDs = map[geom.Layer][]int{}
 	for i, s := range frags {
-		ix, ok := l.byLayer[s.layer]
+		ix, ok := l.byLayer[s.Layer]
 		if !ok {
 			ix = geom.NewIndex()
-			l.byLayer[s.layer] = ix
+			l.byLayer[s.Layer] = ix
 		}
-		ix.Insert(s.r)
-		l.fragIDs[s.layer] = append(l.fragIDs[s.layer], i)
+		ix.Insert(s.R)
+		l.fragIDs[s.Layer] = append(l.fragIDs[s.Layer], i)
 	}
 	return l
 }
@@ -246,7 +246,7 @@ func newLocator(frags []shape, brute bool) *locator {
 func (l *locator) findOnLayer(at geom.Point, layer geom.Layer) int {
 	if l.brute {
 		for i, s := range l.frags {
-			if s.layer == layer && s.r.Contains(at) {
+			if s.Layer == layer && s.R.Contains(at) {
 				return i
 			}
 		}
@@ -269,18 +269,18 @@ func (l *locator) findOnLayer(at geom.Point, layer geom.Layer) int {
 
 // findAt resolves a contact join point. A named layer restricts the
 // search to that layer; LayerNone means "any layer below the cut"
-// (anything but metal and the cut itself), the rule cifLeaf uses for
-// NC boxes.
+// (anything but metal and the cut itself), the rule flatten uses for
+// CIF NC boxes.
 func (l *locator) findAt(at geom.Point, layer geom.Layer) int {
 	if layer != geom.LayerNone {
 		return l.findOnLayer(at, layer)
 	}
 	if l.brute {
 		for i, s := range l.frags {
-			if s.layer == geom.NM || s.layer == geom.NC {
+			if s.Layer == geom.NM || s.Layer == geom.NC {
 				continue
 			}
-			if s.r.Contains(at) {
+			if s.R.Contains(at) {
 				return i
 			}
 		}
@@ -317,45 +317,4 @@ func subtract(r, s geom.Rect) []geom.Rect {
 	add(geom.R(r.Min.X, i.Min.Y, i.Min.X, i.Max.Y)) // left
 	add(geom.R(i.Max.X, i.Min.Y, r.Max.X, i.Max.Y)) // right
 	return out
-}
-
-// unionFind is a union-by-rank, path-compressing disjoint-set forest:
-// find is effectively O(1) amortized, and union never grafts a taller
-// tree under a shorter one, so the chains the old rank-less version
-// could build on adversarial union orders cannot form.
-type unionFind struct {
-	parent []int
-	rank   []uint8
-}
-
-func newUnionFind(n int) *unionFind {
-	p := make([]int, n)
-	for i := range p {
-		p[i] = i
-	}
-	return &unionFind{p, make([]uint8, n)}
-}
-
-func (u *unionFind) find(x int) int {
-	for u.parent[x] != x {
-		u.parent[x] = u.parent[u.parent[x]]
-		x = u.parent[x]
-	}
-	return x
-}
-
-func (u *unionFind) union(a, b int) {
-	ra, rb := u.find(a), u.find(b)
-	if ra == rb {
-		return
-	}
-	switch {
-	case u.rank[ra] < u.rank[rb]:
-		u.parent[ra] = rb
-	case u.rank[ra] > u.rank[rb]:
-		u.parent[rb] = ra
-	default:
-		u.parent[rb] = ra
-		u.rank[ra]++
-	}
 }

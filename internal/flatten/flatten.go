@@ -1,0 +1,420 @@
+// Package flatten turns an assembled Riot cell hierarchy into flat
+// per-layer mask geometry in top-level coordinates. It is the shared
+// geometry-producing layer under every whole-design analysis in this
+// reproduction: the circuit extractor (internal/extract) solves
+// connectivity over its output, and the design-rule checker
+// (internal/drc) measures widths and spacings on it. Keeping the walk
+// in one package means "flatten the hierarchy" is implemented — and
+// parallelized — exactly once, and every new verification workload
+// starts from the same deterministic shape lists.
+//
+// # What flattening produces
+//
+// Cell walks the hierarchy and emits, in top-level (centimicron)
+// coordinates:
+//
+//   - Shapes: every mask rectangle, in deterministic walk order
+//     (instances in declaration order, array copies in x-major grid
+//     order, leaf elements in source order);
+//   - Devices: every transistor's gate strip, channel extent and probe
+//     points;
+//   - Joins: every contact's layer-joining points;
+//   - Labels: connector names resolved to a point and layer (the
+//     cell's own connectors plus, for compositions, every instance
+//     connector as "inst.CONN").
+//
+// Replicated arrays — the paper's Nx x Ny composition primitive — fan
+// out across goroutines: the copy list is chunked, each chunk flattens
+// into a private shard, and shards merge back in grid order, so the
+// parallel result is byte-identical to the sequential walk. Options
+// {Sequential: true} forces the plain loop (differential tests and
+// benchmarks use it as the reference).
+//
+// # Per-layer views
+//
+// Consumers are query-shaped: the extractor asks "what is at this
+// point on this layer", the DRC asks "what is near this rectangle on
+// this layer". Result therefore offers per-layer slices (LayerRects)
+// and a lazily built geom.Index per layer (LayerIndex), so every
+// downstream pass shares one spatial-index build over the same
+// geometry.
+package flatten
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"riot/internal/cif"
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/rules"
+	"riot/internal/sticks"
+)
+
+// Shape is one rectangle of mask material in top-level coordinates.
+// Src identifies the leaf-cell occurrence that produced the rectangle
+// (dense ids in walk order): every sticks or CIF leaf the walk enters
+// gets the next id, so consumers can tell material that came from one
+// pre-designed cell apart from material that two different placements
+// contributed. The design-rule checker trusts geometry inside one
+// occurrence (leaf cells are "pre-designed" in the paper's workflow)
+// and checks spacing only across occurrences — the separations Riot's
+// own placement and routing decisions created.
+type Shape struct {
+	Layer geom.Layer
+	R     geom.Rect
+	Src   int
+}
+
+// Device is a transistor's geometry in flattened (centimicron) space:
+// the gate poly strip, the diffusion channel extent, and probe points
+// just beyond the gate on either channel end plus one on the gate.
+type Device struct {
+	Kind    sticks.DeviceKind
+	Gate    geom.Rect
+	Channel geom.Rect
+	ProbeA  geom.Point
+	ProbeB  geom.Point
+	ProbeG  geom.Point
+}
+
+// Join is a contact: two points (usually coincident) whose material is
+// electrically joined across two layers. LayerNone as the second layer
+// means "any layer below the cut" — the rule CIF NC boxes use.
+type Join struct {
+	At     [2]geom.Point
+	Layers [2]geom.Layer
+}
+
+// Label resolves a connector name to a probe point and layer.
+type Label struct {
+	At    geom.Point
+	Layer geom.Layer
+}
+
+// Result is the flattened design: shape, device and join lists in
+// deterministic walk order, plus the label map. The per-layer views
+// (Layers, LayerRects, LayerIndex) are derived lazily and cached; a
+// Result is not safe for concurrent use once those accessors are
+// involved.
+type Result struct {
+	Shapes  []Shape
+	Devices []Device
+	Joins   []Join
+	Labels  map[string]Label
+
+	// SrcBoxes holds, indexed by Shape.Src, each leaf occurrence's
+	// declared bounding box placed into top-level coordinates — the
+	// placement contract of that occurrence. Consumers use it to tell
+	// deliberate abutment (boxes touching) from accidental proximity.
+	SrcBoxes []geom.Rect
+
+	byLayer map[geom.Layer][]geom.Rect
+	bySrc   map[geom.Layer][]int
+	indexes map[geom.Layer]*geom.Index
+	layers  []geom.Layer
+}
+
+// Options tunes the walk.
+type Options struct {
+	// Sequential disables the parallel array fan-out; the walk becomes
+	// the plain nested loop. The output is identical either way.
+	Sequential bool
+}
+
+// Cell flattens a cell hierarchy. Labels cover the cell's own
+// connectors and, for composition cells, every instance connector
+// ("inst.CONN").
+func Cell(c *core.Cell, opt Options) (*Result, error) {
+	b := &builder{sequential: opt.Sequential}
+	if err := b.cell(c, geom.Identity); err != nil {
+		return nil, err
+	}
+	res := &Result{
+		Shapes:   b.shapes,
+		Devices:  b.devices,
+		Joins:    b.joins,
+		Labels:   map[string]Label{},
+		SrcBoxes: b.srcBoxes,
+	}
+	for _, cn := range c.Connectors() {
+		res.Labels[cn.Name] = Label{cn.At, cn.Layer}
+	}
+	if c.Kind == core.Composition {
+		for _, in := range c.Instances {
+			for _, ic := range in.Connectors() {
+				res.Labels[in.Name+"."+ic.Name] = Label{ic.At, ic.Layer}
+			}
+		}
+	}
+	return res, nil
+}
+
+// Layers returns the layers present in the flattened design, sorted by
+// CIF name for deterministic iteration.
+func (r *Result) Layers() []geom.Layer {
+	r.buildLayers()
+	return r.layers
+}
+
+// LayerRects returns the layer's rectangles in walk order. The slice
+// is shared with the Result; callers must not mutate it.
+func (r *Result) LayerRects(l geom.Layer) []geom.Rect {
+	r.buildLayers()
+	return r.byLayer[l]
+}
+
+// LayerSrcs returns, aligned with LayerRects, the leaf occurrence id
+// of each of the layer's rectangles. The slice is shared with the
+// Result; callers must not mutate it.
+func (r *Result) LayerSrcs(l geom.Layer) []int {
+	r.buildLayers()
+	return r.bySrc[l]
+}
+
+// LayerIndex returns a geom.Index over the layer's rectangles (ids are
+// LayerRects positions), built on first use and cached.
+func (r *Result) LayerIndex(l geom.Layer) *geom.Index {
+	r.buildLayers()
+	if ix, ok := r.indexes[l]; ok {
+		return ix
+	}
+	ix := geom.NewIndexFrom(r.byLayer[l])
+	ix.Build()
+	if r.indexes == nil {
+		r.indexes = map[geom.Layer]*geom.Index{}
+	}
+	r.indexes[l] = ix
+	return ix
+}
+
+func (r *Result) buildLayers() {
+	if r.byLayer != nil {
+		return
+	}
+	r.byLayer = map[geom.Layer][]geom.Rect{}
+	r.bySrc = map[geom.Layer][]int{}
+	for _, s := range r.Shapes {
+		r.byLayer[s.Layer] = append(r.byLayer[s.Layer], s.R)
+		r.bySrc[s.Layer] = append(r.bySrc[s.Layer], s.Src)
+	}
+	r.layers = make([]geom.Layer, 0, len(r.byLayer))
+	for l := range r.byLayer {
+		r.layers = append(r.layers, l)
+	}
+	sort.Slice(r.layers, func(i, j int) bool { return r.layers[i] < r.layers[j] })
+}
+
+// builder accumulates flattened geometry during the walk.
+type builder struct {
+	shapes   []Shape
+	devices  []Device
+	joins    []Join
+	srcBoxes []geom.Rect
+	// srcN counts leaf-cell occurrences entered so far; the current
+	// leaf's shapes carry srcN-1 as their Src id.
+	srcN int
+	// sequential disables the parallel array flatten (set on shard
+	// builders and by Options.Sequential).
+	sequential bool
+}
+
+func (b *builder) cell(c *core.Cell, tr geom.Transform) error {
+	switch c.Kind {
+	case core.Composition:
+		for _, in := range c.Instances {
+			if err := b.instance(in, tr); err != nil {
+				return err
+			}
+		}
+		return nil
+	case core.LeafSticks:
+		b.enterLeaf(c, tr)
+		return b.sticksLeaf(c.Sticks, tr)
+	default:
+		b.enterLeaf(c, tr)
+		return b.cifLeaf(c.CIFFile, c.Symbol, tr)
+	}
+}
+
+// enterLeaf opens the next leaf occurrence: allocates its id and
+// records its placed bounding box.
+func (b *builder) enterLeaf(c *core.Cell, tr geom.Transform) {
+	b.srcN++
+	b.srcBoxes = append(b.srcBoxes, tr.ApplyRect(c.BBox()))
+}
+
+// src is the occurrence id of the leaf currently being flattened.
+func (b *builder) src() int { return b.srcN - 1 }
+
+// parallelMin is the replication count below which an array is
+// flattened inline; tiny arrays are not worth the goroutine handoff.
+const parallelMin = 8
+
+// instance flattens every array copy of an instance. Large replication
+// grids — the paper's Nx x Ny composition primitive — fan out across
+// goroutines: the copy list is chunked, each chunk flattens into a
+// private shard builder, and shards merge back in chunk order so the
+// result is byte-identical to the sequential loop.
+func (b *builder) instance(in *core.Instance, tr geom.Transform) error {
+	n := in.Nx * in.Ny
+	workers := runtime.GOMAXPROCS(0)
+	if b.sequential || n < parallelMin || workers < 2 {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				if err := b.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	shards := make([]*builder, workers)
+	errs := make([]error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*n/workers, (w+1)*n/workers
+		sb := &builder{sequential: true}
+		shards[w] = sb
+		wg.Add(1)
+		go func(sb *builder, lo, hi int, err *error) {
+			defer wg.Done()
+			for k := lo; k < hi; k++ {
+				// copy k in the sequential loop's (i outer, j inner)
+				// order
+				i, j := k/in.Ny, k%in.Ny
+				if e := sb.cell(in.Cell, in.CopyTransform(i, j).Then(tr)); e != nil {
+					*err = e
+					return
+				}
+			}
+		}(sb, lo, hi, &errs[w])
+	}
+	wg.Wait()
+	for w, sb := range shards {
+		if errs[w] != nil {
+			return errs[w]
+		}
+		// renumber shard-local occurrence ids into the walk-global
+		// sequence; chunk order matches the sequential loop, so the
+		// numbering is identical to a sequential flatten
+		for i := range sb.shapes {
+			sb.shapes[i].Src += b.srcN
+		}
+		b.srcN += sb.srcN
+		b.srcBoxes = append(b.srcBoxes, sb.srcBoxes...)
+		b.shapes = append(b.shapes, sb.shapes...)
+		b.devices = append(b.devices, sb.devices...)
+		b.joins = append(b.joins, sb.joins...)
+	}
+	return nil
+}
+
+// sticksLeaf flattens a symbolic cell's material.
+func (b *builder) sticksLeaf(sc *sticks.Cell, tr geom.Transform) error {
+	u := sc.EffUnits()
+	sr := func(r geom.Rect) geom.Rect {
+		return tr.ApplyRect(geom.R(r.Min.X*u, r.Min.Y*u, r.Max.X*u, r.Max.Y*u))
+	}
+	sp := func(p geom.Point) geom.Point { return tr.Apply(geom.Pt(p.X*u, p.Y*u)) }
+
+	for _, w := range sc.Wires {
+		width := w.Width
+		if width <= 0 {
+			width = rules.MinWidth(w.Layer)
+		}
+		h1, h2 := width/2, width-width/2
+		for i := 1; i < len(w.Points); i++ {
+			seg := geom.RectFromPoints(w.Points[i-1], w.Points[i])
+			seg = geom.R(seg.Min.X-h1, seg.Min.Y-h1, seg.Max.X+h2, seg.Max.Y+h2)
+			b.shapes = append(b.shapes, Shape{w.Layer, sr(seg), b.src()})
+		}
+	}
+	for _, ct := range sc.Contacts {
+		h := rules.ContactSize / 2
+		pad := geom.R(ct.At.X-h, ct.At.Y-h, ct.At.X+h, ct.At.Y+h)
+		b.shapes = append(b.shapes,
+			Shape{ct.From, sr(pad), b.src()}, Shape{ct.To, sr(pad), b.src()})
+		b.joins = append(b.joins, Join{
+			At:     [2]geom.Point{sp(ct.At), sp(ct.At)},
+			Layers: [2]geom.Layer{ct.From, ct.To},
+		})
+	}
+	for _, d := range sc.Devices {
+		gate, channel, _, err := sticks.DeviceBoxes(d)
+		if err != nil {
+			return err
+		}
+		// probes just beyond the gate along the channel axis
+		var pa, pb geom.Point
+		if d.Vertical {
+			pa = geom.Pt(d.At.X, gate.Min.Y-1)
+			pb = geom.Pt(d.At.X, gate.Max.Y+1)
+		} else {
+			pa = geom.Pt(gate.Min.X-1, d.At.Y)
+			pb = geom.Pt(gate.Max.X+1, d.At.Y)
+		}
+		dev := Device{
+			Kind:    d.Kind,
+			Gate:    sr(gate),
+			Channel: sr(channel),
+			ProbeA:  sp(pa),
+			ProbeB:  sp(pb),
+			ProbeG:  sp(d.At),
+		}
+		b.devices = append(b.devices, dev)
+		// the gate strip is poly material connected to whatever poly
+		// feeds it; the channel is diffusion (split at the gate by the
+		// extractor)
+		b.shapes = append(b.shapes, Shape{geom.NP, dev.Gate, b.src()})
+		b.shapes = append(b.shapes, Shape{geom.ND, dev.Channel, b.src()})
+	}
+	return nil
+}
+
+// cifLeaf flattens CIF geometry (pads); CIF leaves carry no extracted
+// devices, only material.
+func (b *builder) cifLeaf(f *cif.File, sym *cif.Symbol, tr geom.Transform) error {
+	for _, e := range sym.ResolveScale() {
+		switch el := e.(type) {
+		case cif.Box:
+			b.shapes = append(b.shapes, Shape{el.Layer, tr.ApplyRect(el.Rect()), b.src()})
+		case cif.Wire:
+			h1, h2 := el.Width/2, el.Width-el.Width/2
+			for i := 1; i < len(el.Points); i++ {
+				seg := geom.RectFromPoints(el.Points[i-1], el.Points[i])
+				seg = geom.R(seg.Min.X-h1, seg.Min.Y-h1, seg.Max.X+h2, seg.Max.Y+h2)
+				b.shapes = append(b.shapes, Shape{el.Layer, tr.ApplyRect(seg), b.src()})
+			}
+		case cif.Call:
+			child := f.SymbolByID(el.SymbolID)
+			if child == nil {
+				return fmt.Errorf("flatten: call of undefined symbol %d", el.SymbolID)
+			}
+			if err := b.cifLeaf(f, child, el.Transform.Then(tr)); err != nil {
+				return err
+			}
+		case cif.Polygon, cif.RoundFlash, cif.Connector, cif.UserExt:
+			// polygons/flashes are rare decorations in this library;
+			// connectivity and rule checking ignore them
+		}
+	}
+	// contacts inside CIF cells: an NC cut joins NM with NP/ND below;
+	// model each NC box as a join between NM and whichever other layer
+	// is present at its center
+	for _, e := range sym.ResolveScale() {
+		if el, ok := e.(cif.Box); ok && el.Layer == geom.NC {
+			at := tr.Apply(el.Center)
+			b.joins = append(b.joins, Join{
+				At:     [2]geom.Point{at, at},
+				Layers: [2]geom.Layer{geom.NM, geom.LayerNone},
+			})
+		}
+	}
+	return nil
+}

@@ -156,3 +156,97 @@ func BenchmarkIndexQueryRect(b *testing.B) {
 		ix.QueryRect(q, func(int) bool { return true })
 	}
 }
+
+// TestIndexDegenerateRects: zero-area rectangles (points and lines)
+// are legal index entries — they must be found by touching queries and
+// by point location on their boundary, and they must not corrupt the
+// grid build.
+func TestIndexDegenerateRects(t *testing.T) {
+	ix := NewIndexFrom([]Rect{
+		{Min: Pt(5, 5), Max: Pt(5, 5)},    // a point
+		{Min: Pt(0, 10), Max: Pt(20, 10)}, // a horizontal line
+		{Min: Pt(3, 0), Max: Pt(3, 30)},   // a vertical line
+		R(8, 8, 12, 12),                   // a real rect
+	})
+	if got := collectPoint(ix, Pt(5, 5)); !sameInts(got, []int{0}) {
+		t.Errorf("point rect not located: %v", got)
+	}
+	if got := collectPoint(ix, Pt(10, 10)); !sameInts(got, []int{1, 3}) {
+		t.Errorf("line/rect point location = %v, want [1 3]", got)
+	}
+	if got := collectRect(ix, R(0, 0, 6, 6)); !sameInts(got, []int{0, 2}) {
+		t.Errorf("query touching degenerates = %v, want [0 2]", got)
+	}
+	// a degenerate QUERY rect works too
+	if got := collectRect(ix, Rect{Min: Pt(3, 3), Max: Pt(3, 3)}); !sameInts(got, []int{2}) {
+		t.Errorf("degenerate query = %v, want [2]", got)
+	}
+}
+
+// TestIndexNegativeExtentInput: rectangles built with swapped corners
+// (Min > Max) are normalized on insertion, both through Insert and
+// NewIndexFrom, so queries see the real extent.
+func TestIndexNegativeExtentInput(t *testing.T) {
+	swapped := Rect{Min: Pt(10, 20), Max: Pt(0, 0)}
+	ix := NewIndex()
+	id := ix.Insert(swapped)
+	if got := ix.RectOf(id); got != R(0, 0, 10, 20) {
+		t.Fatalf("Insert stored %v, want normalized", got)
+	}
+	if got := collectPoint(ix, Pt(5, 5)); !sameInts(got, []int{0}) {
+		t.Errorf("point inside swapped rect = %v", got)
+	}
+	ix2 := NewIndexFrom([]Rect{swapped, {Min: Pt(-5, -5), Max: Pt(-15, -25)}})
+	if got := collectPoint(ix2, Pt(-10, -10)); !sameInts(got, []int{1}) {
+		t.Errorf("negative-coordinate swapped rect = %v", got)
+	}
+	if got := collectRect(ix2, R(-20, -20, 20, 20)); !sameInts(got, []int{0, 1}) {
+		t.Errorf("touch query over both = %v", got)
+	}
+}
+
+// TestIndexAllDegenerate: an index holding only a single point rect
+// (zero-extent bounds) still builds and answers.
+func TestIndexAllDegenerate(t *testing.T) {
+	ix := NewIndexFrom([]Rect{{Min: Pt(7, 7), Max: Pt(7, 7)}})
+	ix.Build()
+	if got := collectPoint(ix, Pt(7, 7)); !sameInts(got, []int{0}) {
+		t.Errorf("lone point rect = %v", got)
+	}
+	if got := collectPoint(ix, Pt(8, 7)); got != nil {
+		t.Errorf("miss reported %v", got)
+	}
+}
+
+// TestUnionTouching: the shared touch-connectivity helper merges
+// exactly the transitively touching groups, matching a brute
+// all-pairs union.
+func TestUnionTouching(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.Intn(60)
+		rects := make([]Rect, n)
+		for i := range rects {
+			x, y := rng.Intn(100), rng.Intn(100)
+			rects[i] = R(x, y, x+rng.Intn(20), y+rng.Intn(20))
+		}
+		ix := NewIndexFrom(rects)
+		uf := NewUnionFind(n)
+		ix.UnionTouching(uf)
+		brute := NewUnionFind(n)
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				if rects[i].Touches(rects[j]) {
+					brute.Union(i, j)
+				}
+			}
+		}
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if (uf.Find(i) == uf.Find(j)) != (brute.Find(i) == brute.Find(j)) {
+					t.Fatalf("trial %d: components disagree for %d,%d", trial, i, j)
+				}
+			}
+		}
+	}
+}

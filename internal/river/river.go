@@ -119,6 +119,18 @@ func Route(bottom, top []Terminal, opt Options) (*Result, error) {
 			width: w, bottom: bottom[i], top: top[i]}
 	}
 
+	// congestion pre-check: terminal wire stubs that would overlap or
+	// crowd under the spacing rule fail before any tracks are assigned.
+	// Stubs take the net's resolved width — the wire is widened to the
+	// fatter of its two terminals, so a wide far end crowds this edge
+	// too.
+	if err := checkTerminals(nets, true); err != nil {
+		return nil, err
+	}
+	if err := checkTerminals(nets, false); err != nil {
+		return nil, err
+	}
+
 	// group by layer and check planarity (order preservation)
 	byLayer := map[geom.Layer][]*net{}
 	for _, n := range nets {
@@ -284,10 +296,74 @@ func topName(t Terminal, i int) string {
 	return fmt.Sprintf("N%d.t", i)
 }
 
+// checkTerminals rejects one edge of the channel when two same-layer
+// wire stubs would overlap or run closer than the layer's spacing rule
+// — channel congestion the router cannot fix by adding tracks, caught
+// before any assignment work and reported against the terminals
+// instead of as an internal wire-spacing failure. Each stub takes its
+// net's resolved wire width (the wider of the two ends). Candidate
+// neighbors come from a geom.Index over the stub extents, the same
+// indexed obstacle query the extractor and the design-rule checker
+// use.
+func checkTerminals(nets []*net, bottomEdge bool) error {
+	if len(nets) < 2 {
+		return nil
+	}
+	edge := "top"
+	stubs := make([]geom.Rect, len(nets))
+	for i, n := range nets {
+		x := n.b
+		if bottomEdge {
+			x = n.a
+			edge = "bottom"
+		}
+		stubs[i] = geom.R(x-n.width/2, 0, x-n.width/2+n.width, 1)
+	}
+	ix := geom.NewIndexFrom(stubs)
+	for i, n := range nets {
+		gap := rules.MinSpacing(n.layer)
+		var err error
+		ix.QueryRect(stubs[i].Inset(-gap), func(j int) bool {
+			if j <= i || nets[j].layer != n.layer {
+				return true
+			}
+			sep := 0 // edge-to-edge separation; 0 when the stubs overlap
+			switch {
+			case stubs[j].Min.X > stubs[i].Max.X:
+				sep = stubs[j].Min.X - stubs[i].Max.X
+			case stubs[i].Min.X > stubs[j].Max.X:
+				sep = stubs[i].Min.X - stubs[j].Max.X
+			}
+			if sep >= gap {
+				return true
+			}
+			err = fmt.Errorf("river: %s terminals %q and %q are closer than the %v spacing rule (%d lambda)",
+				edge, termName(n, bottomEdge), termName(nets[j], bottomEdge), n.layer, gap)
+			return false
+		})
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func termName(n *net, bottomEdge bool) string {
+	t := n.top
+	if bottomEdge {
+		t = n.bottom
+	}
+	if t.Name != "" {
+		return t.Name
+	}
+	return fmt.Sprintf("N%d", n.idx)
+}
+
 // verify checks that no two same-layer wires of different nets violate
 // minimum spacing — the router's construction guarantees this, and the
 // check enforces the guarantee ("guaranteeing that connections are made
-// correctly").
+// correctly"). Candidate pairs come from a geom.Index over the wire
+// segments instead of the all-pairs scan the first version used.
 func verify(cell *sticks.Cell) error {
 	type seg struct {
 		r     geom.Rect
@@ -295,6 +371,7 @@ func verify(cell *sticks.Cell) error {
 		wire  int
 	}
 	var segs []seg
+	rects := make([]geom.Rect, 0, len(cell.Wires))
 	for wi, w := range cell.Wires {
 		h1 := w.Width / 2
 		h2 := w.Width - h1
@@ -303,19 +380,28 @@ func verify(cell *sticks.Cell) error {
 			r := geom.RectFromPoints(a, b)
 			r = geom.R(r.Min.X-h1, r.Min.Y-h1, r.Max.X+h2, r.Max.Y+h2)
 			segs = append(segs, seg{r, w.Layer, wi})
+			rects = append(rects, r)
 		}
 	}
+	ix := geom.NewIndexFrom(rects)
 	for i, a := range segs {
-		for _, b := range segs[i+1:] {
-			if a.wire == b.wire || a.layer != b.layer {
-				continue
+		gap := rules.MinSpacing(a.layer)
+		grown := geom.R(a.r.Min.X-gap, a.r.Min.Y-gap, a.r.Max.X+gap, a.r.Max.Y+gap)
+		var err error
+		ix.QueryRect(grown, func(j int) bool {
+			b := segs[j]
+			if j <= i || a.wire == b.wire || a.layer != b.layer {
+				return true
 			}
-			gap := rules.MinSpacing(a.layer)
-			grown := geom.R(a.r.Min.X-gap, a.r.Min.Y-gap, a.r.Max.X+gap, a.r.Max.Y+gap)
 			if grown.Overlaps(b.r) {
-				return fmt.Errorf("wires %d and %d closer than %d on %v (%v vs %v)",
+				err = fmt.Errorf("wires %d and %d closer than %d on %v (%v vs %v)",
 					a.wire, b.wire, gap, a.layer, a.r, b.r)
+				return false
 			}
+			return true
+		})
+		if err != nil {
+			return err
 		}
 	}
 	return nil

@@ -2,6 +2,7 @@ package river
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"riot/internal/geom"
@@ -263,5 +264,43 @@ func TestRouteCellConvertsToCIF(t *testing.T) {
 	}
 	if len(sym.Connectors()) != 6 {
 		t.Errorf("CIF connectors = %d, want 6", len(sym.Connectors()))
+	}
+}
+
+// TestTerminalCongestionPrecheck: same-edge terminals whose wire stubs
+// crowd under the spacing rule fail up front with a user-level error
+// naming the terminals, before any track assignment.
+func TestTerminalCongestionPrecheck(t *testing.T) {
+	// metal stubs 3 wide at 4 apart: edge gap 1 < the 3-lambda rule
+	_, err := Route(
+		[]Terminal{term("A", 0, geom.NM, 0), term("B", 4, geom.NM, 0)},
+		[]Terminal{term("A", 0, geom.NM, 0), term("B", 4, geom.NM, 0)},
+		Options{})
+	if err == nil {
+		t.Fatal("crowded terminals routed")
+	}
+	// at the rule exactly (3 wide + 3 gap = 6 pitch): legal
+	if _, err := Route(metalRow(0, 6, 12), metalRow(0, 6, 12), Options{}); err != nil {
+		t.Fatalf("rule-pitch terminals rejected: %v", err)
+	}
+	// different layers at the same positions do not interact
+	_, err = Route(
+		[]Terminal{term("A", 0, geom.NM, 0), term("B", 4, geom.NP, 0)},
+		[]Terminal{term("A", 0, geom.NM, 0), term("B", 4, geom.NP, 0)},
+		Options{})
+	if err != nil {
+		t.Fatalf("cross-layer terminals rejected: %v", err)
+	}
+	// the stub takes the net's resolved width: a wide far-end terminal
+	// crowds this edge even though the near ends alone are legal
+	_, err = Route(
+		[]Terminal{term("A", 0, geom.NM, 0), term("B", 8, geom.NM, 0)},
+		[]Terminal{term("A", 0, geom.NM, 9), term("B", 8, geom.NM, 3)},
+		Options{})
+	if err == nil {
+		t.Fatal("wide far-end terminals routed through a crowded edge")
+	}
+	if !strings.Contains(err.Error(), "terminals") {
+		t.Errorf("crowding reported as %v, want a terminal-naming error", err)
 	}
 }

@@ -12,6 +12,7 @@ import (
 	"riot/internal/cif"
 	"riot/internal/compo"
 	"riot/internal/core"
+	"riot/internal/drc"
 	"riot/internal/geom"
 	"riot/internal/replay"
 	"riot/internal/sticks"
@@ -626,6 +627,41 @@ func cmdPlot(s *Shell, args []string) error {
 		return err
 	}
 	s.printf("plotted %s to %s\n", cell.Name, args[0])
+	return nil
+}
+
+// cmdDRC runs the design-rule checker over a cell's flattened mask
+// geometry — the whole-design verification step the paper's workflow
+// ends with. With no argument it checks the cell under edit.
+func cmdDRC(s *Shell, args []string) error {
+	var cell *core.Cell
+	switch len(args) {
+	case 0:
+		if s.Editor == nil {
+			return fmt.Errorf("shell: DRC with no cell argument needs a cell under edit")
+		}
+		cell = s.Editor.Cell
+	case 1:
+		c, ok := s.Design.Cell(args[0])
+		if !ok {
+			return fmt.Errorf("shell: no cell %q", args[0])
+		}
+		cell = c
+	default:
+		return fmt.Errorf("shell: DRC [<cell>]")
+	}
+	vs, err := drc.CheckCell(cell)
+	if err != nil {
+		return err
+	}
+	if len(vs) == 0 {
+		s.printf("%s: no design-rule violations\n", cell.Name)
+		return nil
+	}
+	for _, v := range vs {
+		s.printf("%s\n", v)
+	}
+	s.printf("%s: %d design-rule violation(s)\n", cell.Name, len(vs))
 	return nil
 }
 

@@ -158,6 +158,7 @@ func init() {
 		"STRETCH":     {usage: "STRETCH", help: "connect by stretching the from instance", mutating: true, needsEditor: true, run: cmdStretch},
 		"BRINGOUT":    {usage: "BRINGOUT <inst> <side> <conn>...", help: "route connectors out to the cell edge", mutating: true, needsEditor: true, run: cmdBringOut},
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
+		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
 		"PLOT":        {usage: "PLOT <file> [<cell>]", help: "produce a hardcopy plot", run: cmdPlot},
 		"REPLAY":      {usage: "REPLAY <file>", help: "re-run a saved journal", run: cmdReplay},
 		"SAVEJOURNAL": {usage: "SAVEJOURNAL <file>", help: "save the session journal", run: cmdSaveJournal},

@@ -303,3 +303,53 @@ func TestShellDeleteAndConnections(t *testing.T) {
 		t.Error("delete failed")
 	}
 }
+
+func TestShellDRC(t *testing.T) {
+	env := newEnv(t)
+	sh := env.sh
+	// two GATE instances 1 lambda apart: their facing metal wires end
+	// up under the 3-lambda rule, and the boxes do not abut
+	err := sh.ExecAll(
+		"READ gate.sticks",
+		"EDIT TOP",
+		"CREATE GATE a AT 0 0",
+		"CREATE GATE b AT 24 0",
+		"DRC",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out := env.out.String(); !strings.Contains(out, "violation") || !strings.Contains(out, "NM spacing") {
+		t.Errorf("DRC report missing violations:\n%s", out)
+	}
+	// the named-cell form: the GATE fixture's 2-lambda metal is under
+	// the 3-lambda width rule and must be reported as such
+	env.out.Reset()
+	if err := sh.Exec("DRC GATE"); err != nil {
+		t.Fatal(err)
+	}
+	if out := env.out.String(); !strings.Contains(out, "NM width") {
+		t.Errorf("narrow fixture metal not reported:\n%s", out)
+	}
+	// a clean cell: the CIF pad is one fat metal box
+	if err := sh.Exec("READ pad.cif"); err != nil {
+		t.Fatal(err)
+	}
+	env.out.Reset()
+	if err := sh.Exec("DRC PAD"); err != nil {
+		t.Fatal(err)
+	}
+	if out := env.out.String(); !strings.Contains(out, "no design-rule violations") {
+		t.Errorf("clean cell reported dirty:\n%s", out)
+	}
+	// errors: unknown cell, no editor
+	if err := sh.Exec("DRC NOPE"); err == nil {
+		t.Error("DRC on unknown cell succeeded")
+	}
+	if err := sh.Exec("ENDEDIT"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Exec("DRC"); err == nil {
+		t.Error("bare DRC with no cell under edit succeeded")
+	}
+}

@@ -368,15 +368,11 @@ func (u *UI) editClick(at geom.Point) error {
 }
 
 // hitInstance finds the topmost (last-drawn) instance whose bounding
-// box contains the design point.
+// box contains the design point, through the editor's generation-keyed
+// spatial index — pointing around a static cell never rescans the
+// instance list.
 func (u *UI) hitInstance(p geom.Point) *core.Instance {
-	insts := u.Sh.Editor.Cell.Instances
-	for i := len(insts) - 1; i >= 0; i-- {
-		if insts[i].BBox().Contains(p) {
-			return insts[i]
-		}
-	}
-	return nil
+	return u.Sh.Editor.HitInstance(p)
 }
 
 // nearestConnector finds the closest instance connector within a

@@ -48,6 +48,7 @@ import (
 	"riot/internal/cif"
 	"riot/internal/core"
 	"riot/internal/display"
+	"riot/internal/drc"
 	"riot/internal/geom"
 	"riot/internal/lib"
 	"riot/internal/plot"
@@ -70,6 +71,8 @@ type (
 	Editor = core.Editor
 	// Connector is a cell connection point.
 	Connector = core.Connector
+	// Violation is one design-rule failure reported by CheckDRC.
+	Violation = drc.Violation
 )
 
 // Session is one Riot run: a design, a shell, files, and devices.
@@ -196,6 +199,17 @@ func plotCell(cell *core.Cell, geometry bool) ([]byte, error) {
 		return nil, err
 	}
 	return b.Bytes(), nil
+}
+
+// CheckDRC runs the design-rule checker over a cell's flattened mask
+// geometry and returns the violations in deterministic order (empty
+// means the design checks clean).
+func (s *Session) CheckDRC(cellName string) ([]Violation, error) {
+	cell, ok := s.Shell.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	}
+	return drc.CheckCell(cell)
 }
 
 // ExportCIF flattens a cell into CIF text for mask generation.
