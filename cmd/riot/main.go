@@ -14,6 +14,9 @@
 //	riot -drc CHIP            after the script, design-rule check the
 //	                          named cell; exit status 1 if it has
 //	                          violations
+//	riot -extract CHIP        after the script, extract the named
+//	                          cell's circuit and print a summary; exit
+//	                          status 1 if extraction fails
 //
 // Files are read from and written to the working directory. The
 // standard cell library (pads.cif, srcell.sticks, nand.sticks,
@@ -36,6 +39,7 @@ func main() {
 	screenshot := flag.String("screenshot", "", "write a screen image (PPM) after the script")
 	station := flag.String("workstation", "charles", "workstation configuration: charles or gigi")
 	drcCell := flag.String("drc", "", "design-rule check a cell after the script (exit 1 on violations)")
+	extractCell := flag.String("extract", "", "extract a cell's circuit after the script (exit 1 on failure)")
 	flag.Parse()
 
 	s, err := riot.NewSession(os.Stdout)
@@ -84,6 +88,16 @@ func main() {
 	}
 
 	drcDirty := false
+	if *extractCell != "" {
+		ckt, err := s.Extract(*extractCell)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			drcDirty = true
+		} else {
+			fmt.Printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
+				*extractCell, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
+		}
+	}
 	if *drcCell != "" {
 		// failures exit 1, but only after a requested screenshot is
 		// written — the render of the failing layout is what the user

@@ -184,38 +184,49 @@ func (c *Cell) Connectors() []Connector {
 		}
 		return out
 	default:
-		box := c.BBox()
-		var out []Connector
-		seen := map[string]bool{}
-		for _, in := range c.Instances {
-			for _, ic := range in.Connectors() {
-				side := geom.SideOf(box, ic.At)
-				if side == geom.SideNone {
-					continue
-				}
-				name := in.Name + "." + ic.Name
-				if seen[name] {
-					continue
-				}
-				seen[name] = true
-				out = append(out, Connector{
-					Name:  name,
-					At:    ic.At,
-					Layer: ic.Layer,
-					Width: ic.Width,
-					Side:  side,
-				})
-			}
-		}
-		for _, cn := range c.ExtraConnectors {
-			if !seen[cn.Name] {
-				seen[cn.Name] = true
-				cn.Side = geom.SideOf(box, cn.At)
-				out = append(out, cn)
-			}
-		}
-		return out
+		return CompositionConnectors(c, (*Instance).Connectors)
 	}
+}
+
+// CompositionConnectors assembles a composition's exported connectors:
+// every instance connector on the cell's bounding-box edge, deduped by
+// name, plus the explicit extras. instConns supplies each instance's
+// connector list — Cell.Connectors passes the plain method; callers
+// that verify repeatedly (the incremental flatten cache) pass a
+// memoized provider, since the per-instance lists only change when the
+// instance does.
+func CompositionConnectors(c *Cell, instConns func(*Instance) []InstConn) []Connector {
+	box := c.BBox()
+	var out []Connector
+	seen := map[string]bool{}
+	for _, in := range c.Instances {
+		for _, ic := range instConns(in) {
+			side := geom.SideOf(box, ic.At)
+			if side == geom.SideNone {
+				continue
+			}
+			name := in.Name + "." + ic.Name
+			if seen[name] {
+				continue
+			}
+			seen[name] = true
+			out = append(out, Connector{
+				Name:  name,
+				At:    ic.At,
+				Layer: ic.Layer,
+				Width: ic.Width,
+				Side:  side,
+			})
+		}
+	}
+	for _, cn := range c.ExtraConnectors {
+		if !seen[cn.Name] {
+			seen[cn.Name] = true
+			cn.Side = geom.SideOf(box, cn.At)
+			out = append(out, cn)
+		}
+	}
+	return out
 }
 
 // ConnectorByName finds a cell connector.

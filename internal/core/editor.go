@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"riot/internal/geom"
 )
@@ -49,6 +50,80 @@ type Editor struct {
 	gen    uint64
 	hitIx  *geom.Index
 	hitGen uint64
+
+	// Change log: the design-plane rectangles each generation dirtied,
+	// kept for consumers (incremental verification, display caches)
+	// that splice rather than recompute. Entries with Unbounded set
+	// mean "anything may have changed" — coarse operations and
+	// Invalidate record those.
+	log []changeEntry
+}
+
+// changeEntry is one generation's dirty record.
+type changeEntry struct {
+	gen       uint64
+	rect      geom.Rect
+	unbounded bool
+}
+
+// changeLogMax bounds the change log; consumers further behind than
+// this must rebuild from scratch.
+const changeLogMax = 256
+
+// editorGen issues edit generations to every editor in the process.
+// Generations are globally unique and monotonic — never recycled
+// across editors — so a cache keyed on a generation can never collide
+// with a different editing session's (closing and reopening an editor
+// on the same cell restarts nothing).
+var editorGen atomic.Uint64
+
+// Generation returns the edit generation: it increases on every
+// mutating editing operation, so an unchanged generation guarantees an
+// unchanged cell, and it is unique across all editors ever created in
+// the process. Consumers key caches on it (pointing index, display
+// cull indexes, the incremental verifier).
+func (e *Editor) Generation() uint64 { return e.gen }
+
+// ChangesSince returns the union-set of design-plane rectangles
+// dirtied by every generation after since, and whether the log still
+// covers that span. ok == false — the log was trimmed past since, or
+// some change could not be bounded (Invalidate, external mutation) —
+// means the caller must treat the whole cell as dirty.
+func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
+	if since > e.gen {
+		return nil, false
+	}
+	if since == e.gen {
+		return nil, true
+	}
+	// the log must hold every generation in (since, gen]
+	if len(e.log) == 0 || e.log[0].gen > since+1 {
+		return nil, false
+	}
+	for _, c := range e.log {
+		if c.gen <= since {
+			continue
+		}
+		if c.unbounded {
+			return nil, false
+		}
+		dirty = append(dirty, c.rect)
+	}
+	return dirty, true
+}
+
+// logChange appends the current generation's dirty rectangle, trimming
+// the log to its bound. Trimming drops whole generations, so a
+// generation the log still mentions is always completely covered.
+func (e *Editor) logChange(r geom.Rect, unbounded bool) {
+	e.log = append(e.log, changeEntry{gen: e.gen, rect: r, unbounded: unbounded})
+	if len(e.log) > changeLogMax {
+		cut := len(e.log) - changeLogMax
+		for cut < len(e.log)-1 && e.log[cut].gen == e.log[cut-1].gen {
+			cut++
+		}
+		e.log = append(e.log[:0], e.log[cut:]...)
+	}
 }
 
 // NewEditor opens a composition cell for editing.
@@ -56,17 +131,25 @@ func NewEditor(d *Design, cell *Cell) (*Editor, error) {
 	if cell.Kind != Composition {
 		return nil, fmt.Errorf("core: cannot edit leaf cell %q (Riot edits composition cells only)", cell.Name)
 	}
-	return &Editor{Design: d, Cell: cell}, nil
+	// seed with a fresh global generation so caches keyed on a prior
+	// editing session can never collide with this one
+	return &Editor{Design: d, Cell: cell, gen: editorGen.Add(1)}, nil
 }
 
 // touch records that the cell under edit changed, invalidating the
-// pointing index.
-func (e *Editor) touch() { e.gen++ }
+// pointing index. The logged dirty rectangle is empty; operations
+// whose geometric extent is known log it with touchRect or logChange.
+func (e *Editor) touch() { e.gen = editorGen.Add(1); e.logChange(geom.Rect{}, false) }
 
-// Invalidate marks the cell under edit as externally modified. Callers
-// that mutate instances directly (rather than through Editor methods)
-// must call it before the next HitInstance.
-func (e *Editor) Invalidate() { e.touch() }
+// touchRect records a change confined to the given design-plane
+// rectangle.
+func (e *Editor) touchRect(r geom.Rect) { e.gen = editorGen.Add(1); e.logChange(r, false) }
+
+// Invalidate marks the cell under edit as externally modified: callers
+// that mutate cells or instances directly (rather than through Editor
+// methods) must call it. The change is recorded as unbounded, so
+// generation-keyed caches rebuild from scratch.
+func (e *Editor) Invalidate() { e.gen = editorGen.Add(1); e.logChange(geom.Rect{}, true) }
 
 // HitInstance returns the topmost (last-created, so last-drawn)
 // instance whose bounding box contains the design-plane point, or nil.
@@ -134,7 +217,7 @@ func (e *Editor) CreateInstance(cellName, instName string, tr geom.Transform, nx
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	e.touch()
+	e.touchRect(in.BBox())
 	e.Cell.Instances = append(e.Cell.Instances, in)
 	return in, nil
 }
@@ -142,7 +225,7 @@ func (e *Editor) CreateInstance(cellName, instName string, tr geom.Transform, nx
 // DeleteInstance removes an instance and every pending connection that
 // references it.
 func (e *Editor) DeleteInstance(in *Instance) error {
-	e.touch()
+	e.touchRect(in.BBox())
 	found := false
 	for i, x := range e.Cell.Instances {
 		if x == in {
@@ -168,30 +251,33 @@ func (e *Editor) DeleteInstance(in *Instance) error {
 // instance can silently destroy a previously made (positional)
 // connection — the fundamental Riot limitation the paper discusses.
 func (e *Editor) MoveInstance(in *Instance, d geom.Point) {
-	e.touch()
+	before := in.BBox()
 	in.Tr = in.Tr.Translated(d)
+	e.touchRect(before.Union(in.BBox()))
 }
 
 // PlaceInstance sets an instance's transform outright.
 func (e *Editor) PlaceInstance(in *Instance, tr geom.Transform) {
-	e.touch()
+	before := in.BBox()
 	in.Tr = tr
+	e.touchRect(before.Union(in.BBox()))
 }
 
 // OrientInstance applies an additional orientation about the
 // instance's bounding-box minimum corner, so the instance stays in
 // place while turning.
 func (e *Editor) OrientInstance(in *Instance, o geom.Orient) {
-	e.touch()
 	before := in.BBox()
 	in.Tr = in.Tr.Then(geom.MakeTransform(o, geom.Point{}))
 	after := in.BBox()
 	in.Tr = in.Tr.Translated(before.Min.Sub(after.Min))
+	e.touchRect(before.Union(in.BBox()))
 }
 
 // Replicate sets an instance's array replication.
 func (e *Editor) Replicate(in *Instance, nx, ny, sx, sy int) error {
-	e.touch()
+	before := in.BBox()
+	defer func() { e.touchRect(before.Union(in.BBox())) }()
 	if nx < 1 {
 		nx = 1
 	}

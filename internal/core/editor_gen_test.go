@@ -1,0 +1,116 @@
+package core
+
+import (
+	"testing"
+
+	"riot/internal/geom"
+)
+
+// TestEditorGenerationAndChangeLog checks that every mutating editing
+// operation advances the generation and that ChangesSince reports
+// bounded dirty rectangles covering the affected instances.
+func TestEditorGenerationAndChangeLog(t *testing.T) {
+	d := NewDesign()
+	leaf := mustLeaf(t, "L")
+	if err := d.AddCell(leaf); err != nil {
+		t.Fatal(err)
+	}
+	top := NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := e.Generation()
+	if dirty, ok := e.ChangesSince(g0); !ok || len(dirty) != 0 {
+		t.Fatalf("no-change ChangesSince = %v, %v", dirty, ok)
+	}
+
+	in, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := e.Generation()
+	if g1 <= g0 {
+		t.Fatalf("CreateInstance did not advance the generation (%d -> %d)", g0, g1)
+	}
+	dirty, ok := e.ChangesSince(g0)
+	if !ok {
+		t.Fatal("bounded create reported unbounded")
+	}
+	if !coveredBy(in.BBox(), dirty) {
+		t.Fatalf("create dirty %v does not cover %v", dirty, in.BBox())
+	}
+
+	before := in.BBox()
+	e.MoveInstance(in, geom.Pt(500, 700))
+	dirty, ok = e.ChangesSince(g1)
+	if !ok {
+		t.Fatal("bounded move reported unbounded")
+	}
+	if !coveredBy(before, dirty) || !coveredBy(in.BBox(), dirty) {
+		t.Fatalf("move dirty %v does not cover old %v and new %v", dirty, before, in.BBox())
+	}
+
+	// cumulative query across both edits
+	dirty, ok = e.ChangesSince(g0)
+	if !ok || !coveredBy(in.BBox(), dirty) {
+		t.Fatalf("cumulative ChangesSince = %v, %v", dirty, ok)
+	}
+
+	// Invalidate is unbounded
+	gI := e.Generation()
+	e.Invalidate()
+	if _, ok := e.ChangesSince(gI); ok {
+		t.Fatal("Invalidate must report unbounded")
+	}
+	// a future generation is unanswerable
+	if _, ok := e.ChangesSince(e.Generation() + 5); ok {
+		t.Fatal("future generation must report not-ok")
+	}
+}
+
+// TestEditorChangeLogTrim drives the log past its bound and checks old
+// generations fall off while recent ones stay covered.
+func TestEditorChangeLogTrim(t *testing.T) {
+	d := NewDesign()
+	leaf := mustLeaf(t, "L")
+	if err := d.AddCell(leaf); err != nil {
+		t.Fatal(err)
+	}
+	top := NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	e, _ := NewEditor(d, top)
+	in, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gOld := e.Generation()
+	for i := 0; i < changeLogMax+50; i++ {
+		e.MoveInstance(in, geom.Pt(1, 0))
+	}
+	if _, ok := e.ChangesSince(gOld); ok {
+		t.Fatal("trimmed generation must report not-ok")
+	}
+	gRecent := e.Generation()
+	e.MoveInstance(in, geom.Pt(1, 0))
+	if _, ok := e.ChangesSince(gRecent); !ok {
+		t.Fatal("recent generation must stay covered")
+	}
+}
+
+// coveredBy reports whether r is inside the union of the dirty rects
+// (approximately: r must be contained in one of them, which is how the
+// editor logs instance-level changes).
+func coveredBy(r geom.Rect, dirty []geom.Rect) bool {
+	for _, dr := range dirty {
+		if dr.ContainsRect(r) {
+			return true
+		}
+	}
+	return false
+}

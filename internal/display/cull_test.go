@@ -166,7 +166,7 @@ func TestCullDrawInstance(t *testing.T) {
 	}
 	// uncull reference: every copy drawn directly
 	plain := raster.New(400, 300)
-	sb := newDrawCache()
+	sb := NewCache()
 	for i := 0; i < in.Nx; i++ {
 		for j := 0; j < in.Ny; j++ {
 			drawInstanceCopy(RasterCanvas{Im: plain}, v, in, i, j, geom.Identity, Options{}, sb)

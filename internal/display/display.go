@@ -132,24 +132,49 @@ type Options struct {
 	Geometry bool
 }
 
-// DrawCell renders a cell onto the canvas through the view.
+// DrawCell renders a cell onto the canvas through the view with a
+// transient cache (derived geometry is recomputed next call).
 func DrawCell(cv Canvas, v View, cell *core.Cell, opt Options) {
-	drawCell(cv, v, cell, geom.Identity, opt, true, newDrawCache())
+	drawCell(cv, v, cell, geom.Identity, opt, true, NewCache())
+}
+
+// DrawCellCached renders like DrawCell but keeps derived geometry —
+// most importantly the per-instance copy cull indexes — in a cache the
+// caller holds across frames, keyed on the editor's edit generation.
+// Pan and zoom only change the viewport query, so redrawing a static
+// design never re-bins an array; any editing operation bumps the
+// generation and drops the cache.
+func DrawCellCached(cv Canvas, v View, cell *core.Cell, opt Options, c *Cache, gen uint64) {
+	c.ensure(gen)
+	drawCell(cv, v, cell, geom.Identity, opt, true, c)
 }
 
 // DrawInstance renders one instance (the figure-3 view).
 func DrawInstance(cv Canvas, v View, in *core.Instance, opt Options) {
-	drawInstance(cv, v, in, geom.Identity, opt, newDrawCache())
+	drawInstance(cv, v, in, geom.Identity, opt, NewCache())
 }
 
-// drawCache memoizes per-draw derived geometry: called CIF symbols'
+// Cache memoizes derived drawing geometry: called CIF symbols'
 // bounding boxes (keyed per file, since symbol ids are only unique
-// within a file) and cells' worst-case mask overhang. Both are
-// transform-independent, so one computation serves every instance
-// copy in the frame.
-type drawCache struct {
+// within a file), cells' worst-case mask overhang, and the viewport
+// cull indexes over instance and array-copy bounding boxes. The
+// symbol and overhang entries are transform-independent, so one
+// computation serves every instance copy in a frame; the cull indexes
+// live in design space, so across frames they are valid until the
+// design changes — holders pass the edit generation to DrawCellCached
+// and the cache clears itself when it moves.
+type Cache struct {
 	symBox   map[symKey]geom.Rect
 	overhang map[*core.Cell]int
+	instCull map[instCullKey]*geom.Index
+	compCull map[compCullKey]*geom.Index
+
+	gen   uint64
+	keyed bool
+
+	// CullHits counts cull-index reuses across draws (observability
+	// and tests).
+	CullHits int
 }
 
 type symKey struct {
@@ -157,11 +182,45 @@ type symKey struct {
 	id int
 }
 
-func newDrawCache() *drawCache {
-	return &drawCache{symBox: map[symKey]geom.Rect{}, overhang: map[*core.Cell]int{}}
+// instCullKey identifies one instance's copy-cull index: the instance
+// and the outer transform it was drawn under (the same array drawn
+// through two different parents culls separately).
+type instCullKey struct {
+	in    *core.Instance
+	outer geom.Transform
 }
 
-func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, top bool, sb *drawCache) {
+// compCullKey identifies a composition's instance-cull index.
+type compCullKey struct {
+	cell *core.Cell
+	tr   geom.Transform
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{
+		symBox:   map[symKey]geom.Rect{},
+		overhang: map[*core.Cell]int{},
+		instCull: map[instCullKey]*geom.Index{},
+		compCull: map[compCullKey]*geom.Index{},
+	}
+}
+
+// ensure keys the cache to an edit generation, dropping every entry
+// (and the hit counter) when the generation moved.
+func (sb *Cache) ensure(gen uint64) {
+	if sb.keyed && sb.gen == gen {
+		return
+	}
+	sb.CullHits = 0
+	sb.symBox = map[symKey]geom.Rect{}
+	sb.overhang = map[*core.Cell]int{}
+	sb.instCull = map[instCullKey]*geom.Index{}
+	sb.compCull = map[compCullKey]*geom.Index{}
+	sb.gen, sb.keyed = gen, true
+}
+
+func drawCell(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, top bool, sb *Cache) {
 	switch cell.Kind {
 	case core.Composition:
 		drawComposition(cv, v, cell, tr, opt, sb)
@@ -200,7 +259,7 @@ func cullMargin(v View) int {
 // the array copies inside each instance that survives. Name labels can
 // extend arbitrarily far past a box, so ShowNames (box view) disables
 // culling.
-func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, sb *drawCache) {
+func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt Options, sb *Cache) {
 	total := 0
 	for _, in := range cell.Instances {
 		total += in.Nx * in.Ny
@@ -211,10 +270,18 @@ func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt 
 		}
 		return
 	}
-	ix := geom.NewIndex()
-	for _, in := range cell.Instances {
-		box := tr.ApplyRect(in.BBox()).Inset(-sb.cellOverhang(in.Cell))
-		ix.Insert(box)
+	key := compCullKey{cell, tr}
+	ix, ok := sb.compCull[key]
+	if ok && ix.Len() == len(cell.Instances) {
+		sb.CullHits++
+	} else {
+		ix = geom.NewIndex()
+		for _, in := range cell.Instances {
+			box := tr.ApplyRect(in.BBox()).Inset(-sb.cellOverhang(in.Cell))
+			ix.Insert(box)
+		}
+		ix.Build()
+		sb.compCull[key] = ix
 	}
 	visible := make([]bool, ix.Len())
 	ix.QueryRect(v.Window.Inset(-cullMargin(v)), func(id int) bool {
@@ -230,7 +297,7 @@ func drawComposition(cv Canvas, v View, cell *core.Cell, tr geom.Transform, opt 
 
 // cellOverhang memoizes geomOverhang per draw: shared sub-composition
 // DAGs would otherwise be re-walked once per instance entry per frame.
-func (sb *drawCache) cellOverhang(c *core.Cell) int {
+func (sb *Cache) cellOverhang(c *core.Cell) int {
 	if o, ok := sb.overhang[c]; ok {
 		return o
 	}
@@ -245,7 +312,7 @@ func (sb *drawCache) cellOverhang(c *core.Cell) int {
 // element can stick out when the path runs along the box edge; the
 // full width is used as a safely generous bound. CIF boxes are
 // computed from real geometry and never overhang.
-func (sb *drawCache) geomOverhang(c *core.Cell) int {
+func (sb *Cache) geomOverhang(c *core.Cell) int {
 	switch c.Kind {
 	case core.LeafSticks:
 		w := rules.ContactSize
@@ -288,7 +355,7 @@ func (sb *drawCache) geomOverhang(c *core.Cell) int {
 // grid order, matching the plain loop, so output is deterministic.
 // Name labels can extend arbitrarily far past a box, so ShowNames (in
 // the box view, the only mode that renders text) disables culling.
-func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options, sb *drawCache) {
+func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, opt Options, sb *Cache) {
 	n := in.Nx * in.Ny
 	if (opt.ShowNames && !opt.Geometry) || n < cullMinCopies {
 		for i := 0; i < in.Nx; i++ {
@@ -301,12 +368,20 @@ func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, op
 	// a sticks cell's mask geometry can overhang its declared bounding
 	// box (wires are centered on their path), so the cull rect grows by
 	// the cell's worst-case overhang
-	cb := in.Cell.BBox().Inset(-sb.cellOverhang(in.Cell))
-	ix := geom.NewIndex()
-	for i := 0; i < in.Nx; i++ {
-		for j := 0; j < in.Ny; j++ {
-			ix.Insert(in.CopyTransform(i, j).Then(outer).ApplyRect(cb))
+	key := instCullKey{in, outer}
+	ix, ok := sb.instCull[key]
+	if ok && ix.Len() == n {
+		sb.CullHits++
+	} else {
+		cb := in.Cell.BBox().Inset(-sb.cellOverhang(in.Cell))
+		ix = geom.NewIndex()
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				ix.Insert(in.CopyTransform(i, j).Then(outer).ApplyRect(cb))
+			}
 		}
+		ix.Build()
+		sb.instCull[key] = ix
 	}
 	visible := make([]bool, ix.Len())
 	ix.QueryRect(v.Window.Inset(-cullMargin(v)), func(id int) bool {
@@ -324,7 +399,7 @@ func drawInstance(cv Canvas, v View, in *core.Instance, outer geom.Transform, op
 	}
 }
 
-func drawInstanceCopy(cv Canvas, v View, in *core.Instance, i, j int, outer geom.Transform, opt Options, sb *drawCache) {
+func drawInstanceCopy(cv Canvas, v View, in *core.Instance, i, j int, outer geom.Transform, opt Options, sb *Cache) {
 	ct := in.CopyTransform(i, j).Then(outer)
 	if opt.Geometry && in.Cell.Kind == core.Composition {
 		drawCell(cv, v, in.Cell, ct, opt, false, sb)
@@ -374,7 +449,7 @@ func crossSize(v View, width int) int {
 }
 
 // drawLeafGeometry renders the actual mask geometry of a leaf cell.
-func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform, sb *drawCache) {
+func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform, sb *Cache) {
 	switch cell.Kind {
 	case core.LeafCIF:
 		drawCIFCulled(cv, v, cell.CIFFile, cell.Symbol, tr, sb)
@@ -394,7 +469,7 @@ func drawLeafGeometry(cv Canvas, v View, cell *core.Cell, tr geom.Transform, sb 
 // drawCIFCulled renders a CIF symbol with viewport culling. The
 // symbol-bbox cache lets an offscreen called subtree be skipped with a
 // single rectangle test instead of being traversed element by element.
-func drawCIFCulled(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform, sb *drawCache) {
+func drawCIFCulled(cv Canvas, v View, f *cif.File, sym *cif.Symbol, tr geom.Transform, sb *Cache) {
 	// viewport culling: skip mask shapes wholly outside the (slightly
 	// inflated) window; zoomed-in views of big chips draw only what
 	// shows

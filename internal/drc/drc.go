@@ -53,7 +53,9 @@ package drc
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"riot/internal/core"
 	"riot/internal/flatten"
@@ -109,22 +111,74 @@ func CheckCell(c *core.Cell) ([]Violation, error) {
 
 // Check checks every layer of a flattened design, reusing the result's
 // per-layer spatial indexes, and returns the violations in
-// deterministic order.
+// deterministic order. Layers are independent, so with more than one
+// CPU each layer's width and spacing pass runs in its own goroutine;
+// the merged report is identical to the sequential one (the final
+// sort-and-dedupe canonicalizes it).
 func Check(fr *flatten.Result) []Violation {
+	return checkWorkers(fr, runtime.GOMAXPROCS(0))
+}
+
+// checkWorkers runs the full check with an explicit concurrency width.
+func checkWorkers(fr *flatten.Result, workers int) []Violation {
+	layers := checkedLayers(fr)
 	var out []Violation
-	for _, l := range fr.Layers() {
-		if l == geom.LayerNone {
-			continue
-		}
-		r := rules.Of(l)
-		rects := fr.LayerRects(l)
-		out = append(out, widthViolations(l, rects, r.MinWidth*rules.Lambda)...)
-		out = append(out, spacingViolations(l, rects,
-			&provenance{srcs: fr.LayerSrcs(l), boxes: fr.SrcBoxes},
-			fr.LayerIndex(l), r.MinSpacing*rules.Lambda)...)
+	for _, ev := range evalAll(fr, layers, workers) {
+		out = ev.appendViolations(out)
 	}
 	sortViolations(out)
 	return dedupe(out)
+}
+
+// evalAll evaluates every layer, one goroutine per layer when more
+// than one worker is available (the shared Incremental full-rebuild
+// path and checkWorkers both use it).
+func evalAll(fr *flatten.Result, layers []geom.Layer, workers int) []*layerEval {
+	evals := make([]*layerEval, len(layers))
+	if workers < 2 || len(layers) < 2 {
+		for k, l := range layers {
+			evals[k] = evalLayer(l, fr.LayerRects(l), resolveBoxes(fr, l), fr.LayerIndex(l), rules.Of(l))
+		}
+		return evals
+	}
+	// force the shared lazy per-layer views and indexes before the
+	// fan-out; afterwards each goroutine touches only its own layer
+	for _, l := range layers {
+		fr.LayerIndex(l)
+		fr.LayerSrcs(l)
+	}
+	var wg sync.WaitGroup
+	for k, l := range layers {
+		wg.Add(1)
+		go func(k int, l geom.Layer) {
+			defer wg.Done()
+			evals[k] = evalLayer(l, fr.LayerRects(l), resolveBoxes(fr, l), fr.LayerIndex(l), rules.Of(l))
+		}(k, l)
+	}
+	wg.Wait()
+	return evals
+}
+
+// checkedLayers returns the layers a flattened design gets checked on.
+func checkedLayers(fr *flatten.Result) []geom.Layer {
+	var out []geom.Layer
+	for _, l := range fr.Layers() {
+		if l != geom.LayerNone {
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// resolveBoxes maps each of the layer's rectangles to its occurrence's
+// placed bounding box — the value the trust rule compares.
+func resolveBoxes(fr *flatten.Result, l geom.Layer) []geom.Rect {
+	srcs := fr.LayerSrcs(l)
+	boxes := make([]geom.Rect, len(srcs))
+	for i, s := range srcs {
+		boxes[i] = fr.SrcBoxes[s]
+	}
+	return boxes
 }
 
 // CheckLayer checks one layer's rectangles against a rule (lambda
@@ -134,39 +188,34 @@ func Check(fr *flatten.Result) []Violation {
 // holding geometry outside a flatten.Result.
 func CheckLayer(l geom.Layer, rects []geom.Rect, r rules.Rule) []Violation {
 	ix := geom.NewIndexFrom(rects)
-	out := widthViolations(l, rects, r.MinWidth*rules.Lambda)
-	out = append(out, spacingViolations(l, rects, nil, ix, r.MinSpacing*rules.Lambda)...)
+	ev := evalLayer(l, rects, nil, ix, r)
+	out := ev.appendViolations(nil)
 	sortViolations(out)
 	return dedupe(out)
 }
 
-// provenance carries the leaf-occurrence trust information for the
-// spacing check: which occurrence each rectangle came from, and the
-// occurrences' placed bounding boxes.
-type provenance struct {
-	srcs  []int
-	boxes []geom.Rect
-}
-
-// trusted reports whether the pair of rectangles is covered by the
-// pre-designed-cell contract: same occurrence, or two occurrences
-// whose placement boxes touch (deliberate abutment or overlap).
-func (p *provenance) trusted(i, j int) bool {
-	if p == nil {
-		return false
-	}
-	si, sj := p.srcs[i], p.srcs[j]
-	return si == sj || p.boxes[si].Touches(p.boxes[sj])
-}
-
 // widthViolations reports material narrower than minW (centimicrons):
 // the residue of the merged layer region under a morphological opening
-// with a minW square. All region arithmetic runs in doubled
-// coordinates with an opening square of side 2*minW - 1 — strictly
-// between the widest illegal feature (2*minW - 2) and the narrowest
-// legal one (2*minW), so exact-minimum features survive and every
-// intermediate region stays non-degenerate.
+// with a minW square.
 func widthViolations(l geom.Layer, rects []geom.Rect, minW int) []Violation {
+	var out []Violation
+	for _, r := range widthResidues(rects, minW) {
+		out = append(out, widthViolationFrom(l, r, minW))
+	}
+	return out
+}
+
+// widthResidues computes the too-narrow material of a layer: the
+// merged region minus its morphological opening, as canonical slabs.
+// All region arithmetic runs in doubled coordinates with an opening
+// square of side 2*minW - 1 — strictly between the widest illegal
+// feature (2*minW - 2) and the narrowest legal one (2*minW), so
+// exact-minimum features survive and every intermediate region stays
+// non-degenerate. The result is a pure, canonical function of the
+// material point set: the incremental checker relies on that to splice
+// residues computed in a window around an edit with cached ones
+// outside it.
+func widthResidues(rects []geom.Rect, minW int) []geom.Rect {
 	if minW <= 0 {
 		return nil
 	}
@@ -190,80 +239,57 @@ func widthViolations(l geom.Layer, rects []geom.Rect, minW int) []Violation {
 	compDilated := regionDilate(comp, d2, d1) // Minkowski sum with reflected B
 	eroded := regionComplement(compDilated, frame)
 	opened := regionDilate(eroded, d1, d2)
-	resid := regionSubtract(region, opened)
-
-	var out []Violation
-	for _, r := range resid {
-		narrow := r.W()
-		if r.H() < narrow {
-			narrow = r.H()
-		}
-		out = append(out, Violation{
-			Layer: l,
-			// halve back, rounding outward
-			Rect: geom.R(floorHalf(r.Min.X), floorHalf(r.Min.Y),
-				ceilHalf(r.Max.X), ceilHalf(r.Max.Y)),
-			Rule: RuleWidth,
-			Got:  (narrow + 1) / 2,
-			Want: minW,
-		})
-	}
-	return out
+	return regionSubtract(region, opened)
 }
 
-// spacingViolations reports pairs of disconnected same-layer
-// components separated by less than minS (centimicrons). ix must index
-// exactly rects (ids are slice positions); the flatten.Result layer
-// index satisfies this. prov, when non-nil, supplies the leaf
-// occurrence trust rule; nil means every pair is measured.
-func spacingViolations(l geom.Layer, rects []geom.Rect, prov *provenance, ix *geom.Index, minS int) []Violation {
-	if minS <= 0 || len(rects) < 2 {
-		return nil
+// widthViolationFrom renders one doubled-coordinate residue slab as a
+// width violation.
+func widthViolationFrom(l geom.Layer, r geom.Rect, minW int) Violation {
+	narrow := r.W()
+	if r.H() < narrow {
+		narrow = r.H()
 	}
-	// connected components: touching material is one net
-	uf := geom.NewUnionFind(len(rects))
-	ix.UnionTouching(uf)
-	var out []Violation
-	halo := minS - 1 // gap <= minS-1 <=> gap < minS on the integer grid
-	for i, r := range rects {
-		grown := r.Canon().Inset(-halo)
-		ix.QueryRect(grown, func(j int) bool {
-			if j <= i || uf.Find(i) == uf.Find(j) {
-				return true
-			}
-			if prov.trusted(i, j) {
-				return true
-			}
-			ri, rj := rects[i].Canon(), rects[j].Canon()
-			dx := gap(ri.Min.X, ri.Max.X, rj.Min.X, rj.Max.X)
-			dy := gap(ri.Min.Y, ri.Max.Y, rj.Min.Y, rj.Max.Y)
-			got := 0
-			switch {
-			case dx > 0 && dy > 0:
-				// diagonal: corner-to-corner Euclidean separation
-				if dx*dx+dy*dy >= minS*minS {
-					return true
-				}
-				got = isqrt(dx*dx + dy*dy)
-			default:
-				got = dx + dy
-				if got >= minS {
-					return true
-				}
-			}
-			gx0, gx1 := gapSpan(ri.Min.X, ri.Max.X, rj.Min.X, rj.Max.X)
-			gy0, gy1 := gapSpan(ri.Min.Y, ri.Max.Y, rj.Min.Y, rj.Max.Y)
-			out = append(out, Violation{
-				Layer: l,
-				Rect:  geom.R(gx0, gy0, gx1, gy1),
-				Rule:  RuleSpacing,
-				Got:   got,
-				Want:  minS,
-			})
-			return true
-		})
+	return Violation{
+		Layer: l,
+		// halve back, rounding outward
+		Rect: geom.R(floorHalf(r.Min.X), floorHalf(r.Min.Y),
+			ceilHalf(r.Max.X), ceilHalf(r.Max.Y)),
+		Rule: RuleWidth,
+		Got:  (narrow + 1) / 2,
+		Want: minW,
 	}
-	return out
+}
+
+// spacingPair measures one pair of rectangles against the spacing
+// rule, returning the violation and whether the pair breaks it. The
+// measurement is symmetric in i and j.
+func spacingPair(l geom.Layer, ri, rj geom.Rect, minS int) (Violation, bool) {
+	ri, rj = ri.Canon(), rj.Canon()
+	dx := gap(ri.Min.X, ri.Max.X, rj.Min.X, rj.Max.X)
+	dy := gap(ri.Min.Y, ri.Max.Y, rj.Min.Y, rj.Max.Y)
+	got := 0
+	switch {
+	case dx > 0 && dy > 0:
+		// diagonal: corner-to-corner Euclidean separation
+		if dx*dx+dy*dy >= minS*minS {
+			return Violation{}, false
+		}
+		got = isqrt(dx*dx + dy*dy)
+	default:
+		got = dx + dy
+		if got >= minS {
+			return Violation{}, false
+		}
+	}
+	gx0, gx1 := gapSpan(ri.Min.X, ri.Max.X, rj.Min.X, rj.Max.X)
+	gy0, gy1 := gapSpan(ri.Min.Y, ri.Max.Y, rj.Min.Y, rj.Max.Y)
+	return Violation{
+		Layer: l,
+		Rect:  geom.R(gx0, gy0, gx1, gy1),
+		Rule:  RuleSpacing,
+		Got:   got,
+		Want:  minS,
+	}, true
 }
 
 // gap returns the separation of two closed intervals (0 when they

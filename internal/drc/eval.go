@@ -1,0 +1,138 @@
+package drc
+
+import (
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// This file is the per-layer evaluation core behind Check, CheckLayer
+// and Incremental. One layerEval holds everything a layer's check
+// derives — and everything the incremental checker needs to splice the
+// next run instead of recomputing it:
+//
+//   - the touch-edge graph (every pair of touching rectangles) and the
+//     connected-component partition its closure induces. Touching
+//     material is one electrical net, so spacing rules do not apply
+//     inside a component; the edge graph is cached because after an
+//     edit the surviving edges replay in O(E) plain unions, with index
+//     queries only for the added rectangles;
+//   - the width residues: the merged layer region minus its
+//     morphological opening, kept as canonical slabs in doubled
+//     coordinates. The opening has bounded locality (a residue point
+//     depends only on material within the opening square's reach), so
+//     an edit re-derives residues inside a window around the changed
+//     material and splices the rest;
+//   - the spacing violations, tagged with the rectangle pair that
+//     produced them, so survivors remap across an edit and only pairs
+//     an edit could have changed re-measure.
+type layerEval struct {
+	layer geom.Layer
+	rule  rules.Rule
+	rects []geom.Rect
+	boxes []geom.Rect // per-rect occurrence boxes; nil = no trust, measure all
+	comp  []int32     // component root per rect
+	edges []uint64    // touching pairs, packed lo<<32|hi
+
+	widthResid []geom.Rect // canonical residue slabs, doubled coordinates
+	spacing    []spacingEntry
+}
+
+// spacingEntry is one spacing violation with the rectangle pair that
+// measured it.
+type spacingEntry struct {
+	i, j int32
+	v    Violation
+}
+
+// packEdge normalizes and packs a touching pair.
+func packEdge(i, j int) uint64 {
+	if j < i {
+		i, j = j, i
+	}
+	return uint64(i)<<32 | uint64(j)
+}
+
+// appendViolations flattens the eval's width residues and spacing
+// entries into the caller's report.
+func (le *layerEval) appendViolations(out []Violation) []Violation {
+	minW := le.rule.MinWidth * rules.Lambda
+	for _, r := range le.widthResid {
+		out = append(out, widthViolationFrom(le.layer, r, minW))
+	}
+	for _, e := range le.spacing {
+		out = append(out, e.v)
+	}
+	return out
+}
+
+// evalLayer runs the full check over one layer: touch edges and
+// components from per-rect index queries, whole-layer width residues,
+// and the all-pairs spacing scan.
+func evalLayer(l geom.Layer, rects, boxes []geom.Rect, ix *geom.Index, rule rules.Rule) *layerEval {
+	le := &layerEval{layer: l, rule: rule, rects: rects, boxes: boxes}
+
+	uf := geom.NewUnionFind(len(rects))
+	for i, r := range rects {
+		ix.QueryRect(r, func(j int) bool {
+			if j > i {
+				uf.Union(i, j)
+				le.edges = append(le.edges, packEdge(i, j))
+			}
+			return true
+		})
+	}
+	le.comp = compLabels(uf, len(rects))
+
+	le.widthResid = widthResidues(rects, rule.MinWidth*rules.Lambda)
+
+	minS := rule.MinSpacing * rules.Lambda
+	if minS > 0 && len(rects) >= 2 {
+		for i := range rects {
+			le.scanSpacing(ix, i, minS, func(j int) bool { return j > i })
+		}
+	}
+	return le
+}
+
+func compLabels(uf *geom.UnionFind, n int) []int32 {
+	comp := make([]int32, n)
+	for i := 0; i < n; i++ {
+		comp[i] = int32(uf.Find(i))
+	}
+	return comp
+}
+
+// scanSpacing discovers spacing violations seen from rect i: halo
+// query, same-component and trust exemptions, then the symmetric pair
+// measurement. accept filters the partner (the full pass accepts j > i
+// so each pair is measured once; the incremental pass accepts exactly
+// the partners its iteration set would otherwise double- or
+// never-visit).
+func (le *layerEval) scanSpacing(ix *geom.Index, i, minS int, accept func(j int) bool) {
+	halo := minS - 1 // gap <= minS-1 <=> gap < minS on the integer grid
+	grown := le.rects[i].Canon().Inset(-halo)
+	ix.QueryRect(grown, func(j int) bool {
+		if j == i || le.comp[j] == le.comp[i] || !accept(j) {
+			return true
+		}
+		if le.trusted(i, j) {
+			return true
+		}
+		if v, bad := spacingPair(le.layer, le.rects[i], le.rects[j], minS); bad {
+			le.spacing = append(le.spacing, spacingEntry{int32(i), int32(j), v})
+		}
+		return true
+	})
+}
+
+// trusted reports whether the pair is covered by the
+// pre-designed-cell contract: material of one occurrence, or of two
+// occurrences whose placement boxes touch (deliberate abutment or
+// overlap). Without provenance nothing is trusted.
+func (le *layerEval) trusted(i, j int) bool {
+	if le.boxes == nil {
+		return false
+	}
+	bi, bj := le.boxes[i], le.boxes[j]
+	return bi == bj || bi.Touches(bj)
+}

@@ -1,0 +1,347 @@
+package drc
+
+import (
+	"runtime"
+
+	"riot/internal/flatten"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// Incremental is a design-rule checker that caches each layer's full
+// evaluation between runs. Given a flatten.Delta describing an edit,
+// Check splices instead of recomputing:
+//
+//   - connectivity: the cached touch-edge graph replays over the
+//     surviving rectangles in O(edges) plain unions; only added
+//     rectangles run index queries. Every touching pair is either
+//     between survivors (cached edge) or involves an added rectangle
+//     (queried), so the closure is the exact partition;
+//   - width: the morphological opening has bounded locality — a
+//     residue point depends only on material within the opening
+//     square's reach — so new residues are computed inside a window
+//     around the changed material (over clipped local geometry) and
+//     spliced with the cached residues outside it. The slab
+//     decomposition is a canonical function of the residue point set,
+//     so the spliced slabs equal a from-scratch run's;
+//   - spacing: cached violations remap by surviving pair (dropping
+//     pairs that lost an endpoint or whose components merged);
+//     re-measured pairs are exactly those an edit can change — pairs
+//     with an added endpoint, and pairs straddling a component split
+//     (previously exempt as one net). A split's crossing pairs always
+//     have an endpoint outside the largest surviving piece, so only
+//     the smaller pieces re-scan.
+//
+// The spliced report is identical to a from-scratch Check
+// (differential-tested).
+type Incremental struct {
+	fr    *flatten.Result
+	evals map[geom.Layer]*layerEval
+}
+
+// Check reports fr's violations. delta, when non-nil and based on the
+// previous Result this Incremental checked, enables the splice path;
+// the second return reports whether it ran.
+func (inc *Incremental) Check(fr *flatten.Result, delta *flatten.Delta) ([]Violation, bool) {
+	usable := delta != nil && inc.fr != nil && delta.Old == inc.fr
+	layers := checkedLayers(fr)
+
+	if !usable {
+		// full rebuild: the same per-layer parallel fan-out as Check
+		evals := evalAll(fr, layers, runtime.GOMAXPROCS(0))
+		inc.fr = fr
+		inc.evals = make(map[geom.Layer]*layerEval, len(layers))
+		var out []Violation
+		for k, l := range layers {
+			inc.evals[l] = evals[k]
+			out = evals[k].appendViolations(out)
+		}
+		sortViolations(out)
+		return dedupe(out), false
+	}
+
+	maps := layerMaps(fr, delta)
+	spliced := false
+	evals := make(map[geom.Layer]*layerEval, len(layers))
+	var out []Violation
+	for _, l := range layers {
+		rects := fr.LayerRects(l)
+		boxes := resolveBoxes(fr, l)
+		ix := fr.LayerIndex(l)
+		rule := rules.Of(l)
+		var ev *layerEval
+		if old := inc.evals[l]; old != nil && maps[l] != nil {
+			ev = evalLayerSpliced(old, maps[l], l, rects, boxes, ix, rule)
+			spliced = true
+		} else {
+			ev = evalLayer(l, rects, boxes, ix, rule)
+		}
+		evals[l] = ev
+		out = ev.appendViolations(out)
+	}
+
+	inc.fr, inc.evals = fr, evals
+	sortViolations(out)
+	return dedupe(out), spliced
+}
+
+// layerMaps turns the delta's shape mapping into per-layer position
+// maps: for every new layer-local rectangle position, the old
+// layer-local position of the identical rectangle, or -1 if the
+// rectangle is new. Positions follow walk order, exactly how
+// Result.LayerRects lists rectangles.
+func layerMaps(fr *flatten.Result, delta *flatten.Delta) map[geom.Layer][]int32 {
+	oldPos := make([]int32, len(delta.Old.Shapes))
+	oldCount := map[geom.Layer]int32{}
+	for j, s := range delta.Old.Shapes {
+		oldPos[j] = oldCount[s.Layer]
+		oldCount[s.Layer]++
+	}
+	maps := map[geom.Layer][]int32{}
+	for i, s := range fr.Shapes {
+		m := maps[s.Layer]
+		if oi := delta.ShapeMap[i]; oi >= 0 {
+			m = append(m, oldPos[oi])
+		} else {
+			m = append(m, -1)
+		}
+		maps[s.Layer] = m
+	}
+	return maps
+}
+
+// evalLayerSpliced re-evaluates one layer against its previous eval.
+// newFromOld maps new layer-local positions to old ones (-1 = new
+// rectangle).
+func evalLayerSpliced(old *layerEval, newFromOld []int32, l geom.Layer, rects, boxes []geom.Rect, ix *geom.Index, rule rules.Rule) *layerEval {
+	le := &layerEval{layer: l, rule: rule, rects: rects, boxes: boxes,
+		edges:   make([]uint64, 0, len(old.edges)+64),
+		spacing: make([]spacingEntry, 0, len(old.spacing)+8),
+	}
+
+	// inversion and the added set
+	oldToNew := make([]int32, len(old.rects))
+	for j := range oldToNew {
+		oldToNew[j] = -1
+	}
+	var added []int32
+	for n, o := range newFromOld {
+		if o >= 0 {
+			oldToNew[o] = int32(n)
+		} else {
+			added = append(added, int32(n))
+		}
+	}
+	isAdded := make([]bool, len(rects))
+	for _, f := range added {
+		isAdded[f] = true
+	}
+
+	// connectivity: replay surviving edges, query only the added rects
+	uf := geom.NewUnionFind(len(rects))
+	for _, e := range old.edges {
+		i, j := oldToNew[e>>32], oldToNew[e&0xffffffff]
+		if i < 0 || j < 0 {
+			continue
+		}
+		uf.Union(int(i), int(j))
+		le.edges = append(le.edges, packEdge(int(i), int(j)))
+	}
+	for _, f := range added {
+		ix.QueryRect(rects[f].Canon(), func(j int) bool {
+			if j == int(f) {
+				return true
+			}
+			uf.Union(j, int(f))
+			// record once: survivor partners always, added partners
+			// from the lower index
+			if !isAdded[j] || j < int(f) {
+				le.edges = append(le.edges, packEdge(j, int(f)))
+			}
+			return true
+		})
+	}
+	le.comp = compLabels(uf, len(rects))
+
+	// the changed material, in new coordinates (added rects) and old
+	// coordinates (removed rects) — identical frames, since surviving
+	// rectangles are identical
+	var changed []geom.Rect
+	for _, f := range added {
+		changed = append(changed, rects[f].Canon())
+	}
+	for j, n := range oldToNew {
+		if n < 0 {
+			changed = append(changed, old.rects[j].Canon())
+		}
+	}
+
+	le.widthResid = spliceWidth(old.widthResid, rects, changed, ix, rule.MinWidth*rules.Lambda)
+	le.spliceSpacing(old, oldToNew, added, isAdded, ix)
+	return le
+}
+
+// spliceWidth re-derives the width residues inside a window around the
+// changed material and keeps the cached residues outside it. Residues
+// within the window depend only on material within the opening
+// square's reach of it, all of which the (wider) clip window includes;
+// clipping artifacts live within reach of the clip boundary, outside
+// the splice window, and are discarded. regionMerge canonicalizes, so
+// the spliced slabs equal a from-scratch decomposition of the same
+// point set.
+func spliceWidth(oldResid []geom.Rect, rects, changed []geom.Rect, ix *geom.Index, minW int) []geom.Rect {
+	if minW <= 0 {
+		return nil
+	}
+	if len(changed) == 0 {
+		return oldResid
+	}
+	// windows in real coordinates: reach is the opening side, minW
+	reach := 2 * minW // margin over the strict locality bound
+	wBox := changed[0]
+	for _, r := range changed[1:] {
+		wBox = wBox.Union(r)
+	}
+	win := wBox.Inset(-reach)     // residues re-derived inside here
+	clip := win.Inset(-2 * reach) // material participating
+
+	var local []geom.Rect
+	ix.QueryRect(clip, func(j int) bool {
+		if c := rects[j].Canon().Intersect(clip); !c.Empty() {
+			local = append(local, c)
+		}
+		return true
+	})
+	inner := widthResidues(local, minW)
+
+	// doubled-coordinate window for the residue splice
+	dwin := geom.R(2*win.Min.X, 2*win.Min.Y, 2*win.Max.X, 2*win.Max.Y)
+	keep := regionSubtract(oldResid, []geom.Rect{dwin})
+	var merged []geom.Rect
+	merged = append(merged, keep...)
+	for _, r := range inner {
+		if c := r.Intersect(dwin); !c.Empty() {
+			merged = append(merged, c)
+		}
+	}
+	return regionMerge(merged)
+}
+
+// spliceSpacing rebuilds the spacing entries: survivors remap (pairs
+// that lost an endpoint or merged into one component drop), added
+// rects re-scan, and components that split re-scan their smaller
+// pieces for the pairs the split un-exempted.
+func (le *layerEval) spliceSpacing(old *layerEval, oldToNew []int32, added []int32, isAdded []bool, ix *geom.Index) {
+	minS := le.rule.MinSpacing * rules.Lambda
+	if minS <= 0 || len(le.rects) < 2 {
+		return
+	}
+
+	// newToOld, for the split filter below
+	newToOld := make([]int32, len(le.rects))
+	for i := range newToOld {
+		newToOld[i] = -1
+	}
+	for j, n := range oldToNew {
+		if n >= 0 {
+			newToOld[n] = int32(j)
+		}
+	}
+
+	// keep surviving, still-disconnected pairs
+	for _, e := range old.spacing {
+		ni, nj := oldToNew[e.i], oldToNew[e.j]
+		if ni < 0 || nj < 0 || le.comp[ni] == le.comp[nj] {
+			continue
+		}
+		le.spacing = append(le.spacing, spacingEntry{ni, nj, e.v})
+	}
+
+	// pairs with an added endpoint
+	for _, f := range added {
+		le.scanSpacing(ix, int(f), minS, func(j int) bool {
+			return !isAdded[j] || j > int(f)
+		})
+	}
+
+	// component splits: pairs inside one old component that now lies in
+	// several pieces were exempt and must be measured. Every crossing
+	// pair has an endpoint outside the largest piece, so scan those.
+	splitScan := splitScanSet(old, le, oldToNew)
+	for _, f := range splitScan {
+		oldF := newToOld[f]
+		le.scanSpacing(ix, int(f), minS, func(j int) bool {
+			oj := newToOld[j]
+			if oj < 0 {
+				return false // added partners were handled above
+			}
+			if old.comp[oldF] != old.comp[oj] {
+				return false // previously disconnected: cached if violating
+			}
+			// both in the scan set: measure from the lower index
+			return !inSet(splitScan, int32(j)) || j > int(f)
+		})
+	}
+}
+
+// splitScanSet finds the survivors to re-scan after component splits:
+// for every old component whose survivors land in more than one new
+// component, all members outside the largest new piece.
+func splitScanSet(old, le *layerEval, oldToNew []int32) []int32 {
+	// old root -> new root -> member count
+	pieces := map[int32]map[int32]int32{}
+	for j, n := range oldToNew {
+		if n < 0 {
+			continue
+		}
+		oroot := old.comp[j]
+		m := pieces[oroot]
+		if m == nil {
+			m = map[int32]int32{}
+			pieces[oroot] = m
+		}
+		m[le.comp[n]]++
+	}
+	split := map[int32]int32{} // old root -> largest new piece
+	for oroot, m := range pieces {
+		if len(m) < 2 {
+			continue
+		}
+		var best int32
+		bestN := int32(-1)
+		for nroot, cnt := range m {
+			if cnt > bestN {
+				best, bestN = nroot, cnt
+			}
+		}
+		split[oroot] = best
+	}
+	if len(split) == 0 {
+		return nil
+	}
+	var out []int32
+	for j, n := range oldToNew {
+		if n < 0 {
+			continue
+		}
+		if largest, ok := split[old.comp[j]]; ok && le.comp[n] != largest {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+// inSet reports membership in a small sorted-ascending id slice built
+// from ascending walks.
+func inSet(set []int32, v int32) bool {
+	lo, hi := 0, len(set)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if set[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(set) && set[lo] == v
+}

@@ -1,0 +1,213 @@
+package drc
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/flatten"
+	"riot/internal/geom"
+	"riot/internal/lib"
+	"riot/internal/rules"
+)
+
+// gridEditor builds a composition of n individually placed SRCELLs
+// under an editor (abutting grid: rails merge across seams).
+func gridEditor(t testing.TB, n int) *core.Editor {
+	t.Helper()
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	top := core.NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x, y := i%6, i/6
+		tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
+		if _, err := e.CreateInstance("SRCELL", fmt.Sprintf("c%d", i), tr, 1, 1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// freshResult re-flattens without any cache, so scratch checks never
+// share lazily built per-layer state with the incremental run.
+func freshResult(t *testing.T, c *core.Cell) *flatten.Result {
+	t.Helper()
+	fr, err := flatten.Cell(c, flatten.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+// TestParallelCheckMatchesSequential forces the per-layer-goroutine
+// checker against the sequential one over library arrays and random
+// soups; reports must be identical. Under -race this also proves the
+// layer fan-out shares no mutable state.
+func TestParallelCheckMatchesSequential(t *testing.T) {
+	e := gridEditor(t, 12)
+	fr := freshResult(t, e.Cell)
+	seq := checkWorkers(fr, 1)
+	par := checkWorkers(freshResult(t, e.Cell), 4)
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel and sequential reports differ:\nseq: %v\npar: %v", seq, par)
+	}
+
+	// random soups with real violations
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		fr1 := soupFlat(rng, 40+rng.Intn(200))
+		fr2 := &flatten.Result{Shapes: fr1.Shapes, SrcBoxes: fr1.SrcBoxes}
+		seq := checkWorkers(fr1, 1)
+		par := checkWorkers(fr2, 4)
+		if !reflect.DeepEqual(seq, par) {
+			t.Fatalf("trial %d: parallel and sequential soup reports differ", trial)
+		}
+	}
+}
+
+// soupFlat builds a random flattened result with several occurrences
+// (trust boxes) and rect soup on three layers.
+func soupFlat(rng *rand.Rand, n int) *flatten.Result {
+	layers := []geom.Layer{geom.ND, geom.NP, geom.NM}
+	span := 400 + rng.Intn(1200)
+	fr := &flatten.Result{}
+	nsrc := 1 + rng.Intn(6)
+	for s := 0; s < nsrc; s++ {
+		x, y := rng.Intn(span), rng.Intn(span)
+		fr.SrcBoxes = append(fr.SrcBoxes, geom.R(x, y, x+span/3, y+span/3))
+	}
+	for i := 0; i < n; i++ {
+		x, y := rng.Intn(span), rng.Intn(span)
+		w, h := rng.Intn(span/6), rng.Intn(span/6)
+		fr.Shapes = append(fr.Shapes, flatten.Shape{
+			Layer: layers[rng.Intn(len(layers))],
+			R:     geom.R(x, y, x+w, y+h),
+			Src:   rng.Intn(nsrc),
+		})
+	}
+	return fr
+}
+
+// TestIncrementalCheckMatchesScratch drives a composition through
+// random edits; after each edit the spliced report must equal a
+// from-scratch Check of the same geometry.
+func TestIncrementalCheckMatchesScratch(t *testing.T) {
+	e := gridEditor(t, 10)
+	top := e.Cell
+	ca := &flatten.Cache{}
+	inc := &Incremental{}
+	rng := rand.New(rand.NewSource(29))
+
+	verify := func(step int, wantSplice bool) {
+		t.Helper()
+		fr, delta, err := ca.Flatten(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, spliced := inc.Check(fr, delta)
+		if wantSplice && !spliced {
+			t.Fatalf("step %d: splice path did not run", step)
+		}
+		want := checkWorkers(freshResult(t, top), 1)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: incremental and scratch reports differ\ninc:     %v\nscratch: %v", step, got, want)
+		}
+	}
+
+	verify(-1, false)
+
+	created := 0
+	for step := 0; step < 40; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 && len(top.Instances) > 0:
+			// move, biased to small offsets so spacing violations and
+			// near-abutments appear
+			in := top.Instances[rng.Intn(len(top.Instances))]
+			e.MoveInstance(in, geom.Pt(rng.Intn(8*rules.Lambda)-4*rules.Lambda, rng.Intn(8*rules.Lambda)-4*rules.Lambda))
+		case op < 7:
+			created++
+			cell := "NAND"
+			if rng.Intn(2) == 0 {
+				cell = "SRCELL"
+			}
+			tr := geom.MakeTransform(geom.R0, geom.Pt(rng.Intn(3000), rng.Intn(3000)))
+			if _, err := e.CreateInstance(cell, fmt.Sprintf("x%d", created), tr, 1, 1, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8 && len(top.Instances) > 1:
+			if err := e.DeleteInstance(top.Instances[rng.Intn(len(top.Instances))]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if len(top.Instances) == 0 {
+				continue
+			}
+			e.OrientInstance(top.Instances[rng.Intn(len(top.Instances))], geom.R180)
+		}
+		verify(step, true)
+	}
+}
+
+// TestIncrementalCheckArrayEdit covers the benchmark scenario: pull
+// one cell out of an abutted grid (creating real spacing violations
+// against its former neighbors), verify, put it back, verify clean.
+func TestIncrementalCheckArrayEdit(t *testing.T) {
+	e := gridEditor(t, 24)
+	top := e.Cell
+	ca := &flatten.Cache{}
+	inc := &Incremental{}
+
+	fr, delta, err := ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, _ := inc.Check(fr, delta)
+	if len(base) != 0 {
+		t.Fatalf("abutted grid not clean: %v", base)
+	}
+
+	// park the cell 1 lambda above the grid: disconnected from the
+	// array's merged rails but within spacing range of the top row
+	in := top.Instances[7]
+	d := geom.Pt(0, (4*24-24+1)*rules.Lambda)
+	e.MoveInstance(in, d)
+	fr, delta, err = ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, spliced := inc.Check(fr, delta)
+	if !spliced {
+		t.Fatal("splice path did not run")
+	}
+	want := checkWorkers(freshResult(t, top), 1)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("parked cell: incremental and scratch differ\ninc:     %v\nscratch: %v", got, want)
+	}
+	if len(got) == 0 {
+		t.Fatal("parking a cell 1 lambda from the grid produced no violations")
+	}
+
+	e.MoveInstance(in, geom.Pt(-d.X, -d.Y))
+	fr, delta, err = ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, spliced = inc.Check(fr, delta)
+	if !spliced {
+		t.Fatal("splice path did not run on the revert")
+	}
+	if len(got) != 0 {
+		t.Fatalf("reverted grid not clean: %v", got)
+	}
+}

@@ -148,14 +148,14 @@ func TestExtractConnectivityFuzz(t *testing.T) {
 		span := 200 + rng.Intn(2000)
 		n := 5 + rng.Intn(120)
 		mk := func() *flatten.Result {
-			fr := &flatten.Result{Labels: map[string]flatten.Label{}}
+			fr := &flatten.Result{}
 			for i := 0; i < n; i++ {
 				x, y := rng.Intn(span), rng.Intn(span)
 				w, h := rng.Intn(span/4), rng.Intn(span/4)
 				lay := layers[rng.Intn(len(layers))]
 				r := geom.R(x, y, x+w, y+h)
 				fr.Shapes = append(fr.Shapes, flatten.Shape{Layer: lay, R: r})
-				fr.Labels[fmt.Sprintf("s%d", i)] = flatten.Label{At: r.Center(), Layer: lay}
+				fr.Labels = append(fr.Labels, flatten.NamedLabel{Name: fmt.Sprintf("s%d", i), Label: flatten.Label{At: r.Center(), Layer: lay}})
 				if rng.Intn(4) == 0 {
 					// contact join at this rect's center to a random layer
 					// (or the LayerNone wildcard)

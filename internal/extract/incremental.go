@@ -1,0 +1,215 @@
+package extract
+
+import (
+	"runtime"
+
+	"riot/internal/flatten"
+	"riot/internal/geom"
+)
+
+// Incremental is a circuit extractor that caches its connectivity
+// scaffolding between runs: the fragment list (with its per-shape
+// spans) and the same-layer touch-edge graph. Given a flatten.Delta
+// describing an edit, Solve splices the cached state instead of
+// recomputing it:
+//
+//   - only shapes that are new, or whose gate environment changed
+//     (a device was added or removed nearby), are re-fragmented; every
+//     other shape's fragment span is copied;
+//   - connectivity replays the surviving touch edges in O(edges) plain
+//     unions — every touching pair of surviving fragments is a cached
+//     edge — and only the fragments the edit produced re-derive their
+//     adjacency through queries on the rebuilt per-layer locator;
+//   - contacts, net numbering, devices and labels then run exactly the
+//     shared circuitFrom tail.
+//
+// The spliced circuit is byte-identical to a from-scratch solve
+// (differential-tested): the fragment list is reproduced span by span,
+// the union partition is provably the same closure, and the numbering
+// tail is the same code.
+type Incremental struct {
+	fr     *flatten.Result
+	frags  []flatten.Shape
+	counts []int32 // fragments per shape, aligned with fr.Shapes
+	edges  []uint64
+	loc    *locator // arena-reused across splices
+
+	// spare buffers: the run-before-last's slices, safe to overwrite
+	// once no delta references them
+	spareFrags  []flatten.Shape
+	spareCounts []int32
+	spareEdges  []uint64
+}
+
+// Solve extracts fr's circuit. delta, when non-nil and based on the
+// previous Result this Incremental solved, enables the splice path;
+// otherwise a full parallel solve runs and primes the cache. The
+// second return reports whether the splice path ran.
+func (inc *Incremental) Solve(fr *flatten.Result, delta *flatten.Delta) (*Circuit, bool, error) {
+	if delta == nil || inc.fr == nil || delta.Old != inc.fr {
+		ckt, st, err := solveWorkers(fr, false, runtime.GOMAXPROCS(0))
+		if err != nil {
+			inc.fr = nil
+			return nil, false, err
+		}
+		inc.fr, inc.frags, inc.counts, inc.edges = fr, st.frags, st.counts, st.edges
+		return ckt, false, nil
+	}
+	ckt, err := inc.splice(fr, delta)
+	if err != nil {
+		return nil, true, err
+	}
+	return ckt, true, nil
+}
+
+// splice runs the incremental solve against the cached previous state.
+func (inc *Incremental) splice(fr *flatten.Result, delta *flatten.Delta) (*Circuit, error) {
+	old := inc.fr
+
+	// gates that appeared or disappeared: diffusion they touch (in
+	// either the old or new position) must re-fragment
+	var dirtyGates []geom.Rect
+	for j, gone := range delta.OldDeviceGone {
+		if gone {
+			dirtyGates = append(dirtyGates, old.Devices[j].Gate)
+		}
+	}
+	for i, oi := range delta.DeviceMap {
+		if oi < 0 {
+			dirtyGates = append(dirtyGates, fr.Devices[i].Gate)
+		}
+	}
+
+	// edits touch a handful of gates, where the linear scan wins; big
+	// deltas get an index so the dirtiness test stays near-constant
+	touchesDirtyGate := func(r geom.Rect) bool {
+		for _, g := range dirtyGates {
+			if g.Touches(r) {
+				return true
+			}
+		}
+		return false
+	}
+	if len(dirtyGates) > 64 {
+		dg := geom.NewIndexFrom(dirtyGates)
+		dg.Build()
+		touchesDirtyGate = func(r geom.Rect) bool {
+			hit := false
+			dg.QueryRect(r, func(int) bool { hit = true; return false })
+			return hit
+		}
+	}
+
+	// rebuild the gate index over the new device list for the shapes
+	// that do re-fragment
+	var gates *geom.Index
+	if len(fr.Devices) > 0 {
+		gates = geom.NewIndex()
+		for _, d := range fr.Devices {
+			gates.Insert(d.Gate)
+		}
+		gates.Build()
+	}
+
+	// old fragment spans by shape
+	oldStarts := make([]int32, len(old.Shapes)+1)
+	for j, c := range inc.counts {
+		oldStarts[j+1] = oldStarts[j] + c
+	}
+
+	// splice the fragment list: copy unchanged spans, re-fragment the
+	// rest; track the old->new fragment mapping for the replay. The
+	// buffers ping-pong: the run-before-last's slices are reused, the
+	// previous run's stay live (they back the current splice).
+	frags := inc.spareFrags[:0]
+	if cap(frags) < len(inc.frags)+64 {
+		frags = make([]flatten.Shape, 0, len(inc.frags)+64)
+	}
+	counts := inc.spareCounts[:0]
+	if cap(counts) < len(fr.Shapes) {
+		counts = make([]int32, 0, len(fr.Shapes)+64)
+	}
+	counts = counts[:len(fr.Shapes)]
+	oldFragToNew := make([]int32, len(inc.frags))
+	for j := range oldFragToNew {
+		oldFragToNew[j] = -1
+	}
+	resweep := make([]int32, 0, 64) // new fragment ids needing re-derived adjacency
+	var cand []int
+	for i, s := range fr.Shapes {
+		oi := delta.ShapeMap[i]
+		lo := len(frags)
+		if oi >= 0 && !(s.Layer == geom.ND && touchesDirtyGate(s.R)) {
+			// unchanged shape, unchanged gate environment: copy its span
+			oLo, oHi := oldStarts[oi], oldStarts[oi+1]
+			frags = append(frags, inc.frags[oLo:oHi]...)
+			for k := oLo; k < oHi; k++ {
+				oldFragToNew[k] = int32(lo) + k - oLo
+			}
+		} else {
+			frags = fragmentShape(fr, s, gates, false, &cand, frags)
+			for k := lo; k < len(frags); k++ {
+				resweep = append(resweep, int32(k))
+			}
+		}
+		counts[i] = int32(len(frags) - lo)
+	}
+
+	// locator rebuild doubles as the adjacency oracle for the edit's
+	// new fragments; its per-layer index arenas carry across splices
+	if inc.loc == nil {
+		inc.loc = &locator{}
+	}
+	loc := inc.loc
+	loc.rebuild(frags)
+
+	uf := geom.NewUnionFind(len(frags))
+
+	// replay the surviving touch edges: every touching pair of
+	// surviving fragments was recorded by the previous run's sweep (or
+	// splice), so plain unions reconstruct their partition exactly
+	edges := inc.spareEdges[:0]
+	if cap(edges) < len(inc.edges)+64 {
+		edges = make([]uint64, 0, len(inc.edges)+64)
+	}
+	for _, e := range inc.edges {
+		i, j := oldFragToNew[e>>32], oldFragToNew[e&0xffffffff]
+		if i < 0 || j < 0 {
+			continue
+		}
+		uf.Union(int(i), int(j))
+		edges = append(edges, packFragEdge(int(i), int(j)))
+	}
+
+	// re-derive adjacency for the fragments the edit produced: an
+	// index query finds all same-layer touching fragments, closing the
+	// union relation exactly as a full sweep would. isNew dedupes the
+	// new-new edge recordings (each such pair is seen from both sides).
+	isNew := make([]bool, len(frags))
+	for _, f := range resweep {
+		isNew[f] = true
+	}
+	for _, f := range resweep {
+		s := frags[f]
+		ix := loc.byLayer[s.Layer]
+		if ix == nil {
+			continue
+		}
+		ids := loc.fragIDs[s.Layer]
+		ix.QueryRect(s.R, func(id int) bool {
+			if g := ids[id]; g != int(f) {
+				uf.Union(g, int(f))
+				if !isNew[g] || g < int(f) {
+					edges = append(edges, packFragEdge(g, int(f)))
+				}
+			}
+			return true
+		})
+	}
+
+	// rotate: the previous run's buffers become next splice's spares
+	inc.spareFrags, inc.spareCounts, inc.spareEdges = inc.frags, inc.counts, inc.edges
+	inc.fr, inc.frags, inc.counts, inc.edges = fr, frags, counts, edges
+
+	return circuitFrom(fr, frags, uf, loc)
+}

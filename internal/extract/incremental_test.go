@@ -1,0 +1,147 @@
+package extract
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/flatten"
+	"riot/internal/geom"
+	"riot/internal/lib"
+	"riot/internal/rules"
+)
+
+// editorTop builds a composition of n individually placed SRCELLs plus
+// a NAND, mixing layers and devices, under an editor.
+func editorTop(t testing.TB, n int) *core.Editor {
+	t.Helper()
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	top := core.NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x, y := i%6, i/6
+		tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
+		if _, err := e.CreateInstance("SRCELL", fmt.Sprintf("c%d", i), tr, 1, 1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return e
+}
+
+// TestIncrementalSolveMatchesScratch drives a composition through
+// random edits; after each edit the incremental extractor's spliced
+// circuit must be byte-identical to a from-scratch solve of the same
+// flatten result.
+func TestIncrementalSolveMatchesScratch(t *testing.T) {
+	e := editorTop(t, 10)
+	top := e.Cell
+	ca := &flatten.Cache{}
+	inc := &Incremental{}
+	rng := rand.New(rand.NewSource(23))
+
+	check := func(step int, wantSplice bool) {
+		t.Helper()
+		fr, delta, err := ca.Flatten(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, spliced, errI := inc.Solve(fr, delta)
+		want, _, errS := solveWorkers(copyResult(fr), false, 1)
+		if (errI == nil) != (errS == nil) {
+			t.Fatalf("step %d: incremental err=%v scratch err=%v", step, errI, errS)
+		}
+		if errI != nil {
+			return
+		}
+		if wantSplice && !spliced {
+			t.Fatalf("step %d: splice path did not run", step)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: incremental and scratch circuits differ\ninc:     %+v\nscratch: %+v", step, got, want)
+		}
+	}
+
+	check(-1, false) // first run primes the cache
+
+	created := 0
+	for step := 0; step < 40; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 && len(top.Instances) > 0: // move (sometimes overlapping neighbors)
+			in := top.Instances[rng.Intn(len(top.Instances))]
+			e.MoveInstance(in, geom.Pt(rng.Intn(600)-300, rng.Intn(600)-300))
+		case op < 7: // create
+			created++
+			cell := "NAND"
+			if rng.Intn(2) == 0 {
+				cell = "SRCELL"
+			}
+			tr := geom.MakeTransform(geom.R0, geom.Pt(rng.Intn(3000), rng.Intn(3000)))
+			if _, err := e.CreateInstance(cell, fmt.Sprintf("x%d", created), tr, 1, 1, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8 && len(top.Instances) > 1: // delete
+			if err := e.DeleteInstance(top.Instances[rng.Intn(len(top.Instances))]); err != nil {
+				t.Fatal(err)
+			}
+		default: // orient in place
+			if len(top.Instances) == 0 {
+				continue
+			}
+			e.OrientInstance(top.Instances[rng.Intn(len(top.Instances))], geom.R180)
+		}
+		check(step, true)
+	}
+}
+
+// TestIncrementalSolveArrayEdit covers the benchmark scenario: a grid
+// of abutted SRCELLs (rails connected across seams, so design-spanning
+// components exist), one cell moved, incremental vs scratch.
+func TestIncrementalSolveArrayEdit(t *testing.T) {
+	e := editorTop(t, 24) // 6x4 abutted grid
+	top := e.Cell
+	ca := &flatten.Cache{}
+	inc := &Incremental{}
+
+	fr, delta, err := ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := inc.Solve(fr, delta); err != nil {
+		t.Fatal(err)
+	}
+
+	// pull one mid-array cell out of its row, then put it back
+	in := top.Instances[8]
+	for step, d := range []geom.Point{geom.Pt(3*rules.Lambda, 0), geom.Pt(-3*rules.Lambda, 0)} {
+		e.MoveInstance(in, d)
+		fr, delta, err := ca.Flatten(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, spliced, err := inc.Solve(fr, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !spliced {
+			t.Fatalf("step %d: splice path did not run", step)
+		}
+		want, _, err := solveWorkers(copyResult(fr), false, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: array edit: incremental and scratch circuits differ", step)
+		}
+	}
+}

@@ -3,6 +3,8 @@ package extract
 import (
 	"fmt"
 	"testing"
+
+	"riot/internal/flatten"
 )
 
 // BenchmarkExtractScale times full extraction of N x N SRCELL arrays —
@@ -33,5 +35,32 @@ func BenchmarkExtractScale(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkExtractSolveWorkers isolates the solver (one shared
+// flatten) and pins the concurrency width, so single-threaded and
+// concurrent solves compare directly: per-layer sweeps, locator index
+// builds and gate fragmentation all fan out at w4. On a single
+// hardware thread the goroutines interleave rather than overlap — the
+// numbers then measure the parallel path's overhead, not a speedup;
+// BENCH_extract.json records which applies to the machine that
+// produced it.
+func BenchmarkExtractSolveWorkers(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		top := srArray(b, n, n)
+		fr, err := flatten.Cell(top, flatten.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, w := range []int{1, 4} {
+			b.Run(fmt.Sprintf("%dx%d/w%d", n, n, w), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, _, err := solveWorkers(copyResult(fr), false, w); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
 	}
 }

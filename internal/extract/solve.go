@@ -2,7 +2,10 @@ package extract
 
 import (
 	"fmt"
+	"runtime"
+	"slices"
 	"sort"
+	"sync"
 
 	"riot/internal/flatten"
 	"riot/internal/geom"
@@ -14,11 +17,40 @@ import (
 // yield byte-identical circuits (the fragment list, and therefore the
 // dense net numbering, is order-identical).
 func solve(fr *flatten.Result, brute bool) (*Circuit, error) {
-	frags := fragment(fr, brute)
+	workers := 1
+	if !brute {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ckt, _, err := solveWorkers(fr, brute, workers)
+	return ckt, err
+}
+
+// solveState is the connectivity scaffolding one solve run leaves
+// behind: everything the incremental re-solver needs to splice the
+// next run instead of recomputing it. edges holds every same-layer
+// touching fragment pair (packed lo<<32|hi) — after an edit the
+// surviving edges replay in O(edges) plain unions, with index queries
+// only for the fragments the edit produced.
+type solveState struct {
+	frags  []flatten.Shape
+	counts []int32 // fragments produced per input shape (prefix-summable spans)
+	edges  []uint64
+}
+
+// solveWorkers runs the solver with an explicit concurrency width.
+// workers > 1 runs the per-layer sweeps, the locator index builds and
+// the gate fragmentation concurrently; the result is byte-identical to
+// workers == 1 (differential-tested), because fragment order, union
+// structure and point-location tie-breaks are all order-independent or
+// merged deterministically.
+func solveWorkers(fr *flatten.Result, brute bool, workers int) (*Circuit, *solveState, error) {
+	frags, counts := fragment(fr, brute, workers)
 
 	uf := geom.NewUnionFind(len(frags))
-	// same-layer touching material is one net
+	var loc *locator
+	st := &solveState{frags: frags, counts: counts}
 	if brute {
+		// quadratic reference: all-pairs touch test
 		for i := range frags {
 			for j := i + 1; j < len(frags); j++ {
 				if frags[i].Layer != frags[j].Layer {
@@ -26,25 +58,63 @@ func solve(fr *flatten.Result, brute bool) (*Circuit, error) {
 				}
 				if frags[i].R.Touches(frags[j].R) {
 					uf.Union(i, j)
+					st.edges = append(st.edges, uint64(i)<<32|uint64(j))
 				}
 			}
 		}
+		loc = newLocator(frags, true)
 	} else {
 		byLayer := map[geom.Layer][]int{}
 		for i, s := range frags {
 			byLayer[s.Layer] = append(byLayer[s.Layer], i)
 		}
-		for _, idxs := range byLayer {
-			sweepUnion(frags, idxs, uf)
+		if workers > 1 {
+			// Per-layer sweeps touch disjoint UnionFind entries (all
+			// unions are intra-layer), so they run concurrently into the
+			// shared forest, each recording its own edge slice; the
+			// locator's per-layer point-location indexes build in
+			// parallel with the sweeps.
+			var wg sync.WaitGroup
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				loc = newLocator(frags, false)
+				loc.buildAll()
+			}()
+			layerEdges := make([][]uint64, 0, len(byLayer))
+			for _, idxs := range byLayer {
+				layerEdges = append(layerEdges, nil)
+				ep := &layerEdges[len(layerEdges)-1]
+				wg.Add(1)
+				go func(idxs []int, ep *[]uint64) {
+					defer wg.Done()
+					*ep = sweepUnion(frags, idxs, uf)
+				}(idxs, ep)
+			}
+			wg.Wait()
+			for _, es := range layerEdges {
+				st.edges = append(st.edges, es...)
+			}
+		} else {
+			for _, idxs := range byLayer {
+				st.edges = append(st.edges, sweepUnion(frags, idxs, uf)...)
+			}
+			loc = newLocator(frags, false)
 		}
 	}
 
-	// point location over the fragments: the brute path scans the full
-	// slice, the indexed path asks a per-layer geom.Index. Both return
-	// the LOWEST matching fragment index so downstream choices are
-	// identical.
-	loc := newLocator(frags, brute)
+	ckt, err := circuitFrom(fr, frags, uf, loc)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ckt, st, nil
+}
 
+// circuitFrom resolves contacts, numbers nets densely and reads out
+// devices and labels — the order-sensitive tail every solve path
+// (brute, indexed, parallel, incremental) shares, so their circuits
+// agree byte for byte.
+func circuitFrom(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, loc *locator) (*Circuit, error) {
 	// contacts join layers at a point
 	for _, j := range fr.Joins {
 		ia := loc.findAt(j.At[0], j.Layers[0])
@@ -54,19 +124,21 @@ func solve(fr *flatten.Result, brute bool) (*Circuit, error) {
 		}
 	}
 
-	// dense net numbering
-	netID := map[int]int{}
+	// dense net numbering (roots are fragment indices, so a flat table
+	// replaces a map on this hot path)
+	netID := make([]int32, len(frags))
+	for i := range netID {
+		netID[i] = -1
+	}
 	nets := 0
 	netOfFrag := make([]int, len(frags))
 	for i := range frags {
 		root := uf.Find(i)
-		id, ok := netID[root]
-		if !ok {
-			id = nets
+		if netID[root] < 0 {
+			netID[root] = int32(nets)
 			nets++
-			netID[root] = id
 		}
-		netOfFrag[i] = id
+		netOfFrag[i] = int(netID[root])
 	}
 
 	ckt := &Circuit{NetCount: nets, NetOf: map[string]int{}}
@@ -91,21 +163,25 @@ func solve(fr *flatten.Result, brute bool) (*Circuit, error) {
 		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.Kind, Gate: gnet, A: anet, B: bnet})
 	}
 
-	for name, lb := range fr.Labels {
+	for _, lb := range fr.Labels {
 		if n, ok := netAt(lb.At, lb.Layer); ok {
-			ckt.NetOf[name] = n
+			ckt.NetOf[lb.Name] = n
 		}
 	}
 	return ckt, nil
 }
 
-// fragment splits every ND shape around every gate strip that cuts it.
-// The indexed path finds cutting gates through a spatial index over
-// the gate strips instead of testing all devices against all diffusion;
-// candidates are subtracted in device order (non-intersecting gates
-// are no-ops in subtract), so the piece sequence matches the brute
-// path exactly.
-func fragment(fr *flatten.Result, brute bool) []flatten.Shape {
+// fragment splits every ND shape around every gate strip that cuts it,
+// returning the fragments plus the number of fragments each input shape
+// produced (non-ND shapes pass through as one fragment). The indexed
+// path finds cutting gates through a spatial index over the gate strips
+// instead of testing all devices against all diffusion; candidates are
+// subtracted in device order (non-intersecting gates are no-ops in
+// subtract), so the piece sequence matches the brute path exactly.
+// workers > 1 chunks the shape list across goroutines — each worker
+// queries its own clone of the gate index — and merges the chunks in
+// shape order, keeping the output byte-identical.
+func fragment(fr *flatten.Result, brute bool, workers int) ([]flatten.Shape, []int32) {
 	var gates *geom.Index
 	if !brute && len(fr.Devices) > 0 {
 		gates = geom.NewIndex()
@@ -114,72 +190,228 @@ func fragment(fr *flatten.Result, brute bool) []flatten.Shape {
 		}
 		gates.Build()
 	}
-	frags := make([]flatten.Shape, 0, len(fr.Shapes))
-	var cand []int
-	for _, s := range fr.Shapes {
-		if s.Layer != geom.ND {
-			frags = append(frags, s)
-			continue
+
+	const parallelMinShapes = 2048
+	if brute || workers < 2 || len(fr.Shapes) < parallelMinShapes {
+		frags := make([]flatten.Shape, 0, len(fr.Shapes))
+		counts := make([]int32, len(fr.Shapes))
+		var cand []int
+		for si, s := range fr.Shapes {
+			n := len(frags)
+			frags = fragmentShape(fr, s, gates, brute, &cand, frags)
+			counts[si] = int32(len(frags) - n)
 		}
-		// candidate gate ids, always in device order: the full device
-		// list on the brute path, the index's (sorted) touch set
-		// otherwise — one subtraction loop keeps both paths
-		// byte-identical by construction
-		cand = cand[:0]
-		if gates != nil {
-			gates.QueryRect(s.R, func(id int) bool { cand = append(cand, id); return true })
-			sort.Ints(cand)
+		return frags, counts
+	}
+
+	if workers > len(fr.Shapes) {
+		workers = len(fr.Shapes)
+	}
+	type chunk struct {
+		frags  []flatten.Shape
+		counts []int32
+	}
+	chunks := make([]chunk, workers)
+	// one query handle per worker: clones share the built bins but keep
+	// private visit markers (cloning up front, before any worker
+	// queries, keeps the source index untouched)
+	gateIx := make([]*geom.Index, workers)
+	for w := range gateIx {
+		if gates == nil {
+			break
+		}
+		if w == 0 {
+			gateIx[w] = gates
 		} else {
-			for id := range fr.Devices {
-				cand = append(cand, id)
-			}
-		}
-		pieces := []geom.Rect{s.R}
-		for _, id := range cand {
-			var next []geom.Rect
-			for _, p := range pieces {
-				next = append(next, subtract(p, fr.Devices[id].Gate)...)
-			}
-			pieces = next
-		}
-		for _, p := range pieces {
-			frags = append(frags, flatten.Shape{Layer: geom.ND, R: p})
+			gateIx[w] = gates.Clone()
 		}
 	}
-	return frags
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := w*len(fr.Shapes)/workers, (w+1)*len(fr.Shapes)/workers
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			g := gateIx[w]
+			frags := make([]flatten.Shape, 0, hi-lo)
+			counts := make([]int32, hi-lo)
+			var cand []int
+			for si := lo; si < hi; si++ {
+				n := len(frags)
+				frags = fragmentShape(fr, fr.Shapes[si], g, false, &cand, frags)
+				counts[si-lo] = int32(len(frags) - n)
+			}
+			chunks[w] = chunk{frags, counts}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	frags := make([]flatten.Shape, 0, len(fr.Shapes))
+	counts := make([]int32, 0, len(fr.Shapes))
+	for _, c := range chunks {
+		frags = append(frags, c.frags...)
+		counts = append(counts, c.counts...)
+	}
+	return frags, counts
 }
 
-// sweepUnion unions every touching pair among the given same-layer
-// fragments with one sweep over their x-extents. Events are sorted by
-// x with entries before exits, so material that only shares an edge or
-// corner (x ranges meeting exactly) still counts as touching — the
-// closed-interval rule Rect.Touches implements. The active set is kept
-// ordered by Min.Y; an entering rectangle unions with the active
-// prefix whose Min.Y does not exceed its Max.Y.
-func sweepUnion(frags []flatten.Shape, idxs []int, uf *geom.UnionFind) {
-	if len(idxs) < 2 {
-		return
+// fragmentShape appends shape s's fragments to out: the shape itself
+// for non-diffusion, otherwise the diffusion minus every cutting gate,
+// subtracted in device order. cand is scratch for the candidate list.
+func fragmentShape(fr *flatten.Result, s flatten.Shape, gates *geom.Index, brute bool, cand *[]int, out []flatten.Shape) []flatten.Shape {
+	if s.Layer != geom.ND {
+		return append(out, s)
 	}
-	type event struct {
-		x    int
-		exit bool
-		frag int
-	}
-	events := make([]event, 0, 2*len(idxs))
-	for _, i := range idxs {
-		events = append(events, event{frags[i].R.Min.X, false, i}, event{frags[i].R.Max.X, true, i})
-	}
-	sort.Slice(events, func(a, b int) bool {
-		if events[a].x != events[b].x {
-			return events[a].x < events[b].x
+	// candidate gate ids, always in device order: the full device list
+	// on the brute path, the index's touch set (sorted) otherwise — one
+	// subtraction loop keeps both paths byte-identical by construction
+	c := (*cand)[:0]
+	if gates != nil {
+		gates.QueryRect(s.R, func(id int) bool { c = append(c, id); return true })
+		sort.Ints(c)
+	} else if brute {
+		for id := range fr.Devices {
+			c = append(c, id)
 		}
-		if events[a].exit != events[b].exit {
-			return !events[a].exit // entries first: edge contact at shared x still touches
+	}
+	*cand = c
+	pieces := []geom.Rect{s.R}
+	for _, id := range c {
+		var next []geom.Rect
+		for _, p := range pieces {
+			next = append(next, subtract(p, fr.Devices[id].Gate)...)
 		}
-		return events[a].frag < events[b].frag
-	})
+		pieces = next
+	}
+	for _, p := range pieces {
+		out = append(out, flatten.Shape{Layer: geom.ND, R: p})
+	}
+	return out
+}
 
-	// active fragments ordered by (Min.Y, frag)
+// sweepActiveSliceMax is the measured active-set size above which
+// sweepUnion switches its active set from the ordered slice to the
+// geom.SweepSet skip list. The slice's contiguous memmove beats the
+// skip list's pointer walk decisively at small and medium sizes
+// (BenchmarkSweepSetCrossover in internal/geom, and direct layer-sweep
+// measurements on 32x32 SRCELL arrays where max active is ~300, both
+// show the slice 3-4x faster); what the skip list removes is the
+// quadratic worst case — O(active) memmove per insert/delete once
+// thousands of long rectangles are alive at once (wide buses, full-die
+// rails). The sweep counts the true maximum active size in a cheap
+// pre-pass over the sorted events and only then picks the structure,
+// so ordinary layers never regress.
+const sweepActiveSliceMax = 4096
+
+// sweepUnion unions every touching pair among the given same-layer
+// fragments with one sweep over their x-extents, returning the packed
+// pair list (the touch-edge graph the incremental solver replays).
+// Events are packed into uint64s ordered by x with entries before
+// exits, so material that only shares an edge or corner (x ranges
+// meeting exactly) still counts as touching — the closed-interval rule
+// Rect.Touches implements. The active set is ordered by (Min.Y, frag);
+// an entering rectangle unions with the active prefix whose Min.Y does
+// not exceed its Max.Y. Large layers keep the active set in a
+// geom.SweepSet skip list, small ones in an ordered slice; both orders
+// are identical, so the union structure is too.
+func sweepUnion(frags []flatten.Shape, idxs []int, uf *geom.UnionFind) []uint64 {
+	if len(idxs) < 2 {
+		return nil
+	}
+	events := sweepEvents(frags, idxs)
+
+	// pre-pass: the peak number of simultaneously active rectangles
+	// decides the active-set structure
+	const exitBit = 1 << 32
+	maxActive, cur := 0, 0
+	for _, ev := range events {
+		if ev&exitBit != 0 {
+			cur--
+		} else if cur++; cur > maxActive {
+			maxActive = cur
+		}
+	}
+	if maxActive > sweepActiveSliceMax {
+		return sweepSkip(frags, events, uf)
+	}
+	return sweepSlice(frags, events, uf)
+}
+
+// packFragEdge packs a touching fragment pair, low index first.
+func packFragEdge(a, b int) uint64 {
+	if b < a {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(b)
+}
+
+// sweepEvents builds the sorted event stream for a sweep over the
+// given fragments' x-extents. Each event packs x (biased to unsigned,
+// 31 bits) in the high bits, then the entry/exit bit (entries first),
+// then the fragment id — so a plain integer sort yields the sweep
+// order. Design coordinates are centimicrons well inside +-2^30;
+// anything outside falls back to the comparator sort.
+func sweepEvents(frags []flatten.Shape, idxs []int) []uint64 {
+	const exitBit = 1 << 32
+	const xBias = 1 << 30
+	events := make([]uint64, 0, 2*len(idxs))
+	packable := true
+	for _, i := range idxs {
+		r := frags[i].R
+		if r.Min.X <= -xBias || r.Max.X >= xBias || i >= exitBit {
+			packable = false
+			break
+		}
+		ux0 := uint64(int64(r.Min.X) + xBias)
+		ux1 := uint64(int64(r.Max.X) + xBias)
+		events = append(events, ux0<<33|uint64(i), ux1<<33|exitBit|uint64(i))
+	}
+	if packable {
+		slices.Sort(events)
+	} else {
+		events = events[:0]
+		for _, i := range idxs {
+			events = append(events, uint64(i), exitBit|uint64(i))
+		}
+		// sort by the same (x, entries-first, frag) order, reading
+		// coordinates through the fragment list
+		slices.SortFunc(events, func(a, b uint64) int {
+			fa, fb := int(a&(exitBit-1)), int(b&(exitBit-1))
+			ea, eb := a&exitBit != 0, b&exitBit != 0
+			xa, xb := frags[fa].R.Min.X, frags[fb].R.Min.X
+			if ea {
+				xa = frags[fa].R.Max.X
+			}
+			if eb {
+				xb = frags[fb].R.Max.X
+			}
+			switch {
+			case xa != xb:
+				if xa < xb {
+					return -1
+				}
+				return 1
+			case ea != eb:
+				if !ea {
+					return -1
+				}
+				return 1
+			case fa != fb:
+				if fa < fb {
+					return -1
+				}
+				return 1
+			}
+			return 0
+		})
+	}
+	return events
+}
+
+// sweepSlice is sweepUnion's small-layer path: the active set is an
+// ordered slice with binary-search insert/delete.
+func sweepSlice(frags []flatten.Shape, events []uint64, uf *geom.UnionFind) []uint64 {
+	const exitBit = 1 << 32
+	var edges []uint64
 	var active []int
 	less := func(f, g int) bool {
 		if frags[f].R.Min.Y != frags[g].R.Min.Y {
@@ -188,26 +420,55 @@ func sweepUnion(frags []flatten.Shape, idxs []int, uf *geom.UnionFind) {
 		return f < g
 	}
 	for _, ev := range events {
-		if ev.exit {
-			at := sort.Search(len(active), func(k int) bool { return !less(active[k], ev.frag) })
-			if at < len(active) && active[at] == ev.frag {
+		frag := int(ev & (exitBit - 1))
+		if ev&exitBit != 0 {
+			at := sort.Search(len(active), func(k int) bool { return !less(active[k], frag) })
+			if at < len(active) && active[at] == frag {
 				active = append(active[:at], active[at+1:]...)
 			}
 			continue
 		}
-		r := frags[ev.frag].R
+		r := frags[frag].R
 		// all active rects with Min.Y <= r.Max.Y are y-candidates
 		end := sort.Search(len(active), func(k int) bool { return frags[active[k]].R.Min.Y > r.Max.Y })
 		for _, a := range active[:end] {
 			if frags[a].R.Max.Y >= r.Min.Y {
-				uf.Union(a, ev.frag)
+				uf.Union(a, frag)
+				edges = append(edges, packFragEdge(a, frag))
 			}
 		}
-		at := sort.Search(len(active), func(k int) bool { return !less(active[k], ev.frag) })
+		at := sort.Search(len(active), func(k int) bool { return !less(active[k], frag) })
 		active = append(active, 0)
 		copy(active[at+1:], active[at:])
-		active[at] = ev.frag
+		active[at] = frag
 	}
+	return edges
+}
+
+// sweepSkip is sweepUnion's large-layer path: the active set is a skip
+// list keyed by (Min.Y, frag).
+func sweepSkip(frags []flatten.Shape, events []uint64, uf *geom.UnionFind) []uint64 {
+	const exitBit = 1 << 32
+	var edges []uint64
+	active := geom.NewSweepSet()
+	for _, ev := range events {
+		frag := int(ev & (exitBit - 1))
+		minY := frags[frag].R.Min.Y
+		if ev&exitBit != 0 {
+			active.Delete(minY, frag)
+			continue
+		}
+		r := frags[frag].R
+		active.VisitPrefix(r.Max.Y, func(a int) bool {
+			if frags[a].R.Max.Y >= r.Min.Y {
+				uf.Union(a, frag)
+				edges = append(edges, packFragEdge(a, frag))
+			}
+			return true
+		})
+		active.Insert(minY, frag)
+	}
+	return edges
 }
 
 // locator answers "which fragment is at this point?" queries. The
@@ -239,6 +500,48 @@ func newLocator(frags []flatten.Shape, brute bool) *locator {
 		l.fragIDs[s.Layer] = append(l.fragIDs[s.Layer], i)
 	}
 	return l
+}
+
+// buildAll front-loads every per-layer index build (they are otherwise
+// lazy), so a solve can overlap them with the connectivity sweeps.
+func (l *locator) buildAll() {
+	for _, ix := range l.byLayer {
+		ix.Build()
+	}
+}
+
+// rebuild refills the locator for a new fragment list, reusing the
+// per-layer index arenas — re-verify loops rebuild the locator every
+// run, and the allocation churn of fresh indexes is what this avoids.
+func (l *locator) rebuild(frags []flatten.Shape) {
+	l.frags, l.brute = frags, false
+	if l.byLayer == nil {
+		l.byLayer = map[geom.Layer]*geom.Index{}
+		l.fragIDs = map[geom.Layer][]int{}
+	}
+	for _, ix := range l.byLayer {
+		ix.Reset()
+	}
+	for lay := range l.fragIDs {
+		l.fragIDs[lay] = l.fragIDs[lay][:0]
+	}
+	for i, s := range frags {
+		ix, ok := l.byLayer[s.Layer]
+		if !ok {
+			ix = geom.NewIndex()
+			l.byLayer[s.Layer] = ix
+		}
+		ix.Insert(s.R)
+		l.fragIDs[s.Layer] = append(l.fragIDs[s.Layer], i)
+	}
+	// drop layers that vanished so queries cannot hit stale geometry
+	for lay, ix := range l.byLayer {
+		if ix.Len() == 0 {
+			delete(l.byLayer, lay)
+			delete(l.fragIDs, lay)
+		}
+	}
+	l.buildAll()
 }
 
 // findOnLayer returns the lowest fragment index on the given layer

@@ -94,6 +94,12 @@ type Label struct {
 	Layer geom.Layer
 }
 
+// NamedLabel is one entry of a Result's label list.
+type NamedLabel struct {
+	Name string
+	Label
+}
+
 // Result is the flattened design: shape, device and join lists in
 // deterministic walk order, plus the label map. The per-layer views
 // (Layers, LayerRects, LayerIndex) are derived lazily and cached; a
@@ -103,7 +109,10 @@ type Result struct {
 	Shapes  []Shape
 	Devices []Device
 	Joins   []Join
-	Labels  map[string]Label
+	// Labels lists connector labels in walk order (the cell's own
+	// connectors, then every instance's, instance by instance). On
+	// duplicate names the last resolution wins, deterministically.
+	Labels []NamedLabel
 
 	// SrcBoxes holds, indexed by Shape.Src, each leaf occurrence's
 	// declared bounding box placed into top-level coordinates — the
@@ -136,20 +145,27 @@ func Cell(c *core.Cell, opt Options) (*Result, error) {
 		Shapes:   b.shapes,
 		Devices:  b.devices,
 		Joins:    b.joins,
-		Labels:   map[string]Label{},
 		SrcBoxes: b.srcBoxes,
 	}
 	for _, cn := range c.Connectors() {
-		res.Labels[cn.Name] = Label{cn.At, cn.Layer}
+		res.Labels = append(res.Labels, NamedLabel{cn.Name, Label{cn.At, cn.Layer}})
 	}
 	if c.Kind == core.Composition {
 		for _, in := range c.Instances {
-			for _, ic := range in.Connectors() {
-				res.Labels[in.Name+"."+ic.Name] = Label{ic.At, ic.Layer}
-			}
+			res.Labels = append(res.Labels, instanceLabels(in)...)
 		}
 	}
 	return res, nil
+}
+
+// instanceLabels resolves one instance's connectors to labels.
+func instanceLabels(in *core.Instance) []NamedLabel {
+	ics := in.Connectors()
+	out := make([]NamedLabel, 0, len(ics))
+	for _, ic := range ics {
+		out = append(out, NamedLabel{in.Name + "." + ic.Name, Label{ic.At, ic.Layer}})
+	}
+	return out
 }
 
 // Layers returns the layers present in the flattened design, sorted by
@@ -194,8 +210,17 @@ func (r *Result) buildLayers() {
 	if r.byLayer != nil {
 		return
 	}
-	r.byLayer = map[geom.Layer][]geom.Rect{}
-	r.bySrc = map[geom.Layer][]int{}
+	// count first so every per-layer slice allocates exactly once
+	counts := map[geom.Layer]int{}
+	for _, s := range r.Shapes {
+		counts[s.Layer]++
+	}
+	r.byLayer = make(map[geom.Layer][]geom.Rect, len(counts))
+	r.bySrc = make(map[geom.Layer][]int, len(counts))
+	for l, n := range counts {
+		r.byLayer[l] = make([]geom.Rect, 0, n)
+		r.bySrc[l] = make([]int, 0, n)
+	}
 	for _, s := range r.Shapes {
 		r.byLayer[s.Layer] = append(r.byLayer[s.Layer], s.R)
 		r.bySrc[s.Layer] = append(r.bySrc[s.Layer], s.Src)

@@ -155,8 +155,12 @@ func TestLabels(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	have := map[string]bool{}
+	for _, lb := range fr.Labels {
+		have[lb.Name] = true
+	}
 	for _, want := range []string{"a.IN[0]", "a.OUT[1]", "a.PWRL[0]", "a.TAP[0]"} {
-		if _, ok := fr.Labels[want]; !ok {
+		if !have[want] {
 			t.Errorf("label %s missing", want)
 		}
 	}

@@ -1,0 +1,272 @@
+package flatten
+
+import (
+	"riot/internal/core"
+	"riot/internal/geom"
+)
+
+// This file is the incremental half of the package: a Cache memoizes
+// the flattened shard of every top-level instance of a composition,
+// keyed on the instance's placement parameters, so re-flattening after
+// an edit only walks the instances that changed and splices the rest.
+// The spliced Result is byte-identical to a from-scratch Cell walk —
+// the shards are exactly the per-instance segments that walk would
+// emit, concatenated in instance order with the occurrence ids
+// renumbered — so every consumer (extractor, DRC) sees the same input
+// either way. Alongside the Result the cache reports a Delta mapping
+// the new shape and device lists onto the previous run's, which is
+// what lets those consumers splice their own caches instead of
+// recomputing.
+
+// instKey is the placement snapshot a cached shard is valid for: the
+// defining cell (by identity — STRETCH swaps the pointer) and the
+// full placement/replication state. Mutations inside the defining
+// cell's object are outside the editor contract and must be announced
+// with Editor.Invalidate.
+type instKey struct {
+	cell           *core.Cell
+	tr             geom.Transform
+	nx, ny, sx, sy int
+}
+
+func keyOf(in *core.Instance) instKey {
+	return instKey{cell: in.Cell, tr: in.Tr, nx: in.Nx, ny: in.Ny, sx: in.Sx, sy: in.Sy}
+}
+
+// shard is one instance's flattened geometry with shard-local
+// occurrence ids (Shape.Src counts from 0), plus its resolved
+// connector labels.
+type shard struct {
+	shapes   []Shape
+	devices  []Device
+	joins    []Join
+	srcBoxes []geom.Rect
+	srcN     int
+	labels   []NamedLabel
+}
+
+// span locates one instance's segments inside a spliced Result.
+type span struct {
+	shapeLo, shapeHi   int
+	deviceLo, deviceHi int
+}
+
+// Delta maps a freshly spliced Result onto the previous one, so
+// downstream incremental passes know exactly which shapes and devices
+// survived an edit. Indices are positions in the respective Shapes and
+// Devices slices.
+type Delta struct {
+	// Old is the previous spliced Result.
+	Old *Result
+	// ShapeMap[i] is the old index of new shape i, or -1 if the shape
+	// is new. A mapped shape has an identical Layer and rectangle (its
+	// occurrence id may be renumbered; the occurrence's placed box is
+	// unchanged).
+	ShapeMap []int32
+	// OldShapeGone[j] reports that old shape j has no counterpart.
+	OldShapeGone []bool
+	// DeviceMap / OldDeviceGone mirror the shape maps for devices.
+	DeviceMap     []int32
+	OldDeviceGone []bool
+}
+
+// Cache memoizes per-instance flatten shards for one composition cell
+// across edits. The zero Cache is ready to use; a Cache serves one
+// cell at a time (Flatten resets it when the cell changes identity).
+type Cache struct {
+	cell   *core.Cell
+	shards map[*core.Instance]cachedShard
+	last   *Result
+	spans  map[*core.Instance]span
+	conns  map[*core.Instance]cachedConns
+}
+
+type cachedShard struct {
+	key instKey
+	sh  *shard
+}
+
+type cachedConns struct {
+	key  instKey
+	list []core.InstConn
+}
+
+// instConns is the memoized per-instance connector provider the
+// composition-connector assembly uses: an instance's transformed
+// connector list only changes when its placement does.
+func (ca *Cache) instConns(in *core.Instance) []core.InstConn {
+	key := keyOf(in)
+	if ent, ok := ca.conns[in]; ok && ent.key == key {
+		return ent.list
+	}
+	list := in.Connectors()
+	ca.conns[in] = cachedConns{key: key, list: list}
+	return list
+}
+
+// Flatten flattens the cell like Cell, reusing every unchanged
+// instance's cached shard. It returns the Result and, when a previous
+// Result exists to diff against, the Delta from it (nil on the first
+// run, on a cell switch, or after an error reset).
+func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
+	if c.Kind != core.Composition {
+		// leaves have no instance list to splice; full walk
+		fr, err := Cell(c, Options{})
+		ca.reset()
+		return fr, nil, err
+	}
+	if ca.cell != c {
+		ca.reset()
+		ca.cell = c
+	}
+	if ca.shards == nil {
+		ca.shards = map[*core.Instance]cachedShard{}
+	}
+	if ca.conns == nil {
+		ca.conns = map[*core.Instance]cachedConns{}
+	}
+
+	shards := make([]*shard, len(c.Instances))
+	reused := make([]bool, len(c.Instances))
+	for i, in := range c.Instances {
+		key := keyOf(in)
+		if ent, ok := ca.shards[in]; ok && ent.key == key {
+			shards[i] = ent.sh
+			reused[i] = true
+			continue
+		}
+		sh, err := flattenInstance(in)
+		if err != nil {
+			ca.last, ca.spans = nil, nil
+			return nil, nil, err
+		}
+		shards[i] = sh
+		ca.shards[in] = cachedShard{key: key, sh: sh}
+	}
+
+	// splice the shards in instance order, renumbering occurrence ids
+	// into the walk-global sequence — exactly the from-scratch walk's
+	// output. Totals are known up front, so every slice allocates once.
+	var nShapes, nDev, nJoins, nSrc, nLab int
+	for _, sh := range shards {
+		nShapes += len(sh.shapes)
+		nDev += len(sh.devices)
+		nJoins += len(sh.joins)
+		nSrc += len(sh.srcBoxes)
+		nLab += len(sh.labels)
+	}
+	res := &Result{
+		Shapes:   make([]Shape, 0, nShapes),
+		Devices:  make([]Device, 0, nDev),
+		Joins:    make([]Join, 0, nJoins),
+		SrcBoxes: make([]geom.Rect, 0, nSrc),
+		Labels:   make([]NamedLabel, 0, nLab+16),
+	}
+	spans := make(map[*core.Instance]span, len(c.Instances))
+	srcBase := 0
+	for i, sh := range shards {
+		sp := span{shapeLo: len(res.Shapes), deviceLo: len(res.Devices)}
+		for _, s := range sh.shapes {
+			s.Src += srcBase
+			res.Shapes = append(res.Shapes, s)
+		}
+		res.Devices = append(res.Devices, sh.devices...)
+		res.Joins = append(res.Joins, sh.joins...)
+		res.SrcBoxes = append(res.SrcBoxes, sh.srcBoxes...)
+		srcBase += sh.srcN
+		sp.shapeHi = len(res.Shapes)
+		sp.deviceHi = len(res.Devices)
+		spans[c.Instances[i]] = sp
+	}
+	for _, cn := range core.CompositionConnectors(c, ca.instConns) {
+		res.Labels = append(res.Labels, NamedLabel{cn.Name, Label{cn.At, cn.Layer}})
+	}
+	for i := range c.Instances {
+		res.Labels = append(res.Labels, shards[i].labels...)
+	}
+
+	// delta against the previous run
+	var delta *Delta
+	if ca.last != nil {
+		delta = &Delta{
+			Old:           ca.last,
+			ShapeMap:      make([]int32, len(res.Shapes)),
+			OldShapeGone:  make([]bool, len(ca.last.Shapes)),
+			DeviceMap:     make([]int32, len(res.Devices)),
+			OldDeviceGone: make([]bool, len(ca.last.Devices)),
+		}
+		for i := range delta.ShapeMap {
+			delta.ShapeMap[i] = -1
+		}
+		for i := range delta.DeviceMap {
+			delta.DeviceMap[i] = -1
+		}
+		for i := range delta.OldShapeGone {
+			delta.OldShapeGone[i] = true
+		}
+		for i := range delta.OldDeviceGone {
+			delta.OldDeviceGone[i] = true
+		}
+		for i, in := range c.Instances {
+			if !reused[i] {
+				continue
+			}
+			old, ok := ca.spans[in]
+			if !ok {
+				continue
+			}
+			nw := spans[in]
+			for k := 0; k < nw.shapeHi-nw.shapeLo; k++ {
+				delta.ShapeMap[nw.shapeLo+k] = int32(old.shapeLo + k)
+				delta.OldShapeGone[old.shapeLo+k] = false
+			}
+			for k := 0; k < nw.deviceHi-nw.deviceLo; k++ {
+				delta.DeviceMap[nw.deviceLo+k] = int32(old.deviceLo + k)
+				delta.OldDeviceGone[old.deviceLo+k] = false
+			}
+		}
+	}
+
+	// prune cache entries for instances no longer present
+	for in := range ca.shards {
+		if _, ok := spans[in]; !ok {
+			delete(ca.shards, in)
+		}
+	}
+	for in := range ca.conns {
+		if _, ok := spans[in]; !ok {
+			delete(ca.conns, in)
+		}
+	}
+	ca.last, ca.spans = res, spans
+	return res, delta, nil
+}
+
+// Reset drops all cached state. Callers must Reset when cells inside
+// the composition were mutated outside the editor's knowledge
+// (Editor.Invalidate reports that condition): the per-instance
+// placement keys cannot see such changes.
+func (ca *Cache) Reset() { ca.reset() }
+
+// reset drops all cached state.
+func (ca *Cache) reset() {
+	ca.cell, ca.shards, ca.last, ca.spans, ca.conns = nil, nil, nil, nil, nil
+}
+
+// flattenInstance walks one instance into a fresh shard with
+// shard-local occurrence ids (the parallel array fan-out applies, as
+// in the full walk), resolving its connector labels alongside.
+func flattenInstance(in *core.Instance) (*shard, error) {
+	b := &builder{}
+	if err := b.instance(in, geom.Identity); err != nil {
+		return nil, err
+	}
+	return &shard{
+		shapes:   b.shapes,
+		devices:  b.devices,
+		joins:    b.joins,
+		srcBoxes: b.srcBoxes,
+		srcN:     b.srcN,
+		labels:   instanceLabels(in),
+	}, nil
+}

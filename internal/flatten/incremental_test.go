@@ -1,0 +1,212 @@
+package flatten
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/lib"
+	"riot/internal/rules"
+)
+
+// buildTop assembles a composition of n SRCELL instances on a grid.
+func buildTop(t testing.TB, n int) (*core.Design, *core.Editor) {
+	t.Helper()
+	d := core.NewDesign()
+	if err := lib.Install(d); err != nil {
+		t.Fatal(err)
+	}
+	top := core.NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	e, err := core.NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		x, y := i%8, i/8
+		tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
+		if _, err := e.CreateInstance("SRCELL", fmt.Sprintf("c%d", i), tr, 1, 1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return d, e
+}
+
+// sameResult compares the walk-order lists a Result carries (the
+// lazily derived views are rebuilt from them).
+func sameResult(t *testing.T, step string, got, want *Result) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Shapes, want.Shapes) {
+		t.Fatalf("%s: spliced shapes differ from full flatten", step)
+	}
+	if !reflect.DeepEqual(got.Devices, want.Devices) {
+		t.Fatalf("%s: spliced devices differ", step)
+	}
+	if !reflect.DeepEqual(got.Joins, want.Joins) {
+		t.Fatalf("%s: spliced joins differ", step)
+	}
+	if !reflect.DeepEqual(got.Labels, want.Labels) {
+		t.Fatalf("%s: spliced labels differ", step)
+	}
+	if !reflect.DeepEqual(got.SrcBoxes, want.SrcBoxes) {
+		t.Fatalf("%s: spliced src boxes differ", step)
+	}
+}
+
+// TestCacheSpliceMatchesFullFlatten drives a composition through
+// random edits (move, create, delete, replicate, orient) and checks
+// after every edit that the cache's spliced Result is byte-identical
+// to a from-scratch walk, and that the Delta's maps are consistent
+// (mapped shapes identical, gone/mapped partitions exact).
+func TestCacheSpliceMatchesFullFlatten(t *testing.T) {
+	_, e := buildTop(t, 12)
+	top := e.Cell
+	ca := &Cache{}
+	rng := rand.New(rand.NewSource(17))
+
+	fr0, delta, err := ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != nil {
+		t.Fatal("first run must have no delta")
+	}
+	full, err := Cell(top, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameResult(t, "initial", fr0, full)
+
+	prev := fr0
+	created := 0
+	for step := 0; step < 30; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 && len(top.Instances) > 0: // move
+			in := top.Instances[rng.Intn(len(top.Instances))]
+			e.MoveInstance(in, geom.Pt(rng.Intn(200)-100, rng.Intn(200)-100))
+		case op < 7: // create
+			created++
+			tr := geom.MakeTransform(geom.R0, geom.Pt(rng.Intn(4000), rng.Intn(4000)))
+			if _, err := e.CreateInstance("NAND", fmt.Sprintf("n%d", created), tr, 1, 1, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8 && len(top.Instances) > 1: // delete
+			if err := e.DeleteInstance(top.Instances[rng.Intn(len(top.Instances))]); err != nil {
+				t.Fatal(err)
+			}
+		case op < 9 && len(top.Instances) > 0: // replicate
+			in := top.Instances[rng.Intn(len(top.Instances))]
+			if err := e.Replicate(in, 1+rng.Intn(3), 1+rng.Intn(2), 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		default: // orient
+			if len(top.Instances) == 0 {
+				continue
+			}
+			e.OrientInstance(top.Instances[rng.Intn(len(top.Instances))], geom.R90)
+		}
+
+		fr, delta, err := ca.Flatten(top)
+		if err != nil {
+			t.Fatal(err)
+		}
+		full, err := Cell(top, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameResult(t, fmt.Sprintf("step %d", step), fr, full)
+
+		if delta == nil {
+			t.Fatalf("step %d: no delta", step)
+		}
+		if delta.Old != prev {
+			t.Fatalf("step %d: delta.Old is not the previous result", step)
+		}
+		// mapped shapes must be identical (modulo occurrence renumber);
+		// the gone flags must complement the map exactly
+		seen := make([]bool, len(prev.Shapes))
+		for i, oi := range delta.ShapeMap {
+			if oi < 0 {
+				continue
+			}
+			if prev.Shapes[oi].Layer != fr.Shapes[i].Layer || prev.Shapes[oi].R != fr.Shapes[i].R {
+				t.Fatalf("step %d: mapped shape %d changed", step, i)
+			}
+			if delta.OldShapeGone[oi] {
+				t.Fatalf("step %d: mapped old shape %d flagged gone", step, oi)
+			}
+			if seen[oi] {
+				t.Fatalf("step %d: old shape %d mapped twice", step, oi)
+			}
+			seen[oi] = true
+		}
+		for j, gone := range delta.OldShapeGone {
+			if !gone && !seen[j] {
+				t.Fatalf("step %d: old shape %d neither mapped nor gone", step, j)
+			}
+		}
+		for i, oi := range delta.DeviceMap {
+			if oi < 0 {
+				continue
+			}
+			if !reflect.DeepEqual(prev.Devices[oi], fr.Devices[i]) {
+				t.Fatalf("step %d: mapped device %d changed", step, i)
+			}
+		}
+		prev = fr
+	}
+}
+
+// TestCacheReuseSkipsUnchangedInstances checks the cache actually
+// reuses shards: after one move, only the moved instance's shapes may
+// be unmapped.
+func TestCacheReuseSkipsUnchangedInstances(t *testing.T) {
+	_, e := buildTop(t, 9)
+	top := e.Cell
+	ca := &Cache{}
+	if _, _, err := ca.Flatten(top); err != nil {
+		t.Fatal(err)
+	}
+	moved := top.Instances[4]
+	e.MoveInstance(moved, geom.Pt(7, 13))
+	fr, delta, err := ca.Flatten(top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta == nil {
+		t.Fatal("no delta after a single move")
+	}
+	unmapped := 0
+	for _, oi := range delta.ShapeMap {
+		if oi < 0 {
+			unmapped++
+		}
+	}
+	// the moved SRCELL contributes a small fraction of 9 cells' shapes
+	if unmapped == 0 || unmapped > len(fr.Shapes)/4 {
+		t.Fatalf("unmapped shapes = %d of %d; want only the moved instance's", unmapped, len(fr.Shapes))
+	}
+}
+
+// TestCacheCellSwitchResets checks switching cells yields a fresh
+// (delta-less) run.
+func TestCacheCellSwitchResets(t *testing.T) {
+	_, e1 := buildTop(t, 4)
+	_, e2 := buildTop(t, 4)
+	ca := &Cache{}
+	if _, _, err := ca.Flatten(e1.Cell); err != nil {
+		t.Fatal(err)
+	}
+	_, delta, err := ca.Flatten(e2.Cell)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if delta != nil {
+		t.Fatal("cell switch must reset the delta baseline")
+	}
+}

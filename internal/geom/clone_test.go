@@ -1,0 +1,60 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+)
+
+// TestIndexCloneConcurrentQueries runs many goroutines querying clones
+// of one built index and checks every clone sees the full answer set
+// (run under -race to prove the visit markers are private).
+func TestIndexCloneConcurrentQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	ix := NewIndex()
+	var rects []Rect
+	for i := 0; i < 500; i++ {
+		x, y := rng.Intn(1000), rng.Intn(1000)
+		r := R(x, y, x+1+rng.Intn(40), y+1+rng.Intn(40))
+		rects = append(rects, r)
+		ix.Insert(r)
+	}
+	ix.Build()
+	q := R(200, 200, 700, 700)
+	var want []int
+	for id, r := range rects {
+		if r.Touches(q) {
+			want = append(want, id)
+		}
+	}
+	var wg sync.WaitGroup
+	errs := make(chan string, 8)
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			cl := ix.Clone()
+			for rep := 0; rep < 50; rep++ {
+				var got []int
+				cl.QueryRect(q, func(id int) bool { got = append(got, id); return true })
+				sort.Ints(got)
+				if len(got) != len(want) {
+					errs <- "wrong answer size"
+					return
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						errs <- "wrong answer"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}

@@ -29,9 +29,37 @@ type Index struct {
 	bounds Rect
 	nx, ny int // grid dimensions
 	cw, ch int // bin size in design units
-	bins   [][]int32
-	stamp  []uint32 // per-id visit marker, keyed by epoch
-	epoch  uint32
+	// bins in compressed-sparse-row layout: bin b's ids are
+	// binIDs[binStart[b]:binStart[b+1]]. One backing array instead of
+	// one slice per bin keeps the build allocation-free past the two
+	// arrays and the scan cache-local.
+	binStart []int32
+	binIDs   []int32
+	fill     []int32  // build scratch, reused across rebuilds
+	stamp    []uint32 // per-id visit marker, keyed by epoch
+	epoch    uint32
+}
+
+// Reset empties the index for reuse: the rectangle list clears while
+// every backing array (rects, bins, visit markers) is retained for the
+// next Insert/Build cycle. Hot re-verify paths rebuild indexes every
+// run; reusing the arenas keeps that off the allocator.
+func (ix *Index) Reset() {
+	ix.rects = ix.rects[:0]
+	ix.built = false
+}
+
+// grownI32 returns s resized to n, reusing its backing array when
+// large enough; contents are zeroed.
+func grownI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	s = s[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
 }
 
 // NewIndex returns an empty index.
@@ -46,6 +74,22 @@ func NewIndexFrom(rects []Rect) *Index {
 		ix.rects[i] = r.Canon()
 	}
 	return ix
+}
+
+// Clone returns an independent query handle over the same built index:
+// the rectangle list, grid and bins are shared (they are immutable once
+// built), while the per-query visit markers are private. Concurrent
+// queries on one Index race on those markers, so parallel workers each
+// take a Clone. The clone must not Insert or Build; the source index
+// must not be modified while clones are live.
+func (ix *Index) Clone() *Index {
+	if !ix.built {
+		ix.Build()
+	}
+	cp := *ix
+	cp.stamp = make([]uint32, len(ix.rects))
+	cp.epoch = 0
+	return &cp
 }
 
 // Insert adds a rectangle and returns its id (dense, in insertion
@@ -72,7 +116,7 @@ func (ix *Index) Build() {
 	ix.epoch = 0
 	if n == 0 {
 		ix.nx, ix.ny = 0, 0
-		ix.bins = nil
+		ix.binStart, ix.binIDs = nil, nil
 		ix.stamp = nil
 		return
 	}
@@ -93,18 +137,52 @@ func (ix *Index) Build() {
 	ix.nx, ix.ny = side, side
 	ix.cw = (b.W() / side) + 1
 	ix.ch = (b.H() / side) + 1
-	ix.bins = make([][]int32, ix.nx*ix.ny)
-	ix.stamp = make([]uint32, n)
+	if cap(ix.stamp) >= n {
+		ix.stamp = ix.stamp[:n]
+		for i := range ix.stamp {
+			ix.stamp[i] = 0
+		}
+	} else {
+		ix.stamp = make([]uint32, n)
+	}
+	// counting pass, then a prefix-sum fill: two O(n + bins) sweeps
+	// build the CSR layout without per-bin reallocation; the arrays
+	// are reused across rebuilds
+	start := grownI32(ix.binStart, ix.nx*ix.ny+1)
+	for _, r := range ix.rects {
+		x0, y0 := ix.col(r.Min.X), ix.row(r.Min.Y)
+		x1, y1 := ix.col(r.Max.X), ix.row(r.Max.Y)
+		for y := y0; y <= y1; y++ {
+			row := y * ix.nx
+			for x := x0; x <= x1; x++ {
+				start[row+x+1]++
+			}
+		}
+	}
+	for i := 1; i < len(start); i++ {
+		start[i] += start[i-1]
+	}
+	total := int(start[len(start)-1])
+	var ids []int32
+	if cap(ix.binIDs) >= total {
+		ids = ix.binIDs[:total]
+	} else {
+		ids = make([]int32, total)
+	}
+	fill := grownI32(ix.fill, ix.nx*ix.ny)
 	for id, r := range ix.rects {
 		x0, y0 := ix.col(r.Min.X), ix.row(r.Min.Y)
 		x1, y1 := ix.col(r.Max.X), ix.row(r.Max.Y)
 		for y := y0; y <= y1; y++ {
 			row := y * ix.nx
 			for x := x0; x <= x1; x++ {
-				ix.bins[row+x] = append(ix.bins[row+x], int32(id))
+				bin := row + x
+				ids[start[bin]+fill[bin]] = int32(id)
+				fill[bin]++
 			}
 		}
 	}
+	ix.binStart, ix.binIDs, ix.fill = start, ids, fill
 }
 
 // col maps an x coordinate to a grid column, clamped to the grid.
@@ -165,7 +243,8 @@ func (ix *Index) QueryRect(q Rect, fn func(id int) bool) {
 	for y := y0; y <= y1; y++ {
 		row := y * ix.nx
 		for x := x0; x <= x1; x++ {
-			for _, id := range ix.bins[row+x] {
+			bin := row + x
+			for _, id := range ix.binIDs[ix.binStart[bin]:ix.binStart[bin+1]] {
 				if ix.stamp[id] == epoch {
 					continue
 				}
@@ -187,7 +266,8 @@ func (ix *Index) QueryPoint(p Point, fn func(id int) bool) {
 	if len(ix.rects) == 0 || !ix.bounds.Contains(p) {
 		return
 	}
-	for _, id := range ix.bins[ix.row(p.Y)*ix.nx+ix.col(p.X)] {
+	bin := ix.row(p.Y)*ix.nx + ix.col(p.X)
+	for _, id := range ix.binIDs[ix.binStart[bin]:ix.binStart[bin+1]] {
 		if ix.rects[id].Contains(p) && !fn(int(id)) {
 			return
 		}

@@ -1,0 +1,138 @@
+package geom
+
+// SweepSet is an ordered set of (key, id) pairs built for sweep-line
+// active sets: rectangles enter when the sweep reaches their left edge,
+// leave at their right edge, and every entering rectangle scans the
+// prefix of active entries whose key does not exceed a bound. The
+// ordered-slice implementation this replaces paid O(n) memmove per
+// insert and delete; SweepSet is a skip list, so both are O(log n)
+// expected while the prefix scan stays a linear walk of the bottom
+// level.
+//
+// Entries order by (key, id); the pair must be unique while inserted.
+// The zero SweepSet is not ready for use — call NewSweepSet.
+type SweepSet struct {
+	head  *sweepNode
+	level int
+	rng   uint64
+	free  *sweepNode // recycled nodes (sweeps churn entries heavily)
+	n     int
+}
+
+const sweepMaxLevel = 24
+
+type sweepNode struct {
+	key, id int
+	next    []*sweepNode
+}
+
+// NewSweepSet returns an empty set. The level-assignment PRNG is seeded
+// deterministically: runs are reproducible, and determinism here only
+// shapes the skip-list towers, never visit order.
+func NewSweepSet() *SweepSet {
+	return &SweepSet{
+		head:  &sweepNode{next: make([]*sweepNode, sweepMaxLevel)},
+		level: 1,
+		rng:   0x9e3779b97f4a7c15,
+	}
+}
+
+// Len returns the number of entries.
+func (s *SweepSet) Len() int { return s.n }
+
+// less orders entries by (key, id).
+func sweepLess(aKey, aID, bKey, bID int) bool {
+	if aKey != bKey {
+		return aKey < bKey
+	}
+	return aID < bID
+}
+
+// randLevel draws a tower height with P(level >= k) = 2^-(k-1)
+// (xorshift64*; one draw per insert).
+func (s *SweepSet) randLevel() int {
+	s.rng ^= s.rng << 13
+	s.rng ^= s.rng >> 7
+	s.rng ^= s.rng << 17
+	lvl := 1
+	for v := s.rng; v&1 == 1 && lvl < sweepMaxLevel; v >>= 1 {
+		lvl++
+	}
+	return lvl
+}
+
+// Insert adds the entry. Inserting a duplicate (key, id) pair is
+// undefined; sweeps never do (ids are unique per pass).
+func (s *SweepSet) Insert(key, id int) {
+	var update [sweepMaxLevel]*sweepNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && sweepLess(x.next[i].key, x.next[i].id, key, id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	nd := s.free
+	if nd != nil && cap(nd.next) >= lvl {
+		s.free = nd.next[0]
+		nd.next = nd.next[:lvl]
+		for i := range nd.next {
+			nd.next[i] = nil
+		}
+		nd.key, nd.id = key, id
+	} else {
+		nd = &sweepNode{key: key, id: id, next: make([]*sweepNode, lvl)}
+	}
+	for i := 0; i < lvl; i++ {
+		nd.next[i] = update[i].next[i]
+		update[i].next[i] = nd
+	}
+	s.n++
+}
+
+// Delete removes the entry; removing an absent entry is a no-op.
+func (s *SweepSet) Delete(key, id int) {
+	var update [sweepMaxLevel]*sweepNode
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && sweepLess(x.next[i].key, x.next[i].id, key, id) {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	nd := x.next[0]
+	if nd == nil || nd.key != key || nd.id != id {
+		return
+	}
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] != nd {
+			break
+		}
+		update[i].next[i] = nd.next[i]
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	// recycle through the freelist, chained on next[0]
+	nd.next = nd.next[:cap(nd.next)]
+	nd.next[0] = s.free
+	s.free = nd
+	s.n--
+}
+
+// VisitPrefix calls fn(id) for every entry with key <= maxKey, in
+// ascending (key, id) order. fn returning false stops the walk.
+func (s *SweepSet) VisitPrefix(maxKey int, fn func(id int) bool) {
+	for x := s.head.next[0]; x != nil && x.key <= maxKey; x = x.next[0] {
+		if !fn(x.id) {
+			return
+		}
+	}
+}

@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSet mirrors SweepSet with the ordered slice the skip list
+// replaced.
+type refSet struct{ entries [][2]int }
+
+func (r *refSet) insert(key, id int) {
+	at := sort.Search(len(r.entries), func(k int) bool {
+		e := r.entries[k]
+		return !sweepLess(e[0], e[1], key, id)
+	})
+	r.entries = append(r.entries, [2]int{})
+	copy(r.entries[at+1:], r.entries[at:])
+	r.entries[at] = [2]int{key, id}
+}
+
+func (r *refSet) delete(key, id int) {
+	at := sort.Search(len(r.entries), func(k int) bool {
+		e := r.entries[k]
+		return !sweepLess(e[0], e[1], key, id)
+	})
+	if at < len(r.entries) && r.entries[at] == [2]int{key, id} {
+		r.entries = append(r.entries[:at], r.entries[at+1:]...)
+	}
+}
+
+func (r *refSet) prefix(maxKey int) []int {
+	var out []int
+	for _, e := range r.entries {
+		if e[0] > maxKey {
+			break
+		}
+		out = append(out, e[1])
+	}
+	return out
+}
+
+// TestSweepSetMatchesOrderedSlice drives the skip list and the ordered
+// slice through the same random insert/delete/visit churn and demands
+// identical prefix walks throughout.
+func TestSweepSetMatchesOrderedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	s := NewSweepSet()
+	ref := &refSet{}
+	type entry struct{ key, id int }
+	var live []entry
+	nextID := 0
+	for step := 0; step < 20000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 || len(live) == 0: // insert
+			e := entry{rng.Intn(50), nextID}
+			nextID++
+			s.Insert(e.key, e.id)
+			ref.insert(e.key, e.id)
+			live = append(live, e)
+		case op < 8: // delete a live entry
+			k := rng.Intn(len(live))
+			e := live[k]
+			live[k] = live[len(live)-1]
+			live = live[:len(live)-1]
+			s.Delete(e.key, e.id)
+			ref.delete(e.key, e.id)
+		default: // delete an absent entry (no-op both sides)
+			s.Delete(rng.Intn(50), -1)
+			ref.delete(rng.Intn(50), -1)
+		}
+		if s.Len() != len(ref.entries) {
+			t.Fatalf("step %d: Len=%d want %d", step, s.Len(), len(ref.entries))
+		}
+		if step%17 == 0 {
+			maxKey := rng.Intn(60) - 5
+			var got []int
+			s.VisitPrefix(maxKey, func(id int) bool { got = append(got, id); return true })
+			want := ref.prefix(maxKey)
+			if len(got) != len(want) {
+				t.Fatalf("step %d: prefix(%d) len %d want %d", step, maxKey, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("step %d: prefix(%d)[%d] = %d want %d", step, maxKey, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSetVisitStop checks early termination.
+func TestSweepSetVisitStop(t *testing.T) {
+	s := NewSweepSet()
+	for i := 0; i < 10; i++ {
+		s.Insert(i, i)
+	}
+	var got []int
+	s.VisitPrefix(100, func(id int) bool {
+		got = append(got, id)
+		return len(got) < 3
+	})
+	if len(got) != 3 || got[0] != 0 || got[2] != 2 {
+		t.Fatalf("stop walk got %v", got)
+	}
+}
+
+// BenchmarkSweepSetCrossover compares the skip list against the
+// ordered-slice active set across set sizes: the slice wins on tiny
+// sets (no allocation, pure memmove), the skip list on large ones —
+// the crossover sweepUnion's activeSliceMax guards.
+func BenchmarkSweepSetCrossover(b *testing.B) {
+	for _, n := range []int{8, 64, 512, 4096} {
+		keys := make([]int, n)
+		rng := rand.New(rand.NewSource(3))
+		for i := range keys {
+			keys[i] = rng.Intn(1 << 20)
+		}
+		b.Run(fmtInt("skiplist", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				s := NewSweepSet()
+				for id, k := range keys {
+					s.Insert(k, id)
+				}
+				for id, k := range keys {
+					s.Delete(k, id)
+				}
+			}
+		})
+		b.Run(fmtInt("slice", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				r := &refSet{}
+				for id, k := range keys {
+					r.insert(k, id)
+				}
+				for id, k := range keys {
+					r.delete(k, id)
+				}
+			}
+		})
+	}
+}
+
+func fmtInt(name string, n int) string {
+	return name + "/" + itoa(n)
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}

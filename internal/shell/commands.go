@@ -12,10 +12,10 @@ import (
 	"riot/internal/cif"
 	"riot/internal/compo"
 	"riot/internal/core"
-	"riot/internal/drc"
 	"riot/internal/geom"
 	"riot/internal/replay"
 	"riot/internal/sticks"
+	"riot/internal/verify"
 )
 
 // cmdRead loads a file of any of the three interchange formats,
@@ -630,30 +630,49 @@ func cmdPlot(s *Shell, args []string) error {
 	return nil
 }
 
-// cmdDRC runs the design-rule checker over a cell's flattened mask
-// geometry — the whole-design verification step the paper's workflow
-// ends with. With no argument it checks the cell under edit.
-func cmdDRC(s *Shell, args []string) error {
-	var cell *core.Cell
+// verifyTarget resolves a DRC/EXTRACT cell argument: an explicit name,
+// or the cell under edit.
+func verifyTarget(s *Shell, cmd string, args []string) (*core.Cell, error) {
 	switch len(args) {
 	case 0:
 		if s.Editor == nil {
-			return fmt.Errorf("shell: DRC with no cell argument needs a cell under edit")
+			return nil, fmt.Errorf("shell: %s with no cell argument needs a cell under edit", cmd)
 		}
-		cell = s.Editor.Cell
+		return s.Editor.Cell, nil
 	case 1:
 		c, ok := s.Design.Cell(args[0])
 		if !ok {
-			return fmt.Errorf("shell: no cell %q", args[0])
+			return nil, fmt.Errorf("shell: no cell %q", args[0])
 		}
-		cell = c
-	default:
-		return fmt.Errorf("shell: DRC [<cell>]")
+		return c, nil
 	}
-	vs, err := drc.CheckCell(cell)
+	return nil, fmt.Errorf("shell: %s [<cell>]", cmd)
+}
+
+// verifyReport runs the session verifier over the target cell: the
+// generation-keyed incremental path when the cell is under edit, a
+// cache-priming full run otherwise.
+func (s *Shell) verifyReport(cell *core.Cell) (*verify.Report, error) {
+	if s.Editor != nil && s.Editor.Cell == cell {
+		return s.Verifier.Verify(s.Editor)
+	}
+	return s.Verifier.VerifyCell(cell)
+}
+
+// cmdDRC runs the design-rule checker over a cell's flattened mask
+// geometry — the whole-design verification step the paper's workflow
+// ends with. With no argument it checks the cell under edit; repeated
+// checks of the cell under edit reuse the incremental verifier cache.
+func cmdDRC(s *Shell, args []string) error {
+	cell, err := verifyTarget(s, "DRC", args)
 	if err != nil {
 		return err
 	}
+	rep, err := s.verifyReport(cell)
+	if err != nil {
+		return err
+	}
+	vs := rep.Violations
 	if len(vs) == 0 {
 		s.printf("%s: no design-rule violations\n", cell.Name)
 		return nil
@@ -662,6 +681,27 @@ func cmdDRC(s *Shell, args []string) error {
 		s.printf("%s\n", v)
 	}
 	s.printf("%s: %d design-rule violation(s)\n", cell.Name, len(vs))
+	return nil
+}
+
+// cmdExtract recovers a cell's transistor-level circuit — the
+// electrical half of the verification loop. Like DRC it reuses the
+// incremental verifier cache for the cell under edit.
+func cmdExtract(s *Shell, args []string) error {
+	cell, err := verifyTarget(s, "EXTRACT", args)
+	if err != nil {
+		return err
+	}
+	rep, err := s.verifyReport(cell)
+	if err != nil {
+		return err
+	}
+	if rep.CircuitErr != nil {
+		return rep.CircuitErr
+	}
+	ckt := rep.Circuit
+	s.printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
+		cell.Name, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
 	return nil
 }
 

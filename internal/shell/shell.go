@@ -26,6 +26,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/replay"
 	"riot/internal/rules"
+	"riot/internal/verify"
 )
 
 // Shell interprets the textual command language over one design.
@@ -33,6 +34,12 @@ type Shell struct {
 	Design *core.Design
 	Editor *core.Editor // nil when no cell is under edit
 	Out    io.Writer
+
+	// Verifier caches whole-design verification (EXTRACT, DRC) across
+	// edits, keyed on the editor's generation: re-running either
+	// command after a small edit splices the previous run instead of
+	// recomputing the design.
+	Verifier verify.Verifier
 
 	// FS resolves READ and REPLAY file names; WriteFile stores WRITE
 	// and SAVEJOURNAL output. Both must be provided (tests use maps,
@@ -159,6 +166,7 @@ func init() {
 		"BRINGOUT":    {usage: "BRINGOUT <inst> <side> <conn>...", help: "route connectors out to the cell edge", mutating: true, needsEditor: true, run: cmdBringOut},
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
 		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
+		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", run: cmdExtract},
 		"PLOT":        {usage: "PLOT <file> [<cell>]", help: "produce a hardcopy plot", run: cmdPlot},
 		"REPLAY":      {usage: "REPLAY <file>", help: "re-run a saved journal", run: cmdReplay},
 		"SAVEJOURNAL": {usage: "SAVEJOURNAL <file>", help: "save the session journal", run: cmdSaveJournal},

@@ -79,6 +79,11 @@ type UI struct {
 	moveInst  string // instance picked up by MOVE, awaiting destination
 	connFrom  string // "inst.conn" picked as connection source
 	fitNeeded bool
+
+	// draw carries cull indexes and derived geometry across frames,
+	// keyed on the editor's edit generation: pan and zoom of a static
+	// cell redraw without re-binning any array.
+	draw *display.Cache
 }
 
 // New opens the graphical editor on a workstation. The shell must
@@ -87,7 +92,7 @@ func New(ws *workstation.Workstation, sh *shell.Shell) (*UI, error) {
 	if sh.Editor == nil {
 		return nil, fmt.Errorf("ui: no cell under edit")
 	}
-	u := &UI{WS: ws, Sh: sh, fitNeeded: true}
+	u := &UI{WS: ws, Sh: sh, fitNeeded: true, draw: display.NewCache()}
 	u.Fit()
 	return u, nil
 }
@@ -124,8 +129,8 @@ func (u *UI) Render() {
 	edit, cellMenu, cmdMenu := u.Layout()
 
 	// editing area
-	display.DrawCell(display.RasterCanvas{Im: im}, u.View, u.Sh.Editor.Cell,
-		display.Options{ShowNames: u.ShowNames})
+	display.DrawCellCached(display.RasterCanvas{Im: im}, u.View, u.Sh.Editor.Cell,
+		display.Options{ShowNames: u.ShowNames}, u.draw, u.Sh.Editor.Generation())
 	im.Rect(edit, geom.ColorWhite)
 
 	// cell menu

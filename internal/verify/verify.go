@@ -1,0 +1,115 @@
+// Package verify is the incremental whole-design verification
+// pipeline: one Verifier bundles the three splicing caches — flattened
+// geometry (internal/flatten.Cache), extracted connectivity
+// (internal/extract.Incremental) and design-rule state
+// (internal/drc.Incremental) — and keys them on a core.Editor's edit
+// generation.
+//
+// The paper's workflow is edit, verify, edit: the designer abuts or
+// routes a cell, re-checks the whole composition, and moves on. A
+// from-scratch run repeats all the work for every keystroke even
+// though one edit disturbs a few rectangles. Verify instead asks the
+// editor what changed since the last run: unchanged instances keep
+// their flattened shards, untouched components replay their
+// connectivity and design-rule results, and only geometry near the
+// edit is re-derived. The spliced results are identical to
+// from-scratch runs — every splice layer is differential-tested — so
+// callers cannot observe the cache except as speed.
+//
+// A Verifier serves one editor at a time and is not safe for
+// concurrent use. Edits made outside the editor's methods must be
+// announced with Editor.Invalidate, which drops every cache.
+package verify
+
+import (
+	"riot/internal/core"
+	"riot/internal/drc"
+	"riot/internal/extract"
+	"riot/internal/flatten"
+)
+
+// Report is the outcome of one whole-design verification.
+type Report struct {
+	// Circuit is the extracted netlist, nil when extraction failed
+	// (CircuitErr says why — e.g. a transistor with a floating channel
+	// mid-edit). DRC runs either way.
+	Circuit    *extract.Circuit
+	CircuitErr error
+	// Violations is the design-rule report, empty when clean.
+	Violations []drc.Violation
+	// Incremental reports whether any splice path ran (false on the
+	// first run, after Invalidate, or when the change log was
+	// exhausted).
+	Incremental bool
+	// Gen is the editor generation the report describes.
+	Gen uint64
+}
+
+// Clean reports whether the design extracted successfully and checked
+// rule-clean.
+func (r *Report) Clean() bool {
+	return r.CircuitErr == nil && len(r.Violations) == 0
+}
+
+// Verifier caches verification state across edits of one composition
+// cell. The zero Verifier is ready to use.
+type Verifier struct {
+	cache flatten.Cache
+	ext   extract.Incremental
+	chk   drc.Incremental
+
+	cell   *core.Cell
+	gen    uint64
+	have   bool
+	report *Report
+}
+
+// Verify extracts and design-rule checks the editor's cell. An
+// unchanged generation returns the cached report outright; a
+// generation the editor's change log still covers splices the caches;
+// anything else (first run, log exhausted, Invalidate) rebuilds from
+// scratch and re-primes them.
+func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
+	cell, gen := ed.Cell, ed.Generation()
+	if v.have && v.cell == cell && v.gen == gen {
+		return v.report, nil
+	}
+	if v.have {
+		if _, ok := ed.ChangesSince(v.gen); !ok || v.cell != cell {
+			// tracking lost: unbounded change, trimmed log, or a cell
+			// switch — drop the flatten cache so no stale shard splices
+			// (the downstream caches reset themselves off the nil delta)
+			v.cache.Reset()
+		}
+	}
+	return v.run(cell, gen)
+}
+
+// VerifyCell verifies a cell outside any editor: a full, cache-priming
+// run. Subsequent Verify calls on an editor of the same cell splice
+// from it.
+func (v *Verifier) VerifyCell(cell *core.Cell) (*Report, error) {
+	if v.cell != cell {
+		v.cache.Reset()
+	}
+	return v.run(cell, 0)
+}
+
+func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
+	fr, delta, err := v.cache.Flatten(cell)
+	if err != nil {
+		v.have = false
+		return nil, err
+	}
+	ckt, splicedCkt, cktErr := v.ext.Solve(fr, delta)
+	vs, splicedDRC := v.chk.Check(fr, delta)
+	v.cell, v.gen, v.have = cell, gen, true
+	v.report = &Report{
+		Circuit:     ckt,
+		CircuitErr:  cktErr,
+		Violations:  vs,
+		Incremental: splicedCkt || splicedDRC,
+		Gen:         gen,
+	}
+	return v.report, nil
+}

@@ -49,12 +49,14 @@ import (
 	"riot/internal/core"
 	"riot/internal/display"
 	"riot/internal/drc"
+	"riot/internal/extract"
 	"riot/internal/geom"
 	"riot/internal/lib"
 	"riot/internal/plot"
 	"riot/internal/raster"
 	"riot/internal/shell"
 	"riot/internal/ui"
+	"riot/internal/verify"
 	"riot/internal/workstation"
 )
 
@@ -73,6 +75,11 @@ type (
 	Connector = core.Connector
 	// Violation is one design-rule failure reported by CheckDRC.
 	Violation = drc.Violation
+	// Circuit is the transistor-level netlist Extract recovers.
+	Circuit = extract.Circuit
+	// VerifyReport bundles one whole-design verification: the
+	// extracted circuit and the design-rule report.
+	VerifyReport = verify.Report
 )
 
 // Session is one Riot run: a design, a shell, files, and devices.
@@ -203,13 +210,41 @@ func plotCell(cell *core.Cell, geometry bool) ([]byte, error) {
 
 // CheckDRC runs the design-rule checker over a cell's flattened mask
 // geometry and returns the violations in deterministic order (empty
-// means the design checks clean).
+// means the design checks clean). Checks of the cell under edit go
+// through the session's incremental verifier: after a small edit only
+// the disturbed geometry is re-checked.
 func (s *Session) CheckDRC(cellName string) ([]Violation, error) {
+	rep, err := s.VerifyCell(cellName)
+	if err != nil {
+		return nil, err
+	}
+	return rep.Violations, nil
+}
+
+// Extract recovers a cell's transistor-level circuit, reusing the
+// session's incremental verifier for the cell under edit.
+func (s *Session) Extract(cellName string) (*Circuit, error) {
+	rep, err := s.VerifyCell(cellName)
+	if err != nil {
+		return nil, err
+	}
+	if rep.CircuitErr != nil {
+		return nil, rep.CircuitErr
+	}
+	return rep.Circuit, nil
+}
+
+// VerifyCell runs the full verification pipeline (extract + DRC) over
+// a cell, incrementally for the cell under edit.
+func (s *Session) VerifyCell(cellName string) (*VerifyReport, error) {
 	cell, ok := s.Shell.Design.Cell(cellName)
 	if !ok {
 		return nil, fmt.Errorf("riot: no cell %q", cellName)
 	}
-	return drc.CheckCell(cell)
+	if ed := s.Shell.Editor; ed != nil && ed.Cell == cell {
+		return s.Shell.Verifier.Verify(ed)
+	}
+	return s.Shell.Verifier.VerifyCell(cell)
 }
 
 // ExportCIF flattens a cell into CIF text for mask generation.
