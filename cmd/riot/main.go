@@ -17,6 +17,10 @@
 //	riot -extract CHIP        after the script, extract the named
 //	                          cell's circuit and print a summary; exit
 //	                          status 1 if extraction fails
+//	riot -lvs CHIP            after the script, compare the named
+//	                          cell's extracted netlist against its
+//	                          declared composition; exit status 1 on
+//	                          any mismatch
 //
 // Files are read from and written to the working directory. The
 // standard cell library (pads.cif, srcell.sticks, nand.sticks,
@@ -40,6 +44,7 @@ func main() {
 	station := flag.String("workstation", "charles", "workstation configuration: charles or gigi")
 	drcCell := flag.String("drc", "", "design-rule check a cell after the script (exit 1 on violations)")
 	extractCell := flag.String("extract", "", "extract a cell's circuit after the script (exit 1 on failure)")
+	lvsCell := flag.String("lvs", "", "netlist-compare a cell after the script (exit 1 on mismatch)")
 	flag.Parse()
 
 	s, err := riot.NewSession(os.Stdout)
@@ -96,6 +101,21 @@ func main() {
 		} else {
 			fmt.Printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
 				*extractCell, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
+		}
+	}
+	if *lvsCell != "" {
+		switch res, err := s.CheckLVS(*lvsCell); {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, err)
+			drcDirty = true
+		case !res.Clean:
+			for _, mm := range res.Mismatches {
+				fmt.Println(mm)
+			}
+			fmt.Printf("%s: %d LVS mismatch(es)\n", *lvsCell, len(res.Mismatches))
+			drcDirty = true
+		default:
+			fmt.Printf("%s: netlists match (%d nets, %d devices)\n", *lvsCell, res.RefNets, res.RefDevices)
 		}
 	}
 	if *drcCell != "" {

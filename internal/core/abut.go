@@ -27,7 +27,11 @@ func (e *Editor) Abut(overlap bool) ([]string, error) {
 	if err != nil {
 		return nil, err
 	}
-	return e.abut(from, conns, overlap)
+	warns, err := e.abut(from, conns, overlap)
+	if err == nil {
+		e.declareLinks(conns)
+	}
+	return warns, err
 }
 
 func (e *Editor) abut(from *Instance, conns []Connection, overlap bool) ([]string, error) {

@@ -37,6 +37,17 @@ type Editor struct {
 	Cell    *Cell // the composition cell under edit
 	Pending []Connection
 
+	// Declared retains every connector link a connection specification
+	// command (ABUT, ROUTE, STRETCH) successfully executed. The paper
+	// throws the logical connection information out once the command
+	// runs — which is why a later MOVE can "silently destroy" a made
+	// connection. This reproduction keeps the records as declared
+	// design intent: the LVS netlist comparison (internal/lvs) stitches
+	// its reference netlist from them, so a destroyed connection shows
+	// up as a structured open instead of passing silently. Records
+	// referencing a deleted instance are pruned with it.
+	Declared []Connection
+
 	// TracksPerChannel is the routing default set by the textual
 	// command interface (0 = router default).
 	TracksPerChannel int
@@ -84,11 +95,15 @@ var editorGen atomic.Uint64
 // cull indexes, the incremental verifier).
 func (e *Editor) Generation() uint64 { return e.gen }
 
-// ChangesSince returns the union-set of design-plane rectangles
-// dirtied by every generation after since, and whether the log still
-// covers that span. ok == false — the log was trimmed past since, or
-// some change could not be bounded (Invalidate, external mutation) —
-// means the caller must treat the whole cell as dirty.
+// ChangesSince returns the design-plane rectangles dirtied by every
+// generation after since, and whether the log still covers that span.
+// Consecutive edits are coalesced into one delta: overlapping and
+// touching dirty rectangles merge into their union, so a burst of N
+// edits between two verifies hands the consumer one compact dirty set
+// rather than N near-duplicates. ok == false — the log was trimmed
+// past since, or some change could not be bounded (Invalidate,
+// external mutation) — means the caller must treat the whole cell as
+// dirty.
 func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
 	if since > e.gen {
 		return nil, false
@@ -109,7 +124,29 @@ func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
 		}
 		dirty = append(dirty, c.rect)
 	}
-	return dirty, true
+	return coalesceRects(dirty), true
+}
+
+// coalesceRects merges overlapping and touching rectangles into their
+// unions, to a fixpoint. The result covers at least the input area
+// (unions may cover more — dirty rects are an over-approximation by
+// contract), with no two output rectangles touching.
+func coalesceRects(rects []geom.Rect) []geom.Rect {
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < len(rects); i++ {
+			for j := i + 1; j < len(rects); j++ {
+				if rects[i].Touches(rects[j]) {
+					rects[i] = rects[i].Union(rects[j])
+					rects[j] = rects[len(rects)-1]
+					rects = rects[:len(rects)-1]
+					changed = true
+					j--
+				}
+			}
+		}
+	}
+	return rects
 }
 
 // logChange appends the current generation's dirty rectangle, trimming
@@ -244,7 +281,43 @@ func (e *Editor) DeleteInstance(in *Instance) error {
 		}
 	}
 	e.Pending = kept
+	keptDecl := e.Declared[:0]
+	for _, c := range e.Declared {
+		if c.From != in && c.To != in {
+			keptDecl = append(keptDecl, c)
+		}
+	}
+	e.Declared = keptDecl
 	return nil
+}
+
+// Declare records a connector link as declared design intent without
+// running a connection command: the LVS reference netlist treats it
+// exactly like a link an ABUT or ROUTE recorded. Connection commands
+// call it implicitly; tests (and tools that import designs whose
+// assembly history is lost) use it to assert intent directly.
+func (e *Editor) Declare(from *Instance, fromConn string, to *Instance, toConn string) error {
+	if _, err := from.Connector(fromConn); err != nil {
+		return err
+	}
+	if _, err := to.Connector(toConn); err != nil {
+		return err
+	}
+	// a declaration changes no geometry but does change what verifies:
+	// advance the generation so generation-keyed verdicts (LVS) recompute
+	e.touch()
+	e.Declared = append(e.Declared, Connection{From: from, FromConn: fromConn, To: to, ToConn: toConn})
+	return nil
+}
+
+// declareLinks retains the connector links of an executed connection
+// command (pure abut links carry no connector intent and are skipped).
+func (e *Editor) declareLinks(conns []Connection) {
+	for _, c := range conns {
+		if c.FromConn != "" {
+			e.Declared = append(e.Declared, c)
+		}
+	}
 }
 
 // MoveInstance translates an instance by d. Note that moving an

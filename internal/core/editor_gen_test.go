@@ -114,3 +114,50 @@ func coveredBy(r geom.Rect, dirty []geom.Rect) bool {
 	}
 	return false
 }
+
+// TestChangesSinceCoalesces pins the coalesced-delta shape: a burst of
+// overlapping edits returns one merged dirty rectangle, while a
+// distant edit stays a separate region.
+func TestChangesSinceCoalesces(t *testing.T) {
+	d, e := newEditor(t)
+	addLeaf(t, d, "L")
+	a, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CreateInstance("L", "b", MakeTransformAt(100000, 100000), 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	since := e.Generation()
+
+	// three overlapping moves of instance a, one move of the distant b
+	e.MoveInstance(a, geom.Pt(10, 0))
+	e.MoveInstance(a, geom.Pt(-10, 0))
+	e.MoveInstance(a, geom.Pt(0, 10))
+	e.MoveInstance(b, geom.Pt(10, 10))
+
+	dirty, ok := e.ChangesSince(since)
+	if !ok {
+		t.Fatal("change log lost the span")
+	}
+	if len(dirty) != 2 {
+		t.Fatalf("dirty rects = %v, want 2 coalesced regions", dirty)
+	}
+	// instance a's whole churn is covered by one region
+	want := a.BBox().Union(a.BBox().Translate(geom.Pt(0, -10)))
+	covered := false
+	for _, r := range dirty {
+		if r.ContainsRect(want) {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Errorf("coalesced dirty set %v does not cover instance a's churn %v", dirty, want)
+	}
+}
+
+// MakeTransformAt is a tiny test shorthand for a translation.
+func MakeTransformAt(x, y int) geom.Transform {
+	return geom.MakeTransform(geom.R0, geom.Pt(x, y))
+}

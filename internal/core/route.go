@@ -195,6 +195,7 @@ func (e *Editor) RouteConnect(opt RouteOptions) (*RouteResult, error) {
 				i, from.Name, p.fc.Name, fc.At.Sub(tcTop.At)))
 		}
 	}
+	e.declareLinks(conns)
 	return out, nil
 }
 

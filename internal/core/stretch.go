@@ -167,6 +167,7 @@ func (e *Editor) StretchConnect() (*StretchResult, error) {
 	}
 	res.Moved = from.Tr.D.Sub(before)
 	res.Warnings = warnings
+	e.declareLinks(conns)
 	return res, nil
 }
 

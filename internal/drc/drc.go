@@ -68,8 +68,9 @@ type Rule string
 
 // The checked rules.
 const (
-	RuleWidth   Rule = "width"
-	RuleSpacing Rule = "spacing"
+	RuleWidth           Rule = "width"
+	RuleSpacing         Rule = "spacing"
+	RuleContactSurround Rule = "contact-surround"
 )
 
 // Violation is one design-rule failure: the layer, the offending
@@ -126,6 +127,7 @@ func checkWorkers(fr *flatten.Result, workers int) []Violation {
 	for _, ev := range evalAll(fr, layers, workers) {
 		out = ev.appendViolations(out)
 	}
+	out = append(out, checkContactSurround(fr)...)
 	sortViolations(out)
 	return dedupe(out)
 }

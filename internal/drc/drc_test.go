@@ -3,10 +3,12 @@ package drc
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"riot/internal/core"
 	"riot/internal/filter"
+	"riot/internal/flatten"
 	"riot/internal/geom"
 	"riot/internal/lib"
 	"riot/internal/rules"
@@ -430,6 +432,102 @@ func checkWidthAgainstRaster(t *testing.T, trial int, rects []geom.Rect, minW in
 				t.Fatalf("trial %d (minW=%d): residual interior point doubled (%d,%d) is not a brute violation (resid %v)",
 					trial, minW, px, py, resid)
 			}
+		}
+	}
+}
+
+// synthResult builds a flatten.Result over bare shapes for inter-layer
+// rule tests (no provenance: Src 0 with one dummy occurrence box).
+func synthResult(shapes ...geom.Rect) func(layers ...geom.Layer) *flatten.Result {
+	return func(layers ...geom.Layer) *flatten.Result {
+		fr := &flatten.Result{SrcBoxes: []geom.Rect{geom.R(-1000*L, -1000*L, 1000*L, 1000*L)}}
+		for i, r := range shapes {
+			fr.Shapes = append(fr.Shapes, flatten.Shape{Layer: layers[i], R: r, Src: 0})
+		}
+		return fr
+	}
+}
+
+func TestContactSurroundExactPasses(t *testing.T) {
+	// the library contact structure: 2x2 cut centered in a 4x4 metal
+	// plate — exactly ContactSurround lambda on every side
+	fr := synthResult(
+		geom.R(0, 0, 4*L, 4*L),     // NM plate
+		geom.R(1*L, 1*L, 3*L, 3*L), // NC cut
+	)(geom.NM, geom.NC)
+	if vs := rectsOnly(Check(fr), RuleContactSurround); len(vs) != 0 {
+		t.Errorf("exact-surround contact flagged: %v", vs)
+	}
+}
+
+func TestContactSurroundSplitMetalPasses(t *testing.T) {
+	// surround assembled from two abutting metal rectangles still covers
+	fr := synthResult(
+		geom.R(0, 0, 2*L, 4*L),
+		geom.R(2*L, 0, 4*L, 4*L),
+		geom.R(1*L, 1*L, 3*L, 3*L),
+	)(geom.NM, geom.NM, geom.NC)
+	if vs := rectsOnly(Check(fr), RuleContactSurround); len(vs) != 0 {
+		t.Errorf("split-metal surround flagged: %v", vs)
+	}
+}
+
+func TestContactSurroundFlushMetalFlagged(t *testing.T) {
+	// metal flush with the cut: zero surround
+	fr := synthResult(
+		geom.R(1*L, 1*L, 3*L, 3*L), // NM exactly the cut
+		geom.R(1*L, 1*L, 3*L, 3*L), // NC cut
+	)(geom.NM, geom.NC)
+	vs := rectsOnly(Check(fr), RuleContactSurround)
+	if len(vs) == 0 {
+		t.Fatal("flush metal not flagged")
+	}
+	if vs[0].Want != ContactSurround*L || vs[0].Got != 0 {
+		t.Errorf("got/want = %d/%d", vs[0].Got, vs[0].Want)
+	}
+	if s := vs[0].String(); !strings.Contains(s, "0 < 1 lambda") {
+		t.Errorf("violation renders as %q, want lambda distances", s)
+	}
+}
+
+func TestContactSurroundOneSideShortFlagged(t *testing.T) {
+	// plate shifted one lambda: full surround on the left, none on the
+	// right
+	fr := synthResult(
+		geom.R(-1*L, 0, 3*L, 4*L),
+		geom.R(1*L, 1*L, 3*L, 3*L),
+	)(geom.NM, geom.NC)
+	vs := rectsOnly(Check(fr), RuleContactSurround)
+	if len(vs) != 1 {
+		t.Fatalf("violations = %v", vs)
+	}
+	want := geom.R(3*L, 0, 4*L, 4*L) // the uncovered right strip of the frame
+	if vs[0].Rect != want {
+		t.Errorf("residue = %v, want %v", vs[0].Rect, want)
+	}
+}
+
+func TestContactSurroundUncutLayersIgnored(t *testing.T) {
+	// no NC present: the pass is a no-op even with metal everywhere
+	fr := synthResult(geom.R(0, 0, 40*L, 40*L))(geom.NM)
+	if vs := rectsOnly(Check(fr), RuleContactSurround); len(vs) != 0 {
+		t.Errorf("cutless design flagged: %v", vs)
+	}
+}
+
+func TestContactSurroundLibraryPadsClean(t *testing.T) {
+	// the shipped CIF pads carry their cuts in 4x4 metal plates
+	cells, err := lib.Cells()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range cells {
+		vs, err := CheckCell(c)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		if sur := rectsOnly(vs, RuleContactSurround); len(sur) != 0 {
+			t.Errorf("%s: contact-surround violations: %v", c.Name, sur)
 		}
 	}
 }

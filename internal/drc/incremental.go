@@ -56,6 +56,7 @@ func (inc *Incremental) Check(fr *flatten.Result, delta *flatten.Delta) ([]Viola
 			inc.evals[l] = evals[k]
 			out = evals[k].appendViolations(out)
 		}
+		out = append(out, checkContactSurround(fr)...)
 		sortViolations(out)
 		return dedupe(out), false
 	}
@@ -79,6 +80,10 @@ func (inc *Incremental) Check(fr *flatten.Result, delta *flatten.Delta) ([]Viola
 		evals[l] = ev
 		out = ev.appendViolations(out)
 	}
+
+	// contact surround re-runs in full on every splice: the cost is per
+	// cut (pads only in the shipped library), far below splice overhead
+	out = append(out, checkContactSurround(fr)...)
 
 	inc.fr, inc.evals = fr, evals
 	sortViolations(out)

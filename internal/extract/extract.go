@@ -34,8 +34,11 @@
 package extract
 
 import (
+	"runtime"
+
 	"riot/internal/core"
 	"riot/internal/flatten"
+	"riot/internal/geom"
 	"riot/internal/sticks"
 )
 
@@ -88,4 +91,30 @@ func fromCell(c *core.Cell, brute bool) (*Circuit, error) {
 		return nil, err
 	}
 	return solve(fr, brute)
+}
+
+// NetShape is one solved fragment of mask material with the net it
+// landed on: the geometry-to-net map behind a Circuit. Src is the
+// flatten occurrence id of the leaf that produced the material.
+type NetShape struct {
+	Layer geom.Layer
+	R     geom.Rect
+	Src   int
+	Net   int32
+}
+
+// SolveNets extracts a flattened design's circuit together with its
+// per-fragment net map. The LVS reference derivation (internal/lvs)
+// uses the fragments to stitch leaf-cell netlists across abutment
+// seams: a net is reachable from every rectangle that carries it.
+func SolveNets(fr *flatten.Result) (*Circuit, []NetShape, error) {
+	ckt, st, err := solveWorkers(fr, false, runtime.GOMAXPROCS(0))
+	if err != nil {
+		return nil, nil, err
+	}
+	out := make([]NetShape, len(st.frags))
+	for i, f := range st.frags {
+		out[i] = NetShape{Layer: f.Layer, R: f.R, Src: f.Src, Net: st.nets[i]}
+	}
+	return ckt, out, nil
 }

@@ -135,6 +135,9 @@ func (inc *Incremental) splice(fr *flatten.Result, delta *flatten.Delta) (*Circu
 		oldFragToNew[j] = -1
 	}
 	resweep := make([]int32, 0, 64) // new fragment ids needing re-derived adjacency
+	// layers whose fragment sequence changed; the locator splice below
+	// rebuilds only these layers' point-location indexes
+	dirtyLayers := map[geom.Layer]bool{}
 	var cand []int
 	for i, s := range fr.Shapes {
 		oi := delta.ShapeMap[i]
@@ -151,17 +154,26 @@ func (inc *Incremental) splice(fr *flatten.Result, delta *flatten.Delta) (*Circu
 			for k := lo; k < len(frags); k++ {
 				resweep = append(resweep, int32(k))
 			}
+			dirtyLayers[s.Layer] = true
 		}
 		counts[i] = int32(len(frags) - lo)
 	}
+	// old fragments with no counterpart (removed shapes, replaced spans)
+	// also perturb their layer's sequence
+	for k, n := range oldFragToNew {
+		if n < 0 {
+			dirtyLayers[inc.frags[k].Layer] = true
+		}
+	}
 
-	// locator rebuild doubles as the adjacency oracle for the edit's
-	// new fragments; its per-layer index arenas carry across splices
+	// the locator splice doubles as the adjacency oracle for the edit's
+	// new fragments; clean layers keep their built indexes, and the
+	// per-layer arenas carry across splices either way
 	if inc.loc == nil {
 		inc.loc = &locator{}
 	}
 	loc := inc.loc
-	loc.rebuild(frags)
+	loc.splice(frags, dirtyLayers)
 
 	uf := geom.NewUnionFind(len(frags))
 

@@ -35,6 +35,7 @@ type solveState struct {
 	frags  []flatten.Shape
 	counts []int32 // fragments produced per input shape (prefix-summable spans)
 	edges  []uint64
+	nets   []int32 // dense net of each fragment (SolveNets reads it out)
 }
 
 // solveWorkers runs the solver with an explicit concurrency width.
@@ -103,10 +104,11 @@ func solveWorkers(fr *flatten.Result, brute bool, workers int) (*Circuit, *solve
 		}
 	}
 
-	ckt, err := circuitFrom(fr, frags, uf, loc)
+	ckt, nets, err := circuitAndNets(fr, frags, uf, loc)
 	if err != nil {
 		return nil, nil, err
 	}
+	st.nets = nets
 	return ckt, st, nil
 }
 
@@ -115,6 +117,13 @@ func solveWorkers(fr *flatten.Result, brute bool, workers int) (*Circuit, *solve
 // (brute, indexed, parallel, incremental) shares, so their circuits
 // agree byte for byte.
 func circuitFrom(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, loc *locator) (*Circuit, error) {
+	ckt, _, err := circuitAndNets(fr, frags, uf, loc)
+	return ckt, err
+}
+
+// circuitAndNets is circuitFrom plus the per-fragment net assignment
+// the LVS reference derivation consumes.
+func circuitAndNets(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, loc *locator) (*Circuit, []int32, error) {
 	// contacts join layers at a point
 	for _, j := range fr.Joins {
 		ia := loc.findAt(j.At[0], j.Layers[0])
@@ -131,14 +140,14 @@ func circuitFrom(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, 
 		netID[i] = -1
 	}
 	nets := 0
-	netOfFrag := make([]int, len(frags))
+	netOfFrag := make([]int32, len(frags))
 	for i := range frags {
 		root := uf.Find(i)
 		if netID[root] < 0 {
 			netID[root] = int32(nets)
 			nets++
 		}
-		netOfFrag[i] = int(netID[root])
+		netOfFrag[i] = netID[root]
 	}
 
 	ckt := &Circuit{NetCount: nets, NetOf: map[string]int{}}
@@ -147,18 +156,18 @@ func circuitFrom(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, 
 		if i < 0 {
 			return 0, false
 		}
-		return netOfFrag[i], true
+		return int(netOfFrag[i]), true
 	}
 
 	for _, d := range fr.Devices {
 		gnet, ok := netAt(centerOf(d.Gate), geom.NP)
 		if !ok {
-			return nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.Gate)
+			return nil, nil, fmt.Errorf("extract: transistor gate at %v has no poly", d.Gate)
 		}
 		anet, okA := netAt(d.ProbeA, geom.ND)
 		bnet, okB := netAt(d.ProbeB, geom.ND)
 		if !okA || !okB {
-			return nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.Gate)
+			return nil, nil, fmt.Errorf("extract: transistor at %v has a floating channel end", d.Gate)
 		}
 		ckt.Transistors = append(ckt.Transistors, Transistor{Kind: d.Kind, Gate: gnet, A: anet, B: bnet})
 	}
@@ -168,7 +177,7 @@ func circuitFrom(fr *flatten.Result, frags []flatten.Shape, uf *geom.UnionFind, 
 			ckt.NetOf[lb.Name] = n
 		}
 	}
-	return ckt, nil
+	return ckt, netOfFrag, nil
 }
 
 // fragment splits every ND shape around every gate strip that cuts it,
@@ -506,6 +515,53 @@ func newLocator(frags []flatten.Shape, brute bool) *locator {
 // lazy), so a solve can overlap them with the connectivity sweeps.
 func (l *locator) buildAll() {
 	for _, ix := range l.byLayer {
+		ix.Build()
+	}
+}
+
+// splice refills the locator for a spliced fragment list, rebuilding
+// only the per-layer indexes whose rectangle sequence could have
+// changed. dirty marks those layers: a layer none of whose fragments
+// were added, removed or re-derived has a rectangle sequence identical
+// to the previous run's (copied spans preserve both content and
+// relative order), so its spatial index — the expensive insert+build —
+// carries over untouched and only the cheap id map refills. This is
+// the ROADMAP follow-up to the O(n) per-splice locator rebuild: on a
+// one-cell edit, typically one or two layers are dirty and the rest of
+// the design's indexes are reused.
+func (l *locator) splice(frags []flatten.Shape, dirty map[geom.Layer]bool) {
+	l.frags, l.brute = frags, false
+	if l.byLayer == nil {
+		l.byLayer = map[geom.Layer]*geom.Index{}
+		l.fragIDs = map[geom.Layer][]int{}
+	}
+	for lay := range l.fragIDs {
+		l.fragIDs[lay] = l.fragIDs[lay][:0]
+	}
+	for i, s := range frags {
+		l.fragIDs[s.Layer] = append(l.fragIDs[s.Layer], i)
+	}
+	for lay, ids := range l.fragIDs {
+		if len(ids) == 0 {
+			// the layer vanished; drop it so queries cannot hit stale
+			// geometry
+			delete(l.byLayer, lay)
+			delete(l.fragIDs, lay)
+			continue
+		}
+		ix, ok := l.byLayer[lay]
+		if ok && !dirty[lay] && ix.Len() == len(ids) {
+			continue // unchanged rectangle sequence: keep the built index
+		}
+		if !ok {
+			ix = geom.NewIndex()
+			l.byLayer[lay] = ix
+		} else {
+			ix.Reset()
+		}
+		for _, f := range ids {
+			ix.Insert(frags[f].R)
+		}
 		ix.Build()
 	}
 }

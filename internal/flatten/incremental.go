@@ -79,6 +79,18 @@ type Cache struct {
 	last   *Result
 	spans  map[*core.Instance]span
 	conns  map[*core.Instance]cachedConns
+
+	// last run's shard accounting, for Stats
+	lastReused, lastReflattened int
+}
+
+// Stats reports, for the most recent Flatten call, how many instance
+// shards were reused from the cache and how many re-flattened. A burst
+// of edits between two Flatten calls coalesces into one delta: only
+// the instances an edit actually touched re-flatten, however many
+// edits accumulated (the batched-edit test asserts exactly this).
+func (ca *Cache) Stats() (reused, reflattened int) {
+	return ca.lastReused, ca.lastReflattened
 }
 
 type cachedShard struct {
@@ -128,11 +140,13 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 
 	shards := make([]*shard, len(c.Instances))
 	reused := make([]bool, len(c.Instances))
+	ca.lastReused, ca.lastReflattened = 0, 0
 	for i, in := range c.Instances {
 		key := keyOf(in)
 		if ent, ok := ca.shards[in]; ok && ent.key == key {
 			shards[i] = ent.sh
 			reused[i] = true
+			ca.lastReused++
 			continue
 		}
 		sh, err := flattenInstance(in)
@@ -142,6 +156,7 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		}
 		shards[i] = sh
 		ca.shards[in] = cachedShard{key: key, sh: sh}
+		ca.lastReflattened++
 	}
 
 	// splice the shards in instance order, renumbering occurrence ids

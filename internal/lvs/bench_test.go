@@ -1,0 +1,75 @@
+package lvs
+
+import (
+	"fmt"
+	"testing"
+
+	"riot/internal/geom"
+	"riot/internal/rules"
+	"riot/internal/verify"
+)
+
+// BenchmarkLVSScale runs the from-scratch comparison over NxN abutting
+// SRCELL grids — the same workload the extract and DRC scale
+// benchmarks use, so the trajectories compare.
+func BenchmarkLVSScale(b *testing.B) {
+	for _, n := range []int{8, 16, 32} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			e := gridEditor(b, n)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, err := CheckEditor(e)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !res.Clean {
+					b.Fatalf("grid not clean: %v", res.Mismatches)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkIncrementalLVS measures the edit-verify loop on a 32x32
+// grid: per iteration one cell moves and the whole design re-verifies
+// against its declared structure, through the same entry point both
+// ways.
+//
+//   - incremental: the generation-keyed path — spliced extraction off
+//     the shared verifier, memoized leaf netlists, re-stitched
+//     composition entry;
+//   - full: cold caches every iteration (a fresh verifier and a fresh
+//     reference memo), the from-scratch comparison cost every
+//     re-verify would pay without them.
+func BenchmarkIncrementalLVS(b *testing.B) {
+	const n = 32
+	for _, mode := range []string{"incremental", "full"} {
+		b.Run(fmt.Sprintf("%dx%d/%s", n, n, mode), func(b *testing.B) {
+			e := gridEditor(b, n)
+			in := e.Cell.Instances[n*n/2+n/2]
+			v := &verify.Verifier{}
+			inc := &Incremental{}
+			if _, err := inc.Check(e, v); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				d := rules.Lambda
+				if i%2 == 1 {
+					d = -rules.Lambda
+				}
+				e.MoveInstance(in, geom.Pt(d, 0))
+				if mode == "incremental" {
+					if _, err := inc.Check(e, v); err != nil {
+						b.Fatal(err)
+					}
+					continue
+				}
+				cold := &Incremental{}
+				if _, err := cold.Check(e, &verify.Verifier{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

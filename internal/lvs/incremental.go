@@ -1,0 +1,105 @@
+package lvs
+
+import (
+	"fmt"
+
+	"riot/internal/core"
+	"riot/internal/extract"
+	"riot/internal/verify"
+)
+
+// Incremental is the edit-loop entry point: one Incremental holds the
+// reference memo (leaf extractions, per-cell stitches) and the last
+// verdict, keyed on the editor's generation. The layout side splices
+// off the shared verify.Verifier — the same generation-keyed cache the
+// DRC and EXTRACT commands use — so a one-cell edit re-extracts only
+// the disturbed geometry, re-stitches only the edited composition's
+// entry (every leaf netlist and untouched sub-cell entry is reused),
+// and re-labels from there; an unchanged generation returns the cached
+// verdict outright. The verdict is identical to a from-scratch
+// CheckCell — the caches are invisible except as speed.
+type Incremental struct {
+	// Ref is the reference-netlist memo; usable directly when a caller
+	// wants the reference netlist itself.
+	Ref Reference
+
+	cell *core.Cell
+	gen  uint64
+	res  *Result
+	have bool
+}
+
+// Check runs LVS on the editor's cell through the shared verifier.
+func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, error) {
+	rep, err := v.Verify(ed)
+	if err != nil {
+		return nil, err
+	}
+	if inc.have && inc.cell == ed.Cell && inc.gen == rep.Gen {
+		return inc.res, nil
+	}
+	res, err := inc.compare(ed.Cell, ed.Declared, rep)
+	if err != nil {
+		return nil, err
+	}
+	inc.cell, inc.gen, inc.res, inc.have = ed.Cell, rep.Gen, res, true
+	return res, nil
+}
+
+// CheckCell runs LVS on a cell outside any editor, still through the
+// verifier's cache (a full, cache-priming run) and the reference memo.
+// No editing session means no declared records: the reference is the
+// cell's structure alone.
+func (inc *Incremental) CheckCell(cell *core.Cell, v *verify.Verifier) (*Result, error) {
+	rep, err := v.VerifyCell(cell)
+	if err != nil {
+		return nil, err
+	}
+	inc.have = false // verdict cache is per-editor-generation only
+	return inc.compare(cell, nil, rep)
+}
+
+// compare derives the reference and compares the verifier's circuit
+// against it.
+func (inc *Incremental) compare(cell *core.Cell, declared []core.Connection, rep *verify.Report) (*Result, error) {
+	if rep.CircuitErr != nil {
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, rep.CircuitErr)
+	}
+	ref, err := inc.Ref.Netlist(cell, declared)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(ref, FromCircuit(rep.Circuit)), nil
+}
+
+// CheckCell is the from-scratch convenience: a fresh reference
+// derivation against a fresh extraction, no caches involved. Tests and
+// the scale benchmark use it as the baseline the incremental path must
+// reproduce verdict-identically.
+func CheckCell(cell *core.Cell) (*Result, error) {
+	ckt, err := extract.FromCell(cell)
+	if err != nil {
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, err)
+	}
+	var rf Reference
+	ref, err := rf.Netlist(cell, nil)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(ref, FromCircuit(ckt)), nil
+}
+
+// CheckEditor is the from-scratch path for a cell under edit, honoring
+// the session's declared connection records without any caching.
+func CheckEditor(ed *core.Editor) (*Result, error) {
+	ckt, err := extract.FromCell(ed.Cell)
+	if err != nil {
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", ed.Cell.Name, err)
+	}
+	var rf Reference
+	ref, err := rf.Netlist(ed.Cell, ed.Declared)
+	if err != nil {
+		return nil, err
+	}
+	return Compare(ref, FromCircuit(ckt)), nil
+}

@@ -1,0 +1,82 @@
+// Package lvs is the layout-versus-schematic leg of the verification
+// triad: it proves that the transistor netlist extracted from the
+// assembled mask geometry (internal/extract) is isomorphic to the
+// netlist the design's composition declares, and reports structured,
+// stable diagnostics when it is not.
+//
+// Riot has no schematic entry — the paper's workflow assembles
+// pre-designed cells, and "the designer must verify connections with
+// extensive checking". What the design does declare is intent: which
+// leaf cells were placed where, which connectors the connection
+// commands joined, and which seams the abutment contract sanctions.
+// The reference netlist is derived from exactly that:
+//
+//   - every leaf cell's netlist comes from extracting the leaf alone
+//     (memoized per cell — a 32x32 array extracts its cell once);
+//   - instance netlists stitch together where connectors coincide
+//     (abutment and routing place joined connectors on the same point)
+//     and where material crosses an abutted seam — occurrences whose
+//     placed bounding boxes touch, the same contract the design-rule
+//     checker trusts;
+//   - the editor's retained Connection records (core.Editor.Declared)
+//     union the nets they name whether or not the layout still
+//     realizes them, so a connection a later MOVE silently destroyed
+//     surfaces as an open instead of vanishing from both sides.
+//
+// Comparison is Gemini-style canonical labeling: both netlists are
+// series/parallel-reduced (stacked and paralleled transistors collapse
+// into compound devices, so device order and source/drain orientation
+// never matter), then a partition refinement iteratively colors the
+// bipartite net/device graph of both sides in one shared color space,
+// seeded with the connector labels the two sides share. Classes whose
+// member counts differ between the sides are mismatches; equal
+// partitions are witnessed by an explicit net-to-net matching produced
+// through deterministic individualization. Reports are stable: every
+// tie-break follows net numbering, which both derivations produce
+// deterministically.
+//
+// Mismatch diagnostics are structural, not a bare fail: shorts (two
+// declared nets merged in the layout), opens (one declared net split),
+// swapped connector pairs, and unmatched net/device classes, each with
+// the labels and devices involved.
+//
+// Known approximation: the abutment seam trust reaches seamReach into
+// each occurrence. Overlaps deeper than that (an extreme ABUT OVERLAP)
+// connect material the reference cannot see, and are reported as
+// shorts — conservative, never silent.
+package lvs
+
+import (
+	"riot/internal/extract"
+	"riot/internal/sticks"
+)
+
+// Device is one netlist transistor: its kind and the nets on its gate
+// and channel ends (A and B are interchangeable, as in MOS).
+type Device struct {
+	Kind sticks.DeviceKind
+	Gate int
+	A, B int
+}
+
+// Netlist is one side of a comparison: a dense net space, the device
+// list, and the connector labels that resolved to nets. Both the
+// layout side (FromCircuit) and the reference side
+// (Reference.Netlist) produce this form.
+type Netlist struct {
+	NetCount int
+	Devices  []Device
+	Labels   map[string]int
+}
+
+// FromCircuit adapts an extracted circuit to the comparison form. The
+// label map is shared with the circuit, not copied — comparison only
+// reads it.
+func FromCircuit(c *extract.Circuit) *Netlist {
+	n := &Netlist{NetCount: c.NetCount, Labels: c.NetOf}
+	n.Devices = make([]Device, len(c.Transistors))
+	for i, t := range c.Transistors {
+		n.Devices[i] = Device{Kind: t.Kind, Gate: t.Gate, A: t.A, B: t.B}
+	}
+	return n
+}

@@ -1,0 +1,557 @@
+package lvs
+
+import (
+	"fmt"
+
+	"riot/internal/core"
+	"riot/internal/extract"
+	"riot/internal/flatten"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// This file derives the reference netlist — what the composition
+// declares — without ever extracting the assembled design. Each cell
+// gets one memoized entry:
+//
+//   - a leaf entry extracts the leaf alone (flatten + solve of just
+//     that cell) and keeps its devices, its connector-to-net ports and
+//     its boundary material: every solved fragment within seamReach of
+//     the cell's bounding box, tagged with the net it carries;
+//   - a composition entry allocates a net block per instance copy and
+//     unions blocks where the declared structure connects them:
+//     connector points that coincide, and boundary material that
+//     touches across a sanctioned seam (leaf occurrence boxes that
+//     touch — the abutment contract internal/drc also trusts).
+//
+// Entries are validated by a structural signature (instance
+// placements, recursively), so an edit rebuilds exactly the entries
+// whose cells changed: moving one instance re-stitches its composition
+// but re-extracts no leaf.
+
+// seamReach is how far the abutment contract reaches into a cell, in
+// centimicrons: material within this distance of the cell's bounding
+// box participates in seam continuity. Wire end caps and rail halves
+// bleed at most half the widest library wire (2 lambda) past the box,
+// so 4 lambda covers every sanctioned contact point with margin.
+const seamReach = 4 * rules.Lambda
+
+// portKey identifies a connector position: connectors coincide when
+// they share a point and a layer.
+type portKey struct {
+	x, y  int
+	layer geom.Layer
+}
+
+// port is one cell connector resolved against the cell's own netlist.
+type port struct {
+	name  string
+	at    geom.Point
+	layer geom.Layer
+	side  geom.Side
+	net   int32 // -1 when the connector resolved to no material
+}
+
+// bfrag is one piece of boundary material: its rectangle and the
+// placed bounding box of the leaf occurrence that drew it (both in
+// cell-local coordinates), and the net it carries.
+type bfrag struct {
+	layer   geom.Layer
+	r       geom.Rect
+	leafBox geom.Rect
+	net     int32
+}
+
+// refEntry is one cell's memoized reference derivation.
+type refEntry struct {
+	sig      uint64
+	nets     int
+	devices  []Device
+	ports    []port
+	portAt   map[portKey]int32 // coincidence-resolved net per connector position
+	labels   map[string]int    // the cell's full label namespace, resolved
+	boundary []bfrag
+	err      error
+}
+
+// Reference derives and memoizes reference netlists. The zero value is
+// ready to use; one Reference serves any number of cells (entries are
+// keyed per cell and validated against a placement signature, so
+// edited compositions re-stitch while untouched cells and all leaf
+// extractions are reused).
+type Reference struct {
+	ids   map[*core.Cell]uint64
+	memo  map[*core.Cell]*refEntry
+	conns map[*core.Instance]cachedConns
+	parts map[*core.Instance]cachedParts
+}
+
+// instKey is the placement snapshot instance-level caches are valid
+// for (mirrors the flatten cache's contract: mutations inside the
+// defining cell swap the pointer or go through Editor.Invalidate).
+type instKey struct {
+	cell           *core.Cell
+	sig            uint64
+	tr             geom.Transform
+	nx, ny, sx, sy int
+}
+
+func (rf *Reference) keyOf(in *core.Instance) instKey {
+	return instKey{cell: in.Cell, sig: rf.sigOf(in.Cell), tr: in.Tr,
+		nx: in.Nx, ny: in.Ny, sx: in.Sx, sy: in.Sy}
+}
+
+// cachedConns memoizes an instance's resolved connector list for the
+// label pass; it only changes when the placement does.
+type cachedConns struct {
+	key  instKey
+	list []core.InstConn
+}
+
+// instConns is the memoized connector provider shared by the label
+// pass and the composition-connector assembly.
+func (rf *Reference) instConns(in *core.Instance) []core.InstConn {
+	key := rf.keyOf(in)
+	if ent, ok := rf.conns[in]; ok && ent.key == key {
+		return ent.list
+	}
+	list := in.Connectors()
+	if rf.conns == nil {
+		rf.conns = map[*core.Instance]cachedConns{}
+	}
+	rf.conns[in] = cachedConns{key: key, list: list}
+	return list
+}
+
+// cachedParts memoizes an instance's transformed stitch parts — every
+// copy's bounding box, connector positions and boundary material, with
+// copy-relative net ids. A one-instance edit re-transforms one entry;
+// the other thousand reuse theirs.
+type cachedParts struct {
+	key    instKey
+	copies []copyParts
+}
+
+// copyParts is one array copy's stitch contribution in parent
+// coordinates; nets are relative to the copy's block base.
+type copyParts struct {
+	bbox     geom.Rect
+	ports    []portReg
+	boundary []bfrag
+}
+
+// portReg is one valid connector position for coincidence stitching.
+type portReg struct {
+	key portKey
+	net int32 // copy-relative
+}
+
+// instParts returns the instance's transformed stitch parts, cached by
+// placement.
+func (rf *Reference) instParts(in *core.Instance, sub *refEntry) []copyParts {
+	key := rf.keyOf(in)
+	if ent, ok := rf.parts[in]; ok && ent.key == key {
+		return ent.copies
+	}
+	var copies []copyParts
+	for i := 0; i < in.Nx; i++ {
+		for j := 0; j < in.Ny; j++ {
+			tr := in.CopyTransform(i, j)
+			cp := copyParts{bbox: tr.ApplyRect(in.Cell.BBox())}
+			for _, p := range sub.ports {
+				if p.net < 0 {
+					continue
+				}
+				at := tr.Apply(p.at)
+				cp.ports = append(cp.ports, portReg{key: portKey{at.X, at.Y, p.layer}, net: p.net})
+			}
+			cp.boundary = make([]bfrag, len(sub.boundary))
+			for k, bf := range sub.boundary {
+				cp.boundary[k] = bfrag{
+					layer:   bf.layer,
+					r:       tr.ApplyRect(bf.r),
+					leafBox: tr.ApplyRect(bf.leafBox),
+					net:     bf.net,
+				}
+			}
+			copies = append(copies, cp)
+		}
+	}
+	if rf.parts == nil {
+		rf.parts = map[*core.Instance]cachedParts{}
+	}
+	rf.parts[in] = cachedParts{key: key, copies: copies}
+	return copies
+}
+
+// Netlist derives the reference netlist of a cell. declared lists
+// connection records to honor on top of the cell's structure — the
+// editing session's retained Connection list; nil is valid and means
+// "structure only" (cells loaded from files carry no records).
+func (rf *Reference) Netlist(c *core.Cell, declared []core.Connection) (*Netlist, error) {
+	e := rf.entry(c)
+	if e.err != nil {
+		return nil, e.err
+	}
+	if len(declared) == 0 {
+		// nothing to union on top: the entry IS the netlist. Devices
+		// and labels are shared read-only with the memo.
+		return &Netlist{NetCount: e.nets, Devices: e.devices, Labels: e.labels}, nil
+	}
+
+	// apply the declared records on top of the entry's net space, then
+	// compress to the dense netlist
+	uf := geom.NewUnionFind(e.nets)
+	for _, conn := range declared {
+		rf.declareUnion(uf, e, conn)
+	}
+	remap := make([]int32, e.nets)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nets := 0
+	renum := func(n int32) int {
+		root := uf.Find(int(n))
+		if remap[root] < 0 {
+			remap[root] = int32(nets)
+			nets++
+		}
+		return int(remap[root])
+	}
+
+	out := &Netlist{Labels: make(map[string]int, len(e.labels))}
+	out.Devices = make([]Device, len(e.devices))
+	for i, d := range e.devices {
+		out.Devices[i] = Device{Kind: d.Kind, Gate: renum(int32(d.Gate)), A: renum(int32(d.A)), B: renum(int32(d.B))}
+	}
+	for name, n := range e.labels {
+		out.Labels[name] = renum(int32(n))
+	}
+	// nets carrying neither devices nor labels still count: walk the
+	// whole space so NetCount matches the layout side's convention
+	for n := 0; n < e.nets; n++ {
+		renum(int32(n))
+	}
+	out.NetCount = nets
+	return out, nil
+}
+
+// resolveLabels fills an entry's label map — the same namespace
+// flatten labels the layout with. For compositions, the instance
+// connectors (every exported "inst.CONN" name is also an instance
+// label at the same point) plus the explicit extras cover it; later
+// names overwrite earlier ones, as flatten's do.
+func (rf *Reference) resolveLabels(c *core.Cell, e *refEntry) {
+	e.labels = make(map[string]int, len(e.portAt))
+	label := func(name string, at geom.Point, layer geom.Layer) {
+		if n, ok := e.portAt[portKey{at.X, at.Y, layer}]; ok && n >= 0 {
+			e.labels[name] = int(n)
+		}
+	}
+	for _, in := range c.Instances {
+		for _, ic := range rf.instConns(in) {
+			label(in.Name+"."+ic.Name, ic.At, ic.Layer)
+		}
+	}
+	for _, cn := range c.ExtraConnectors {
+		label(cn.Name, cn.At, cn.Layer)
+	}
+}
+
+// declareUnion applies one declared connection record: both connector
+// positions resolve through the port map and their nets union. Records
+// whose endpoints no longer resolve (a renamed connector, material
+// removed from under a point) are skipped — there is no net to tie.
+func (rf *Reference) declareUnion(uf *geom.UnionFind, e *refEntry, conn core.Connection) {
+	fc, err := conn.From.Connector(conn.FromConn)
+	if err != nil {
+		return
+	}
+	tc, err := conn.To.Connector(conn.ToConn)
+	if err != nil {
+		return
+	}
+	fn, okF := e.portAt[portKey{fc.At.X, fc.At.Y, fc.Layer}]
+	tn, okT := e.portAt[portKey{tc.At.X, tc.At.Y, tc.Layer}]
+	if okF && okT && fn >= 0 && tn >= 0 {
+		uf.Union(int(fn), int(tn))
+	}
+}
+
+// cellID returns a stable (per-Reference) numeric id for a cell.
+func (rf *Reference) cellID(c *core.Cell) uint64 {
+	if rf.ids == nil {
+		rf.ids = map[*core.Cell]uint64{}
+	}
+	id, ok := rf.ids[c]
+	if !ok {
+		id = uint64(len(rf.ids) + 1)
+		rf.ids[c] = id
+	}
+	return id
+}
+
+// sigOf computes a cell's structural signature: for leaves the cell
+// identity (leaf payloads are immutable under the editor contract —
+// STRETCH swaps the cell pointer), for compositions a hash of every
+// instance's defining-cell signature and placement. An entry whose
+// signature still matches is current.
+func (rf *Reference) sigOf(c *core.Cell) uint64 {
+	h := fnvInit()
+	h = fnvMix(h, rf.cellID(c))
+	if c.Kind != core.Composition {
+		return h
+	}
+	for _, in := range c.Instances {
+		h = fnvMix(h, rf.sigOf(in.Cell))
+		h = fnvMix(h, uint64(uint32(in.Tr.O)))
+		h = fnvMix(h, pack32(in.Tr.D.X, in.Tr.D.Y))
+		h = fnvMix(h, pack32(in.Nx, in.Ny))
+		h = fnvMix(h, pack32(in.Sx, in.Sy))
+	}
+	return h
+}
+
+func pack32(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+
+// entry returns the cell's current derivation, rebuilding it when the
+// structural signature says the memoized one is stale.
+func (rf *Reference) entry(c *core.Cell) *refEntry {
+	sig := rf.sigOf(c)
+	if e, ok := rf.memo[c]; ok && e.sig == sig {
+		return e
+	}
+	var e *refEntry
+	if c.Kind == core.Composition {
+		e = rf.stitch(c)
+	} else {
+		e = leafEntry(c)
+	}
+	e.sig = sig
+	if rf.memo == nil {
+		rf.memo = map[*core.Cell]*refEntry{}
+	}
+	rf.memo[c] = e
+	return e
+}
+
+// leafEntry extracts a leaf cell alone and packages its netlist,
+// ports and boundary material.
+func leafEntry(c *core.Cell) *refEntry {
+	fr, err := flatten.Cell(c, flatten.Options{})
+	if err != nil {
+		return &refEntry{err: fmt.Errorf("lvs: leaf %s: %w", c.Name, err)}
+	}
+	ckt, frags, err := extract.SolveNets(fr)
+	if err != nil {
+		return &refEntry{err: fmt.Errorf("lvs: leaf %s: %w", c.Name, err)}
+	}
+	e := &refEntry{nets: ckt.NetCount, portAt: map[portKey]int32{}}
+	e.devices = make([]Device, len(ckt.Transistors))
+	for i, t := range ckt.Transistors {
+		e.devices[i] = Device{Kind: t.Kind, Gate: t.Gate, A: t.A, B: t.B}
+	}
+	for _, cn := range c.Connectors() {
+		net := int32(-1)
+		if n, ok := ckt.NetOf[cn.Name]; ok {
+			net = int32(n)
+		}
+		e.ports = append(e.ports, port{name: cn.Name, at: cn.At, layer: cn.Layer, side: cn.Side, net: net})
+		key := portKey{cn.At.X, cn.At.Y, cn.Layer}
+		if _, dup := e.portAt[key]; !dup || net >= 0 {
+			e.portAt[key] = net
+		}
+	}
+	inner := c.BBox().Inset(seamReach)
+	for _, f := range frags {
+		if inner.ContainsRect(f.R) {
+			continue
+		}
+		e.boundary = append(e.boundary, bfrag{layer: f.Layer, r: f.R, leafBox: c.BBox(), net: f.Net})
+	}
+	e.labels = ckt.NetOf
+	return e
+}
+
+// copyRef is one instance copy during a stitch: its bounding box, its
+// boundary material (parent coordinates, copy-relative nets) and the
+// copy's net block base.
+type copyRef struct {
+	bbox     geom.Rect
+	boundary []bfrag
+	base     int32
+}
+
+// stitch derives a composition's entry from its instances' entries:
+// per-copy net blocks unioned at coincident connector points and
+// across sanctioned abutment seams.
+func (rf *Reference) stitch(c *core.Cell) *refEntry {
+	e := &refEntry{portAt: map[portKey]int32{}}
+
+	regs := map[portKey]int32{}
+	var copies []copyRef
+	var unions [][2]int32
+
+	total := 0
+	for _, in := range c.Instances {
+		sub := rf.entry(in.Cell)
+		if sub.err != nil {
+			e.err = sub.err
+			return e
+		}
+		for _, cp := range rf.instParts(in, sub) {
+			base := int32(total)
+			total += sub.nets
+			for _, d := range sub.devices {
+				e.devices = append(e.devices, Device{
+					Kind: d.Kind,
+					Gate: int(base) + d.Gate,
+					A:    int(base) + d.A,
+					B:    int(base) + d.B,
+				})
+			}
+			// register connector positions for coincidence unions
+			for _, p := range cp.ports {
+				net := base + p.net
+				if first, ok := regs[p.key]; ok {
+					unions = append(unions, [2]int32{first, net})
+				} else {
+					regs[p.key] = net
+				}
+			}
+			copies = append(copies, copyRef{bbox: cp.bbox, boundary: cp.boundary, base: base})
+		}
+	}
+
+	uf := geom.NewUnionFind(total)
+	for _, u := range unions {
+		uf.Union(int(u[0]), int(u[1]))
+	}
+	seamUnions(copies, uf)
+
+	// compress the block space to dense nets
+	remap := make([]int32, total)
+	for i := range remap {
+		remap[i] = -1
+	}
+	nets := 0
+	renum := func(n int32) int32 {
+		root := uf.Find(int(n))
+		if remap[root] < 0 {
+			remap[root] = int32(nets)
+			nets++
+		}
+		return remap[root]
+	}
+	for i, d := range e.devices {
+		e.devices[i] = Device{Kind: d.Kind, Gate: int(renum(int32(d.Gate))), A: int(renum(int32(d.A))), B: int(renum(int32(d.B)))}
+	}
+	// the coincidence map re-expressed in dense nets; positions with no
+	// valid net stay absent (nothing to tie there)
+	for key, first := range regs {
+		e.portAt[key] = renum(first)
+	}
+	for n := 0; n < total; n++ {
+		renum(int32(n))
+	}
+	e.nets = nets
+
+	rf.resolveLabels(c, e)
+
+	// the composition's own ports, for stitching one level up
+	for _, cn := range core.CompositionConnectors(c, rf.instConns) {
+		net := int32(-1)
+		if n, ok := e.portAt[portKey{cn.At.X, cn.At.Y, cn.Layer}]; ok {
+			net = n
+		}
+		e.ports = append(e.ports, port{name: cn.Name, at: cn.At, layer: cn.Layer, side: cn.Side, net: net})
+	}
+
+	// the composition's boundary: every copy's boundary material still
+	// within seamReach of the composition's box
+	inner := c.BBox().Inset(seamReach)
+	for _, cr := range copies {
+		for _, bf := range cr.boundary {
+			if inner.ContainsRect(bf.r) {
+				continue
+			}
+			bf.net = renum(cr.base + bf.net)
+			e.boundary = append(e.boundary, bf)
+		}
+	}
+	return e
+}
+
+// seamUnions applies the abutment contract: for every pair of copies
+// whose bounding boxes touch, boundary material on the same layer that
+// touches across the seam — and whose drawing leaf occurrences' boxes
+// touch, the same provenance test the DRC trusts — carries one net.
+func seamUnions(copies []copyRef, uf *geom.UnionFind) {
+	if len(copies) < 2 {
+		return
+	}
+	boxes := make([]geom.Rect, len(copies))
+	for i, cr := range copies {
+		boxes[i] = cr.bbox
+	}
+	ix := geom.NewIndexFrom(boxes)
+	ix.Build()
+	var mine, theirs []bfrag
+	for u := range copies {
+		ix.QueryRect(copies[u].bbox, func(v int) bool {
+			if v <= u {
+				return true
+			}
+			bu, bv := copies[u].bbox, copies[v].bbox
+			// the seam window: the (possibly degenerate) box
+			// intersection, inflated by the contract's reach — every
+			// cross-copy contact point lies inside it
+			sx0, sy0 := max(bu.Min.X, bv.Min.X), max(bu.Min.Y, bv.Min.Y)
+			sx1, sy1 := min(bu.Max.X, bv.Max.X), min(bu.Max.Y, bv.Max.Y)
+			if sx0 > sx1 || sy0 > sy1 {
+				return true
+			}
+			win := geom.R(sx0-seamReach, sy0-seamReach, sx1+seamReach, sy1+seamReach)
+			mine = mine[:0]
+			for _, bf := range copies[u].boundary {
+				if bf.r.Touches(win) {
+					mine = append(mine, bf)
+				}
+			}
+			if len(mine) == 0 {
+				return true
+			}
+			theirs = theirs[:0]
+			for _, bf := range copies[v].boundary {
+				if bf.r.Touches(win) {
+					theirs = append(theirs, bf)
+				}
+			}
+			for _, fu := range mine {
+				for _, fv := range theirs {
+					if fu.layer == fv.layer && fu.leafBox.Touches(fv.leafBox) && fu.r.Touches(fv.r) {
+						uf.Union(int(copies[u].base+fu.net), int(copies[v].base+fv.net))
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// fnv-1a, the hash behind signatures and refinement colors.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func fnvInit() uint64 { return fnvOffset }
+
+func fnvMix(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime
+		v >>= 8
+	}
+	return h
+}

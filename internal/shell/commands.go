@@ -13,6 +13,7 @@ import (
 	"riot/internal/compo"
 	"riot/internal/core"
 	"riot/internal/geom"
+	"riot/internal/lvs"
 	"riot/internal/replay"
 	"riot/internal/sticks"
 	"riot/internal/verify"
@@ -702,6 +703,36 @@ func cmdExtract(s *Shell, args []string) error {
 	ckt := rep.Circuit
 	s.printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
 		cell.Name, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
+	return nil
+}
+
+// cmdLVS compares a cell's extracted netlist against its declared
+// composition — the layout-versus-schematic leg of the verification
+// triad. The layout side shares the incremental verifier cache with
+// DRC and EXTRACT; for the cell under edit, the session's retained
+// connection records participate in the reference.
+func cmdLVS(s *Shell, args []string) error {
+	cell, err := verifyTarget(s, "LVS", args)
+	if err != nil {
+		return err
+	}
+	var res *lvs.Result
+	if s.Editor != nil && s.Editor.Cell == cell {
+		res, err = s.LVS.Check(s.Editor, &s.Verifier)
+	} else {
+		res, err = s.LVS.CheckCell(cell, &s.Verifier)
+	}
+	if err != nil {
+		return err
+	}
+	if res.Clean {
+		s.printf("%s: netlists match (%d nets, %d devices)\n", cell.Name, res.RefNets, res.RefDevices)
+		return nil
+	}
+	for _, mm := range res.Mismatches {
+		s.printf("%s\n", mm)
+	}
+	s.printf("%s: %d LVS mismatch(es)\n", cell.Name, len(res.Mismatches))
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"strings"
 
 	"riot/internal/core"
+	"riot/internal/lvs"
 	"riot/internal/replay"
 	"riot/internal/rules"
 	"riot/internal/verify"
@@ -35,11 +36,16 @@ type Shell struct {
 	Editor *core.Editor // nil when no cell is under edit
 	Out    io.Writer
 
-	// Verifier caches whole-design verification (EXTRACT, DRC) across
-	// edits, keyed on the editor's generation: re-running either
-	// command after a small edit splices the previous run instead of
-	// recomputing the design.
+	// Verifier caches whole-design verification (EXTRACT, DRC, LVS)
+	// across edits, keyed on the editor's generation: re-running any of
+	// the commands after a small edit splices the previous run instead
+	// of recomputing the design.
 	Verifier verify.Verifier
+
+	// LVS holds the netlist-comparison caches (memoized leaf-cell
+	// reference netlists, the last verdict); the layout side comes from
+	// the shared Verifier, so LVS after DRC re-extracts nothing.
+	LVS lvs.Incremental
 
 	// FS resolves READ and REPLAY file names; WriteFile stores WRITE
 	// and SAVEJOURNAL output. Both must be provided (tests use maps,
@@ -167,6 +173,7 @@ func init() {
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
 		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
 		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", run: cmdExtract},
+		"LVS":         {usage: "LVS [<cell>]", help: "compare the extracted netlist against the declared composition", run: cmdLVS},
 		"PLOT":        {usage: "PLOT <file> [<cell>]", help: "produce a hardcopy plot", run: cmdPlot},
 		"REPLAY":      {usage: "REPLAY <file>", help: "re-run a saved journal", run: cmdReplay},
 		"SAVEJOURNAL": {usage: "SAVEJOURNAL <file>", help: "save the session journal", run: cmdSaveJournal},

@@ -93,3 +93,38 @@ func BenchmarkIncrementalVerify(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkIncrementalVerifyPipeEdit measures the same loop when the
+// edit moves a metal-only pipe fitting beside the grid. An SRCELL move
+// dirties every layer the design has, so the extractor's spliced
+// point-location indexes all rebuild; a single-layer edit leaves the
+// other layers' indexes untouched — the case the locator splice
+// (ROADMAP follow-up) accelerates.
+func BenchmarkIncrementalVerifyPipeEdit(b *testing.B) {
+	const n = 32
+	e := benchGrid(b, n)
+	pipe, err := e.CreateInstance("PIPEM", "pipe",
+		geom.MakeTransform(geom.R0, geom.Pt(-40*rules.Lambda, 0)), 1, 1, 0, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	v := &Verifier{}
+	if _, err := v.Verify(e); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d := rules.Lambda
+		if i%2 == 1 {
+			d = -rules.Lambda
+		}
+		e.MoveInstance(pipe, geom.Pt(d, 0))
+		rep, err := v.Verify(e)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i > 0 && !rep.Incremental {
+			b.Fatal("fell back to a full run")
+		}
+	}
+}

@@ -51,6 +51,17 @@ func (r *Report) Clean() bool {
 	return r.CircuitErr == nil && len(r.Violations) == 0
 }
 
+// Stats counts how a Verifier satisfied its runs: Cached (unchanged
+// generation, the report returned outright), Spliced (an incremental
+// splice ran) and Full (a from-scratch rebuild). Any number of edits
+// between two Verify calls coalesce into one delta, so a burst of N
+// edits costs one splice, not N — the batched-edit test pins that.
+type Stats struct {
+	Cached  int
+	Spliced int
+	Full    int
+}
+
 // Verifier caches verification state across edits of one composition
 // cell. The zero Verifier is ready to use.
 type Verifier struct {
@@ -62,7 +73,15 @@ type Verifier struct {
 	gen    uint64
 	have   bool
 	report *Report
+	stats  Stats
 }
+
+// Stats reports the verifier's run accounting.
+func (v *Verifier) Stats() Stats { return v.stats }
+
+// FlattenStats reports, for the most recent run, how many instance
+// shards the flatten cache reused vs re-flattened.
+func (v *Verifier) FlattenStats() (reused, reflattened int) { return v.cache.Stats() }
 
 // Verify extracts and design-rule checks the editor's cell. An
 // unchanged generation returns the cached report outright; a
@@ -72,6 +91,7 @@ type Verifier struct {
 func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
 	cell, gen := ed.Cell, ed.Generation()
 	if v.have && v.cell == cell && v.gen == gen {
+		v.stats.Cached++
 		return v.report, nil
 	}
 	if v.have {
@@ -103,6 +123,11 @@ func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
 	}
 	ckt, splicedCkt, cktErr := v.ext.Solve(fr, delta)
 	vs, splicedDRC := v.chk.Check(fr, delta)
+	if splicedCkt || splicedDRC {
+		v.stats.Spliced++
+	} else {
+		v.stats.Full++
+	}
 	v.cell, v.gen, v.have = cell, gen, true
 	v.report = &Report{
 		Circuit:     ckt,

@@ -172,3 +172,52 @@ func TestVerifierInvalidateRebuilds(t *testing.T) {
 		t.Error("post-Invalidate violations differ from scratch")
 	}
 }
+
+// TestVerifierBatchesEditsIntoOneSplice pins the coalesced-delta
+// contract: any number of edits between two Verify calls cost exactly
+// one splice, and only the instances the edits touched re-flatten.
+func TestVerifierBatchesEditsIntoOneSplice(t *testing.T) {
+	e := gridEditor(t, 12)
+	v := &Verifier{}
+	if _, err := v.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+	if st := v.Stats(); st.Full != 1 || st.Spliced != 0 {
+		t.Fatalf("after priming: stats = %+v", st)
+	}
+
+	// a burst of edits on two instances: four moves, only two distinct
+	// instances touched (a's moves leave a net displacement, so its
+	// shard really must re-flatten)
+	a, b := e.Cell.Instances[3], e.Cell.Instances[7]
+	e.MoveInstance(a, geom.Pt(rules.Lambda, 0))
+	e.MoveInstance(a, geom.Pt(-rules.Lambda, 0))
+	e.MoveInstance(a, geom.Pt(rules.Lambda, 0))
+	e.MoveInstance(b, geom.Pt(0, rules.Lambda))
+
+	rep, err := v.Verify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Incremental {
+		t.Fatal("batched verify fell back to a full run")
+	}
+	if st := v.Stats(); st.Spliced != 1 || st.Full != 1 {
+		t.Fatalf("five edits did not coalesce into one splice: stats = %+v", st)
+	}
+	if reused, reflat := v.FlattenStats(); reflat != 2 || reused != 10 {
+		t.Fatalf("re-flattened %d instances (reused %d), want exactly the 2 touched", reflat, reused)
+	}
+
+	// the spliced report equals scratch
+	ckt, cktErr, vs := scratch(t, e.Cell)
+	if (cktErr == nil) != (rep.CircuitErr == nil) {
+		t.Fatalf("extraction error mismatch: %v vs %v", rep.CircuitErr, cktErr)
+	}
+	if cktErr == nil && !reflect.DeepEqual(ckt, rep.Circuit) {
+		t.Error("spliced circuit differs from scratch after batched edits")
+	}
+	if !reflect.DeepEqual(vs, rep.Violations) {
+		t.Error("spliced violations differ from scratch after batched edits")
+	}
+}

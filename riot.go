@@ -52,6 +52,7 @@ import (
 	"riot/internal/extract"
 	"riot/internal/geom"
 	"riot/internal/lib"
+	"riot/internal/lvs"
 	"riot/internal/plot"
 	"riot/internal/raster"
 	"riot/internal/shell"
@@ -80,6 +81,11 @@ type (
 	// VerifyReport bundles one whole-design verification: the
 	// extracted circuit and the design-rule report.
 	VerifyReport = verify.Report
+	// LVSResult is the outcome of a layout-versus-schematic
+	// comparison (CheckLVS).
+	LVSResult = lvs.Result
+	// LVSMismatch is one structured LVS diagnostic.
+	LVSMismatch = lvs.Mismatch
 )
 
 // Session is one Riot run: a design, a shell, files, and devices.
@@ -245,6 +251,24 @@ func (s *Session) VerifyCell(cellName string) (*VerifyReport, error) {
 		return s.Shell.Verifier.Verify(ed)
 	}
 	return s.Shell.Verifier.VerifyCell(cell)
+}
+
+// CheckLVS compares a cell's extracted netlist against the netlist its
+// composition declares (leaf-cell netlists stitched by connector
+// coincidence, sanctioned abutment seams and the editing session's
+// retained connection records). The layout side reuses the session's
+// incremental verifier, so LVS after DRC or EXTRACT re-extracts
+// nothing; for the cell under edit the whole comparison is keyed on
+// the editor generation.
+func (s *Session) CheckLVS(cellName string) (*LVSResult, error) {
+	cell, ok := s.Shell.Design.Cell(cellName)
+	if !ok {
+		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	}
+	if ed := s.Shell.Editor; ed != nil && ed.Cell == cell {
+		return s.Shell.LVS.Check(ed, &s.Shell.Verifier)
+	}
+	return s.Shell.LVS.CheckCell(cell, &s.Shell.Verifier)
 }
 
 // ExportCIF flattens a cell into CIF text for mask generation.

@@ -148,3 +148,76 @@ func TestSessionRun(t *testing.T) {
 		t.Error("error report missing")
 	}
 }
+
+// TestSessionCheckLVSPadframe assembles the padframe example through
+// the command interface and verifies the layout against its declared
+// composition — the full verification triad's last leg over a design
+// with arrays, orientations, CIF pads and routes.
+func TestSessionCheckLVSPadframe(t *testing.T) {
+	s, err := NewSession(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ExecAll(
+		"READ srcell.sticks",
+		"READ pads.cif",
+		"EDIT CORE",
+		"CREATE SRCELL row0 AT 0 0 ARRAY 4 1",
+		"CREATE SRCELL row1 AT 0 24 ARRAY 4 1",
+		"ENDEDIT",
+		"EDIT FRAME",
+		"CREATE CORE core AT 120 120",
+		"CREATE PADIN south AT 120 40 ORIENT MXR180 ARRAY 2 1 80 0",
+		"CREATE PADIN north AT 120 340 ARRAY 2 1 80 0",
+		"CREATE PADIN west AT 40 120 ORIENT R90 ARRAY 1 2 0 80",
+		"CREATE PADOUT east AT 340 120 ORIENT R270 ARRAY 1 2 0 80",
+		"CONNECT west.P[0] core.row0.IN[0]",
+		"ROUTE",
+		"CONNECT east.P[0] core.row0.OUT[3]",
+		"ROUTE",
+	); err != nil {
+		t.Fatal(err)
+	}
+	for _, cell := range []string{"CORE", "FRAME"} {
+		res, err := s.CheckLVS(cell)
+		if err != nil {
+			t.Fatalf("%s: %v", cell, err)
+		}
+		if !res.Clean {
+			t.Fatalf("%s: LVS mismatches: %v", cell, res.Mismatches)
+		}
+	}
+
+	// break a connection and re-verify: the FRAME editor session still
+	// declares west.P[0] -> core.row0.IN[0], so the deleted route
+	// surfaces as a structured open
+	routeName := ""
+	for _, in := range s.Editor().Cell.Instances {
+		if strings.HasPrefix(in.Name, "ROUTE") {
+			routeName = in.Name
+			break
+		}
+	}
+	if routeName == "" {
+		t.Fatal("no route instance in FRAME")
+	}
+	if err := s.Exec("DELETE " + routeName); err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.CheckLVS("FRAME")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Clean {
+		t.Fatal("deleted pad route verified clean")
+	}
+	found := false
+	for _, mm := range res.Mismatches {
+		if string(mm.Kind) == "open" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("deleted pad route reported as %v", res.Mismatches)
+	}
+}
