@@ -68,6 +68,13 @@ type Editor struct {
 	// mean "anything may have changed" — coarse operations and
 	// Invalidate record those.
 	log []changeEntry
+	// logFloor is the newest generation the log no longer covers: every
+	// generation in (logFloor, gen] still has its entries. It starts at
+	// the editor's creation generation and advances only when trimming
+	// drops entries, so "does the log cover (since, gen]?" is answered
+	// exactly by since >= logFloor — no arithmetic on the global
+	// generation counter, whose values interleave across editors.
+	logFloor uint64
 }
 
 // changeEntry is one generation's dirty record.
@@ -101,9 +108,13 @@ func (e *Editor) Generation() uint64 { return e.gen }
 // touching dirty rectangles merge into their union, so a burst of N
 // edits between two verifies hands the consumer one compact dirty set
 // rather than N near-duplicates. ok == false — the log was trimmed
-// past since, or some change could not be bounded (Invalidate,
-// external mutation) — means the caller must treat the whole cell as
-// dirty.
+// past since, since is not a generation this editor ever reached, or
+// some change could not be bounded (Invalidate, external mutation) —
+// means the caller must treat the whole cell as dirty. ok can never be
+// true over a silently partial set: coverage is tracked explicitly
+// (logFloor advances exactly when trimming drops entries), not
+// inferred from the global generation counter, whose values interleave
+// across editors and would make gap arithmetic ambiguous.
 func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
 	if since > e.gen {
 		return nil, false
@@ -111,8 +122,9 @@ func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
 	if since == e.gen {
 		return nil, true
 	}
-	// the log must hold every generation in (since, gen]
-	if len(e.log) == 0 || e.log[0].gen > since+1 {
+	// the log must hold every generation in (since, gen]: anything at or
+	// past the floor is fully covered, anything before it was trimmed
+	if since < e.logFloor {
 		return nil, false
 	}
 	for _, c := range e.log {
@@ -150,8 +162,11 @@ func coalesceRects(rects []geom.Rect) []geom.Rect {
 }
 
 // logChange appends the current generation's dirty rectangle, trimming
-// the log to its bound. Trimming drops whole generations, so a
-// generation the log still mentions is always completely covered.
+// the log to its bound. Trimming drops whole generations (the cut
+// never splits a multi-entry generation, so a generation the log still
+// mentions is always completely covered) and advances logFloor to the
+// last dropped generation — the record that consumers further behind
+// must rebuild from scratch.
 func (e *Editor) logChange(r geom.Rect, unbounded bool) {
 	e.log = append(e.log, changeEntry{gen: e.gen, rect: r, unbounded: unbounded})
 	if len(e.log) > changeLogMax {
@@ -159,6 +174,7 @@ func (e *Editor) logChange(r geom.Rect, unbounded bool) {
 		for cut < len(e.log)-1 && e.log[cut].gen == e.log[cut-1].gen {
 			cut++
 		}
+		e.logFloor = e.log[cut-1].gen
 		e.log = append(e.log[:0], e.log[cut:]...)
 	}
 }
@@ -169,8 +185,10 @@ func NewEditor(d *Design, cell *Cell) (*Editor, error) {
 		return nil, fmt.Errorf("core: cannot edit leaf cell %q (Riot edits composition cells only)", cell.Name)
 	}
 	// seed with a fresh global generation so caches keyed on a prior
-	// editing session can never collide with this one
-	return &Editor{Design: d, Cell: cell, gen: editorGen.Add(1)}, nil
+	// editing session can never collide with this one; the (empty) log
+	// covers exactly (creation, creation] so far
+	gen := editorGen.Add(1)
+	return &Editor{Design: d, Cell: cell, gen: gen, logFloor: gen}, nil
 }
 
 // touch records that the cell under edit changed, invalidating the

@@ -55,6 +55,9 @@ func (e *Editor) BringOut(in *Instance, connNames []string, side geom.Side) (*In
 	case geom.SideLeft:
 		gap = ib.Min.X - cellBox.Min.X
 	}
+	if gap < 0 {
+		return nil, fmt.Errorf("core: %s pokes %d past the cell's %v edge; no room for a bring-out route", in.Name, -gap, side)
+	}
 	if gap == 0 {
 		return nil, nil // already on the edge; nothing to do
 	}

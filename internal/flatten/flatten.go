@@ -71,6 +71,11 @@ type Shape struct {
 // Device is a transistor's geometry in flattened (centimicron) space:
 // the gate poly strip, the diffusion channel extent, and probe points
 // just beyond the gate on either channel end plus one on the gate.
+// Src is the leaf occurrence that drew the device, in the same id
+// space as Shape.Src — devices of one occurrence are contiguous and in
+// the leaf's source order, which is what lets consumers (the LVS
+// certificate check) align an occurrence's devices with the same
+// cell's standalone flatten one-to-one.
 type Device struct {
 	Kind    sticks.DeviceKind
 	Gate    geom.Rect
@@ -78,6 +83,7 @@ type Device struct {
 	ProbeA  geom.Point
 	ProbeB  geom.Point
 	ProbeG  geom.Point
+	Src     int
 }
 
 // Join is a contact: two points (usually coincident) whose material is
@@ -120,6 +126,13 @@ type Result struct {
 	// deliberate abutment (boxes touching) from accidental proximity.
 	SrcBoxes []geom.Rect
 
+	// SrcCells holds, indexed by Shape.Src, the leaf cell each
+	// occurrence instantiates — the occurrence's identity. Repeated
+	// placements of one cell share the pointer, which is what lets
+	// consumers recognize "the same pre-designed cell again" (the LVS
+	// hierarchical certificates key on it).
+	SrcCells []*core.Cell
+
 	byLayer map[geom.Layer][]geom.Rect
 	bySrc   map[geom.Layer][]int
 	indexes map[geom.Layer]*geom.Index
@@ -146,6 +159,7 @@ func Cell(c *core.Cell, opt Options) (*Result, error) {
 		Devices:  b.devices,
 		Joins:    b.joins,
 		SrcBoxes: b.srcBoxes,
+		SrcCells: b.srcCells,
 	}
 	for _, cn := range c.Connectors() {
 		res.Labels = append(res.Labels, NamedLabel{cn.Name, Label{cn.At, cn.Layer}})
@@ -238,6 +252,7 @@ type builder struct {
 	devices  []Device
 	joins    []Join
 	srcBoxes []geom.Rect
+	srcCells []*core.Cell
 	// srcN counts leaf-cell occurrences entered so far; the current
 	// leaf's shapes carry srcN-1 as their Src id.
 	srcN int
@@ -269,6 +284,7 @@ func (b *builder) cell(c *core.Cell, tr geom.Transform) error {
 func (b *builder) enterLeaf(c *core.Cell, tr geom.Transform) {
 	b.srcN++
 	b.srcBoxes = append(b.srcBoxes, tr.ApplyRect(c.BBox()))
+	b.srcCells = append(b.srcCells, c)
 }
 
 // src is the occurrence id of the leaf currently being flattened.
@@ -331,8 +347,12 @@ func (b *builder) instance(in *core.Instance, tr geom.Transform) error {
 		for i := range sb.shapes {
 			sb.shapes[i].Src += b.srcN
 		}
+		for i := range sb.devices {
+			sb.devices[i].Src += b.srcN
+		}
 		b.srcN += sb.srcN
 		b.srcBoxes = append(b.srcBoxes, sb.srcBoxes...)
+		b.srcCells = append(b.srcCells, sb.srcCells...)
 		b.shapes = append(b.shapes, sb.shapes...)
 		b.devices = append(b.devices, sb.devices...)
 		b.joins = append(b.joins, sb.joins...)
@@ -391,6 +411,7 @@ func (b *builder) sticksLeaf(sc *sticks.Cell, tr geom.Transform) error {
 			ProbeA:  sp(pa),
 			ProbeB:  sp(pb),
 			ProbeG:  sp(d.At),
+			Src:     b.src(),
 		}
 		b.devices = append(b.devices, dev)
 		// the gate strip is poly material connected to whatever poly

@@ -41,6 +41,7 @@ type shard struct {
 	devices  []Device
 	joins    []Join
 	srcBoxes []geom.Rect
+	srcCells []*core.Cell
 	srcN     int
 	labels   []NamedLabel
 }
@@ -65,7 +66,9 @@ type Delta struct {
 	ShapeMap []int32
 	// OldShapeGone[j] reports that old shape j has no counterpart.
 	OldShapeGone []bool
-	// DeviceMap / OldDeviceGone mirror the shape maps for devices.
+	// DeviceMap / OldDeviceGone mirror the shape maps for devices (a
+	// mapped device's geometry is identical; its occurrence id may be
+	// renumbered, like a shape's).
 	DeviceMap     []int32
 	OldDeviceGone []bool
 }
@@ -175,6 +178,7 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		Devices:  make([]Device, 0, nDev),
 		Joins:    make([]Join, 0, nJoins),
 		SrcBoxes: make([]geom.Rect, 0, nSrc),
+		SrcCells: make([]*core.Cell, 0, nSrc),
 		Labels:   make([]NamedLabel, 0, nLab+16),
 	}
 	spans := make(map[*core.Instance]span, len(c.Instances))
@@ -185,9 +189,13 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 			s.Src += srcBase
 			res.Shapes = append(res.Shapes, s)
 		}
-		res.Devices = append(res.Devices, sh.devices...)
+		for _, d := range sh.devices {
+			d.Src += srcBase
+			res.Devices = append(res.Devices, d)
+		}
 		res.Joins = append(res.Joins, sh.joins...)
 		res.SrcBoxes = append(res.SrcBoxes, sh.srcBoxes...)
+		res.SrcCells = append(res.SrcCells, sh.srcCells...)
 		srcBase += sh.srcN
 		sp.shapeHi = len(res.Shapes)
 		sp.deviceHi = len(res.Devices)
@@ -281,6 +289,7 @@ func flattenInstance(in *core.Instance) (*shard, error) {
 		devices:  b.devices,
 		joins:    b.joins,
 		srcBoxes: b.srcBoxes,
+		srcCells: b.srcCells,
 		srcN:     b.srcN,
 		labels:   instanceLabels(in),
 	}, nil

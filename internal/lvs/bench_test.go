@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"testing"
 
+	"riot/internal/extract"
+	"riot/internal/flatten"
 	"riot/internal/geom"
 	"riot/internal/rules"
 	"riot/internal/verify"
@@ -68,6 +70,53 @@ func BenchmarkIncrementalLVS(b *testing.B) {
 				cold := &Incremental{}
 				if _, err := cold.Check(e, &verify.Verifier{}); err != nil {
 					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkLVSHierMatch isolates the matching stage (reference,
+// circuit and flattened geometry prebuilt and shared): the flat
+// comparison against the certificate-backed path, cold — every
+// certified iteration re-runs the one-time sub-cell matches from an
+// empty store and re-certifies all occurrences. The repeated leaf is
+// matched once; the copies settle by device alignment and the forced
+// boundary bijection, so the certified cost is the flat cost of the
+// un-certified residual (here: nothing) plus linear bookkeeping.
+func BenchmarkLVSHierMatch(b *testing.B) {
+	for _, n := range []int{32, 64} {
+		e := gridEditor(b, n)
+		fr, err := flatten.Cell(e.Cell, flatten.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ckt, _, err := extract.SolveNets(fr)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var rf Reference
+		ref, occs, err := rf.NetlistOccs(e.Cell, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lay := FromCircuit(ckt)
+		b.Run(fmt.Sprintf("%dx%d/flat", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if res := Compare(ref, lay); !res.Clean {
+					b.Fatalf("flat not clean: %v", res.Mismatches)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("%dx%d/certified", n, n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				var cs CertStore
+				res := compareHier(&rf, &cs, occs, ref, ckt, fr)
+				if !res.Clean {
+					b.Fatalf("certified not clean: %v", res.Mismatches)
+				}
+				if res.Cert.Certified != n*n {
+					b.Fatalf("certified %d of %d occurrences", res.Cert.Certified, n*n)
 				}
 			}
 		})

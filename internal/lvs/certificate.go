@@ -1,0 +1,563 @@
+package lvs
+
+import (
+	"strconv"
+
+	"riot/internal/extract"
+	"riot/internal/flatten"
+)
+
+// Hierarchical matching certificates. Riot's whole premise is
+// composition of pre-designed cells — the same leaf repeated hundreds
+// of times in arrays and padframes — yet a flat comparison re-matches
+// every copy's interior from scratch. A certificate captures the
+// one-time verdict for one distinct sub-cell (keyed by the same
+// placement signature the reference derivation memoizes extractions
+// on): its reference and extracted netlists are matched ONCE, and the
+// verified net-map witness is recorded with the reduced-interior
+// accounting. At the top level every occurrence of a certified cell is
+// then checked cheaply — its extracted devices must align one-to-one
+// with the cell's standalone extraction (flatten emits both in the
+// same walk order), and its interior nets must be untouched by
+// anything outside the occurrence — and treated as pre-collapsed:
+//
+//   - the occurrence's interior is covered by the certificate and
+//     never enters refinement;
+//   - its boundary nets carry a FORCED correspondence (the device
+//     alignment map phi pins each reference boundary net to the flat
+//     layout net its material actually landed on), checked directly
+//     as a global bijection instead of being re-derived by partition
+//     refinement;
+//   - connector labels whose nets the bijection covers are verified by
+//     one lookup each and consumed;
+//   - only what remains — the devices and labels of occurrences that
+//     could NOT be certified, with the bijection's pairs seeding their
+//     frontier as anchors — goes through the generic reduce/refine/
+//     individualize machinery.
+//
+// Matching cost therefore scales with O(distinct cells + boundary +
+// un-certified residual) instead of O(flat devices): a cold 64x64
+// array matches its one leaf once and settles the 4096 copies by
+// alignment, and an incremental edit re-refines only the de-certified
+// region around the dirty rectangles — the warm start the persistent
+// store and reference memo provide across editor generations.
+//
+// Soundness: an occurrence is only certified when its interior is
+// provably isolated — every flat net claimed interior carries exactly
+// the device pins the standalone cell predicts, no labels, and no
+// claim from any other occurrence — so unsanctioned material poking
+// deep into a cell (the short LVS exists to catch) de-certifies the
+// occurrence and leaves it in the residual. A certified comparison
+// that comes back anything but clean is rerun flat, so diagnostics
+// always name leaf-level nets and verdicts are identical to
+// certificate-free runs by construction; a clean certified verdict is
+// witnessed by the composed net map (bijection + certificate interiors
+// + residual matching), which the NetMap reports in leaf-level terms.
+
+// certificate is one distinct sub-cell's recorded match.
+type certificate struct {
+	sig uint64
+	ok  bool // the one-time reference/extracted match verified clean
+
+	nets     int // the cell's standalone net space
+	devs     []Device
+	boundary []int32 // boundary-visible local nets, ascending: the pin order
+	interior []bool  // per local net: carries pins but is not boundary-visible
+	pinCount []int32 // device pins per local net, the isolation yardstick
+
+	// aliveInterior lists the non-boundary local nets that survive the
+	// cell's series/parallel reduction: the certificate's contribution
+	// to a clean top-level net map (leaf-level ids, substituted back
+	// per occurrence).
+	aliveInterior []int32
+	// redDevices counts the cell's reduced devices, the certificate's
+	// contribution to the per-side device accounting.
+	redDevices int
+	// witness is the verified net map of the one-time match (reduced
+	// net spaces), kept as the certificate's evidence.
+	witness map[int]int
+}
+
+// CertStats is one comparison's certificate accounting; it is
+// deterministic per design (independent of store warmth), so cached
+// and from-scratch runs produce identical Results.
+type CertStats struct {
+	// Occurrences counts the design's leaf occurrences; Certified how
+	// many compared under a certificate; Cells the distinct certified
+	// cell signatures among them.
+	Occurrences int
+	Certified   int
+	Cells       int
+	// Fallback reports that the certified comparison found a mismatch
+	// and the verdict (and every diagnostic) came from the flat rerun.
+	Fallback bool
+}
+
+// CertStoreStats is the cumulative store accounting (LVS -stats).
+type CertStoreStats struct {
+	Matched int // one-time sub-cell matches performed
+	Hits    int // comparisons served by an already-recorded certificate
+}
+
+// CertStore records sub-cell certificates across comparisons. The zero
+// value is ready to use. A store is coupled to the Reference whose
+// signatures key it: use one pair per verification session (as
+// Incremental does).
+type CertStore struct {
+	certs map[uint64]*certificate
+	stats CertStoreStats
+}
+
+// Stats reports the store's cumulative accounting.
+func (cs *CertStore) Stats() CertStoreStats { return cs.stats }
+
+// get returns the cell's certificate, matching its reference and
+// extracted netlists once on first sight of the signature.
+func (cs *CertStore) get(rf *Reference, oc refOcc) *certificate {
+	if ct, ok := cs.certs[oc.sig]; ok {
+		cs.stats.Hits++
+		return ct
+	}
+	cs.stats.Matched++
+	ct := &certificate{sig: oc.sig}
+	e := rf.entry(oc.cell, seamReach)
+	if e.err == nil {
+		ct.nets, ct.devs = e.nets, e.devices
+		// boundary-visibility at the BASE contract reach, filtered from
+		// the entry's (possibly deeper) retained material: an entry's
+		// reach only ever grows with the seams it has seen, and the
+		// certificate must not depend on that history — cached and
+		// from-scratch runs must certify identically. Deep-overlap
+		// occurrences whose deeper material really participates in a
+		// seam de-certify through the isolation check instead.
+		isB := make([]bool, e.nets)
+		for _, p := range e.ports {
+			if p.net >= 0 {
+				isB[p.net] = true
+			}
+		}
+		inner := oc.cell.BBox().Inset(seamReach)
+		for _, bf := range e.boundary {
+			if bf.net >= 0 && !inner.ContainsRect(bf.r) {
+				isB[bf.net] = true
+			}
+		}
+		ct.pinCount = make([]int32, e.nets)
+		for _, d := range ct.devs {
+			ct.pinCount[d.Gate]++
+			ct.pinCount[d.A]++
+			ct.pinCount[d.B]++
+		}
+		ct.interior = make([]bool, e.nets)
+		for n := 0; n < e.nets; n++ {
+			if isB[n] {
+				ct.boundary = append(ct.boundary, int32(n))
+			} else if ct.pinCount[n] > 0 {
+				ct.interior[n] = true
+			}
+		}
+		// the one-time match: the cell's declared netlist against its
+		// own standalone extraction (for a leaf the derivation IS the
+		// extraction, so this verifies self-consistency and records the
+		// witness; a cell that cannot even match itself is never
+		// certified and its occurrences stay in the residual)
+		side := &Netlist{NetCount: e.nets, Devices: e.devices, Labels: e.labels}
+		if res := Compare(side, side); res.Clean {
+			ct.ok = len(ct.boundary) > 0 && len(ct.devs) > 0
+			ct.witness = res.NetMap
+		}
+		// reduced-interior accounting for clean top-level net maps
+		rr := reduce(side)
+		ct.redDevices = len(rr.devs)
+		for n := 0; n < e.nets; n++ {
+			if rr.alive[n] && !isB[n] {
+				ct.aliveInterior = append(ct.aliveInterior, int32(n))
+			}
+		}
+	}
+	if cs.certs == nil {
+		cs.certs = map[uint64]*certificate{}
+	}
+	cs.certs[oc.sig] = ct
+	return ct
+}
+
+// anchorLabel names the synthetic residual anchor of one bijection
+// pair, keyed by the reference net id (deterministic per design). The
+// NUL prefix keeps it out of any real connector namespace.
+func anchorLabel(refNet int32) string {
+	return "\x00a" + strconv.Itoa(int(refNet))
+}
+
+// notClean is the sentinel result compareCertified returns when the
+// certified comparison itself found the sides inconsistent: the caller
+// reruns the flat comparison for diagnostics.
+var notClean = &Result{}
+
+// compareCertified runs the certificate-backed comparison. It returns
+// nil when the two sides' occurrence structure cannot be aligned or
+// nothing certifies (the caller compares flat), the notClean sentinel
+// or the residual's own non-clean result when a certified check fails
+// (the caller falls back to flat for diagnostics), or the composed
+// clean result.
+func (cs *CertStore) compareCertified(rf *Reference, occs []refOcc, ref, lay *Netlist, ckt *extract.Circuit, fr *flatten.Result) (*Result, CertStats) {
+	var st CertStats
+	st.Occurrences = len(fr.SrcCells)
+	if len(occs) != len(fr.SrcCells) {
+		return nil, st
+	}
+	for i, oc := range occs {
+		if oc.cell != fr.SrcCells[i] {
+			return nil, st
+		}
+	}
+
+	// layout device spans per occurrence: transistors are emitted
+	// one-to-one, in order, from flatten's device list
+	if len(ckt.Transistors) != len(fr.Devices) {
+		return nil, st
+	}
+	layLo := make([]int32, len(occs)+1)
+	{
+		d := 0
+		for o := range occs {
+			layLo[o] = int32(d)
+			for d < len(fr.Devices) && fr.Devices[d].Src == o {
+				d++
+			}
+		}
+		layLo[len(occs)] = int32(d)
+		if d != len(fr.Devices) {
+			return nil, st // device Srcs not in walk order
+		}
+	}
+
+	// certificates and reference spans; both sides must agree span for
+	// span with the standalone cells
+	certs := make([]*certificate, len(occs))
+	refLo := make([]int32, len(occs)+1)
+	total := 0
+	for o, oc := range occs {
+		ct := cs.get(rf, oc)
+		certs[o] = ct
+		refLo[o] = int32(total)
+		total += len(ct.devs)
+		if int(layLo[o+1]-layLo[o]) != len(ct.devs) || len(oc.nets) != ct.nets {
+			return nil, st
+		}
+	}
+	refLo[len(occs)] = int32(total)
+	if total != len(ref.Devices) {
+		return nil, st
+	}
+
+	// per-occurrence device alignment: phi maps the cell's standalone
+	// nets onto flat layout nets through the pin lists, and must be
+	// consistent (one flat net per local net) and injective (distinct
+	// local nets stay distinct — a deep unsanctioned short inside the
+	// occurrence breaks exactly this)
+	phis := make([][]int32, len(occs))
+	cand := make([]bool, len(occs))
+	inv := map[int32]int32{}
+	for o := range occs {
+		ct := certs[o]
+		if !ct.ok {
+			continue
+		}
+		phi := make([]int32, ct.nets)
+		for i := range phi {
+			phi[i] = -1
+		}
+		clear(inv)
+		good := true
+		bind := func(local int, flat int) bool {
+			switch f := int32(flat); {
+			case phi[local] < 0:
+				if prev, dup := inv[f]; dup && prev != int32(local) {
+					return false // two local nets on one flat net
+				}
+				phi[local] = f
+				inv[f] = int32(local)
+			case phi[local] != int32(flat):
+				return false // one local net on two flat nets
+			}
+			return true
+		}
+		for j := 0; j < len(ct.devs) && good; j++ {
+			std, tr := ct.devs[j], ckt.Transistors[int(layLo[o])+j]
+			good = std.Kind == tr.Kind &&
+				bind(std.Gate, tr.Gate) && bind(std.A, tr.A) && bind(std.B, tr.B)
+		}
+		if !good {
+			continue
+		}
+		// every boundary pin must have landed (a pin-less boundary net
+		// has no device evidence to align on; such cells stay flat)
+		for _, b := range ct.boundary {
+			if phi[b] < 0 {
+				good = false
+				break
+			}
+		}
+		if good {
+			phis[o], cand[o] = phi, true
+		}
+	}
+
+	// isolation: a flat net claimed interior must carry exactly the
+	// pins its occurrence predicts (so nothing outside touches it), no
+	// label, and no second claimant
+	flatPins := make([]int32, ckt.NetCount)
+	for _, tr := range ckt.Transistors {
+		flatPins[tr.Gate]++
+		flatPins[tr.A]++
+		flatPins[tr.B]++
+	}
+	flatLabeled := make([]bool, ckt.NetCount)
+	for _, n := range ckt.NetOf {
+		flatLabeled[n] = true
+	}
+	claimant := make([]int32, ckt.NetCount)
+	for i := range claimant {
+		claimant[i] = -1
+	}
+	for o := range occs {
+		if !cand[o] {
+			continue
+		}
+		ct, phi := certs[o], phis[o]
+		for n := 0; n < ct.nets; n++ {
+			if !ct.interior[n] {
+				continue
+			}
+			f := phi[n]
+			if flatLabeled[f] || flatPins[f] != ct.pinCount[n] || claimant[f] >= 0 {
+				cand[o] = false
+				if claimant[f] >= 0 {
+					cand[claimant[f]] = false // both claimants stay flat
+				}
+				break
+			}
+			claimant[f] = int32(o)
+		}
+	}
+	// release claims of occurrences de-certified after claiming, then
+	// reject claims that collide with a surviving occurrence's boundary
+	// image (its devices would reference a net the claimant abandons)
+	for f, o := range claimant {
+		if o >= 0 && !cand[o] {
+			claimant[f] = -1
+		}
+	}
+	for o := range occs {
+		if !cand[o] {
+			continue
+		}
+		for _, b := range certs[o].boundary {
+			if cl := claimant[phis[o][b]]; cl >= 0 && cl != int32(o) {
+				cand[o] = false
+				cand[cl] = false
+			}
+		}
+	}
+	for f, o := range claimant {
+		if o >= 0 && !cand[o] {
+			claimant[f] = -1
+		}
+	}
+
+	seenCell := map[uint64]bool{}
+	for o := range occs {
+		if cand[o] {
+			st.Certified++
+			if !seenCell[certs[o].sig] {
+				seenCell[certs[o].sig] = true
+				st.Cells++
+			}
+		}
+	}
+	if st.Certified == 0 {
+		return nil, st
+	}
+
+	// the forced boundary bijection: every certified occurrence pins
+	// its reference boundary nets to the flat nets its material
+	// actually landed on; the relation must be one-to-one both ways
+	// (two reference nets collapsing onto one layout net is a short,
+	// the reverse an open — either way the flat rerun diagnoses it)
+	bij := make([]int32, ref.NetCount)
+	invB := make([]int32, ckt.NetCount)
+	for i := range bij {
+		bij[i] = -1
+	}
+	for i := range invB {
+		invB[i] = -1
+	}
+	for o := range occs {
+		if !cand[o] {
+			continue
+		}
+		refNets, phi := occs[o].nets, phis[o]
+		for _, b := range certs[o].boundary {
+			r, l := refNets[b], phi[b]
+			if (bij[r] >= 0 && bij[r] != l) || (invB[l] >= 0 && invB[l] != r) {
+				return notClean, st
+			}
+			bij[r], invB[l] = l, r
+		}
+	}
+
+	// labels: one lookup each against the bijection; labels on
+	// un-covered nets pass through to the residual (keeping their
+	// aliveness semantics). Anything irregular on a covered net — a
+	// crossed pairing, or a label one side resolved and the other did
+	// not (flat comparison treats one-sided labels as aliveness marks,
+	// which can change that side's reduction) — hands the verdict to
+	// the flat rerun rather than risk a clean the flat path would not
+	// give.
+	refLabels := map[string]int{}
+	layLabels := map[string]int{}
+	for name, r := range ref.Labels {
+		l, shared := lay.Labels[name]
+		if !shared {
+			if bij[r] >= 0 {
+				return notClean, st // one-sided label on a covered net
+			}
+			refLabels[name] = r
+			continue
+		}
+		switch {
+		case bij[r] >= 0 && invB[l] >= 0:
+			if bij[r] != int32(l) {
+				return notClean, st
+			}
+		case bij[r] < 0 && invB[l] < 0:
+			refLabels[name] = r
+			layLabels[name] = l
+		default:
+			return notClean, st // covered on one side only: crossed wiring
+		}
+	}
+	for name, l := range lay.Labels {
+		if _, shared := ref.Labels[name]; !shared {
+			if invB[l] >= 0 {
+				return notClean, st // one-sided label on a covered net
+			}
+			layLabels[name] = l
+		}
+	}
+
+	// the residual: devices and labels of un-certified occurrences,
+	// with anchor labels on every bijection net the residual touches
+	// (refinement warm-starts from them and the final isomorphism
+	// verification enforces them)
+	refR := &Netlist{NetCount: ref.NetCount, Labels: refLabels}
+	layR := &Netlist{NetCount: ckt.NetCount, Labels: layLabels}
+	for o := range occs {
+		if cand[o] {
+			continue
+		}
+		refR.Devices = append(refR.Devices, ref.Devices[refLo[o]:refLo[o+1]]...)
+		for j := layLo[o]; j < layLo[o+1]; j++ {
+			tr := ckt.Transistors[j]
+			layR.Devices = append(layR.Devices, Device{Kind: tr.Kind, Gate: tr.Gate, A: tr.A, B: tr.B})
+		}
+	}
+	anchored := map[int32]bool{}
+	anchor := func(r int32) {
+		if !anchored[r] {
+			anchored[r] = true
+			lbl := anchorLabel(r)
+			refR.Labels[lbl] = int(r)
+			layR.Labels[lbl] = int(bij[r])
+		}
+	}
+	for _, d := range refR.Devices {
+		for _, n := range [3]int{d.Gate, d.A, d.B} {
+			if bij[n] >= 0 {
+				anchor(int32(n))
+			}
+		}
+	}
+	for _, d := range layR.Devices {
+		for _, n := range [3]int{d.Gate, d.A, d.B} {
+			if r := invB[n]; r >= 0 {
+				anchor(r)
+			}
+		}
+	}
+	for _, r := range refLabels {
+		if bij[r] >= 0 {
+			anchor(int32(r))
+		}
+	}
+	for _, l := range layLabels {
+		if r := invB[l]; r >= 0 {
+			anchor(r)
+		}
+	}
+
+	res := Compare(refR, layR)
+	if !res.Clean {
+		return res, st
+	}
+
+	// compose the witness: residual matching, then the bijection pairs
+	// and every certified occurrence's reduced interior (the
+	// certificate substituted back, so the map names leaf-level nets)
+	netMap := res.NetMap
+	refNetsN, layNetsN := res.RefNets, res.LayNets
+	for r, l := range bij {
+		if l < 0 {
+			continue
+		}
+		if _, seen := netMap[r]; !seen {
+			netMap[r] = int(l)
+			refNetsN++
+			layNetsN++
+		}
+	}
+	refDevs, layDevs := res.RefDevices, res.LayDevices
+	for o := range occs {
+		if !cand[o] {
+			continue
+		}
+		ct, refNets, phi := certs[o], occs[o].nets, phis[o]
+		for _, n := range ct.aliveInterior {
+			netMap[int(refNets[n])] = int(phi[n])
+			refNetsN++
+			layNetsN++
+		}
+		refDevs += ct.redDevices
+		layDevs += ct.redDevices
+	}
+	return &Result{
+		Clean:   true,
+		RefNets: refNetsN, LayNets: layNetsN,
+		RefDevices: refDevs, LayDevices: layDevs,
+		NetMap: netMap,
+	}, st
+}
+
+// compareHier is the certificate-backed comparison entry point: any
+// outcome other than clean reruns the flat comparison so diagnostics
+// name leaf-level nets and verdicts are identical to certificate-free
+// runs.
+func compareHier(rf *Reference, cs *CertStore, occs []refOcc, ref *Netlist, ckt *extract.Circuit, fr *flatten.Result) *Result {
+	lay := FromCircuit(ckt)
+	if fr == nil {
+		return Compare(ref, lay)
+	}
+	res, st := cs.compareCertified(rf, occs, ref, lay, ckt, fr)
+	if res == nil {
+		res = Compare(ref, lay)
+		res.Cert = st
+		return res
+	}
+	if !res.Clean {
+		st.Fallback = true
+		res = Compare(ref, lay)
+	}
+	res.Cert = st
+	return res
+}

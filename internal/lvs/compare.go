@@ -73,8 +73,13 @@ type Result struct {
 	RefNets, LayNets       int
 	RefDevices, LayDevices int
 	// NetMap maps reference nets to layout nets when Clean (reduced
-	// net id spaces; interior series nets are absent).
+	// net id spaces; interior series nets are absent). Under a
+	// certificate-collapsed comparison the spaces are the collapsed
+	// ones: certified interiors are absent and hub nets appended.
 	NetMap map[int]int
+	// Cert is the hierarchical-certificate accounting of the run (zero
+	// on a plain flat comparison).
+	Cert CertStats
 }
 
 // Compare matches a reference netlist against a layout netlist:

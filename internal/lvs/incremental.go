@@ -5,6 +5,7 @@ import (
 
 	"riot/internal/core"
 	"riot/internal/extract"
+	"riot/internal/flatten"
 	"riot/internal/verify"
 )
 
@@ -22,6 +23,14 @@ type Incremental struct {
 	// Ref is the reference-netlist memo; usable directly when a caller
 	// wants the reference netlist itself.
 	Ref Reference
+	// Certs records hierarchical sub-cell certificates across runs:
+	// each distinct sub-cell signature is matched once, and certified
+	// occurrences compare collapsed (see certificate.go). Because the
+	// store and the reference memo persist across generations, an edit
+	// re-matches nothing and refinement warm-starts from the certified
+	// boundary anchors — only the un-certified region around the edit
+	// is re-refined.
+	Certs CertStore
 
 	cell *core.Cell
 	gen  uint64
@@ -60,16 +69,36 @@ func (inc *Incremental) CheckCell(cell *core.Cell, v *verify.Verifier) (*Result,
 }
 
 // compare derives the reference and compares the verifier's circuit
-// against it.
+// against it, through the certificate collapse.
 func (inc *Incremental) compare(cell *core.Cell, declared []core.Connection, rep *verify.Report) (*Result, error) {
 	if rep.CircuitErr != nil {
 		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, rep.CircuitErr)
 	}
-	ref, err := inc.Ref.Netlist(cell, declared)
+	ref, occs, err := inc.Ref.NetlistOccs(cell, declared)
 	if err != nil {
 		return nil, err
 	}
-	return Compare(ref, FromCircuit(rep.Circuit)), nil
+	return compareHier(&inc.Ref, &inc.Certs, occs, ref, rep.Circuit, rep.Flat), nil
+}
+
+// checkScratch is the shared from-scratch path: fresh reference memo,
+// fresh certificate store, fresh extraction.
+func checkScratch(cell *core.Cell, declared []core.Connection) (*Result, error) {
+	fr, err := flatten.Cell(cell, flatten.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, err)
+	}
+	ckt, _, err := extract.SolveNets(fr)
+	if err != nil {
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, err)
+	}
+	var rf Reference
+	var cs CertStore
+	ref, occs, err := rf.NetlistOccs(cell, declared)
+	if err != nil {
+		return nil, err
+	}
+	return compareHier(&rf, &cs, occs, ref, ckt, fr), nil
 }
 
 // CheckCell is the from-scratch convenience: a fresh reference
@@ -77,27 +106,36 @@ func (inc *Incremental) compare(cell *core.Cell, declared []core.Connection, rep
 // the scale benchmark use it as the baseline the incremental path must
 // reproduce verdict-identically.
 func CheckCell(cell *core.Cell) (*Result, error) {
-	ckt, err := extract.FromCell(cell)
-	if err != nil {
-		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, err)
-	}
-	var rf Reference
-	ref, err := rf.Netlist(cell, nil)
-	if err != nil {
-		return nil, err
-	}
-	return Compare(ref, FromCircuit(ckt)), nil
+	return checkScratch(cell, nil)
 }
 
 // CheckEditor is the from-scratch path for a cell under edit, honoring
 // the session's declared connection records without any caching.
 func CheckEditor(ed *core.Editor) (*Result, error) {
-	ckt, err := extract.FromCell(ed.Cell)
+	return checkScratch(ed.Cell, ed.Declared)
+}
+
+// CheckCellFlat is the certificate-free baseline: a plain flat
+// comparison of a fresh reference derivation against a fresh
+// extraction. The differential tests pin that its verdict — Clean and
+// every Mismatch — is identical to the certified paths'.
+func CheckCellFlat(cell *core.Cell) (*Result, error) {
+	return checkFlat(cell, nil)
+}
+
+// CheckEditorFlat is CheckCellFlat for a cell under edit, honoring the
+// session's declared connection records.
+func CheckEditorFlat(ed *core.Editor) (*Result, error) {
+	return checkFlat(ed.Cell, ed.Declared)
+}
+
+func checkFlat(cell *core.Cell, declared []core.Connection) (*Result, error) {
+	ckt, err := extract.FromCell(cell)
 	if err != nil {
-		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", ed.Cell.Name, err)
+		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, err)
 	}
 	var rf Reference
-	ref, err := rf.Netlist(ed.Cell, ed.Declared)
+	ref, err := rf.Netlist(cell, declared)
 	if err != nil {
 		return nil, err
 	}

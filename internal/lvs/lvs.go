@@ -23,12 +23,18 @@
 //     realizes them, so a connection a later MOVE silently destroyed
 //     surfaces as an open instead of vanishing from both sides.
 //
-// Comparison is Gemini-style canonical labeling: both netlists are
-// series/parallel-reduced (stacked and paralleled transistors collapse
-// into compound devices, so device order and source/drain orientation
-// never matter), then a partition refinement iteratively colors the
-// bipartite net/device graph of both sides in one shared color space,
-// seeded with the connector labels the two sides share. Classes whose
+// Comparison is hierarchical. Each distinct sub-cell's
+// reference/extracted netlist pair is matched once and recorded as a
+// certificate (certificate.go); occurrences of certified cells are
+// settled by device alignment and a directly-checked boundary
+// bijection, and only the un-certified residual enters the generic
+// matcher. That matcher is Gemini-style canonical labeling: both
+// netlists are series/parallel-reduced (stacked and paralleled
+// transistors collapse into compound devices, so device order and
+// source/drain orientation never matter), then a partition refinement
+// iteratively colors the bipartite net/device graph of both sides in
+// one shared color space, seeded with the connector labels the two
+// sides share and the certificates' boundary anchors. Classes whose
 // member counts differ between the sides are mismatches; equal
 // partitions are witnessed by an explicit net-to-net matching produced
 // through deterministic individualization. Reports are stable: every
@@ -38,12 +44,18 @@
 // Mismatch diagnostics are structural, not a bare fail: shorts (two
 // declared nets merged in the layout), opens (one declared net split),
 // swapped connector pairs, and unmatched net/device classes, each with
-// the labels and devices involved.
+// the labels and devices involved. A certified comparison that finds
+// any inconsistency reruns flat, so diagnostics always come in
+// leaf-level terms and verdicts are identical to certificate-free
+// runs.
 //
-// Known approximation: the abutment seam trust reaches seamReach into
-// each occurrence. Overlaps deeper than that (an extreme ABUT OVERLAP)
-// connect material the reference cannot see, and are reported as
-// shorts — conservative, never silent.
+// The abutment seam trust reaches as deep into each occurrence as the
+// seam's own geometry requires: the base contract reach (seamReach)
+// for plainly abutted boxes, the overlap depth for an ABUT OVERLAP —
+// derived per seam from the two placed boxes, so deliberate deep
+// overlaps verify clean. (Earlier revisions capped the reach at a
+// fixed 4 lambda and mis-reported deeper sanctioned contacts as
+// shorts.)
 package lvs
 
 import (

@@ -16,8 +16,10 @@ import (
 //
 //   - a leaf entry extracts the leaf alone (flatten + solve of just
 //     that cell) and keeps its devices, its connector-to-net ports and
-//     its boundary material: every solved fragment within seamReach of
-//     the cell's bounding box, tagged with the net it carries;
+//     its boundary material: every solved fragment within the entry's
+//     seam reach of the cell's bounding box (the base contract reach,
+//     deepened per seam when placed boxes overlap), tagged with the
+//     net it carries;
 //   - a composition entry allocates a net block per instance copy and
 //     unions blocks where the declared structure connects them:
 //     connector points that coincide, and boundary material that
@@ -29,11 +31,20 @@ import (
 // whose cells changed: moving one instance re-stitches its composition
 // but re-extracts no leaf.
 
-// seamReach is how far the abutment contract reaches into a cell, in
-// centimicrons: material within this distance of the cell's bounding
+// seamReach is the base distance the abutment contract reaches into a
+// cell, in centimicrons: for plainly abutted boxes (touching, not
+// overlapping), material within this distance of the cell's bounding
 // box participates in seam continuity. Wire end caps and rail halves
 // bleed at most half the widest library wire (2 lambda) past the box,
 // so 4 lambda covers every sanctioned contact point with margin.
+//
+// seamReach is NOT a cap on seam trust: an ABUT OVERLAP places the
+// boxes overlapping, and material as deep as the overlap reaches can
+// legitimately touch the neighbor's. Each entry therefore retains
+// boundary material to the deepest reach any seam it participates in
+// actually needs (seamDepth, computed from the overlap of the two
+// placed boxes), so a deep overlap stitches exactly like a shallow one
+// instead of mis-reporting its sanctioned contacts as shorts.
 const seamReach = 4 * rules.Lambda
 
 // portKey identifies a connector position: connectors coincide when
@@ -65,13 +76,27 @@ type bfrag struct {
 // refEntry is one cell's memoized reference derivation.
 type refEntry struct {
 	sig      uint64
+	reach    int // boundary retention depth the entry was built with
 	nets     int
 	devices  []Device
 	ports    []port
 	portAt   map[portKey]int32 // coincidence-resolved net per connector position
 	labels   map[string]int    // the cell's full label namespace, resolved
 	boundary []bfrag
+	occs     []refOcc // leaf occurrences in flatten walk order
 	err      error
+}
+
+// refOcc is one leaf occurrence inside an entry's net space: which
+// cell it instantiates and where each of the cell's standalone
+// (cell-local) nets landed in the entry's dense numbering. Interior
+// nets stay distinct per occurrence — nothing outside a cell unions
+// into material the seam contract cannot reach — which is what the
+// hierarchical certificates rely on to collapse certified occurrences.
+type refOcc struct {
+	cell *core.Cell
+	sig  uint64
+	nets []int32
 }
 
 // Reference derives and memoizes reference netlists. The zero value is
@@ -126,9 +151,12 @@ func (rf *Reference) instConns(in *core.Instance) []core.InstConn {
 // cachedParts memoizes an instance's transformed stitch parts — every
 // copy's bounding box, connector positions and boundary material, with
 // copy-relative net ids. A one-instance edit re-transforms one entry;
-// the other thousand reuse theirs.
+// the other thousand reuse theirs. reach records the sub-entry
+// boundary retention the parts were derived from: when a neighbor's
+// overlap deepens the instance's required reach, the parts re-derive.
 type cachedParts struct {
 	key    instKey
+	reach  int
 	copies []copyParts
 }
 
@@ -147,10 +175,10 @@ type portReg struct {
 }
 
 // instParts returns the instance's transformed stitch parts, cached by
-// placement.
+// placement and the sub-entry's boundary reach.
 func (rf *Reference) instParts(in *core.Instance, sub *refEntry) []copyParts {
 	key := rf.keyOf(in)
-	if ent, ok := rf.parts[in]; ok && ent.key == key {
+	if ent, ok := rf.parts[in]; ok && ent.key == key && ent.reach == sub.reach {
 		return ent.copies
 	}
 	var copies []copyParts
@@ -180,7 +208,7 @@ func (rf *Reference) instParts(in *core.Instance, sub *refEntry) []copyParts {
 	if rf.parts == nil {
 		rf.parts = map[*core.Instance]cachedParts{}
 	}
-	rf.parts[in] = cachedParts{key: key, copies: copies}
+	rf.parts[in] = cachedParts{key: key, reach: sub.reach, copies: copies}
 	return copies
 }
 
@@ -189,14 +217,24 @@ func (rf *Reference) instParts(in *core.Instance, sub *refEntry) []copyParts {
 // editing session's retained Connection list; nil is valid and means
 // "structure only" (cells loaded from files carry no records).
 func (rf *Reference) Netlist(c *core.Cell, declared []core.Connection) (*Netlist, error) {
-	e := rf.entry(c)
+	nl, _, err := rf.NetlistOccs(c, declared)
+	return nl, err
+}
+
+// NetlistOccs is Netlist plus the leaf-occurrence map: for every leaf
+// occurrence of the flattened design (in flatten walk order), the cell
+// it instantiates and where each of that cell's standalone nets landed
+// in the returned netlist's numbering. The hierarchical-certificate
+// comparison uses the map to collapse repeated, already-matched cells.
+func (rf *Reference) NetlistOccs(c *core.Cell, declared []core.Connection) (*Netlist, []refOcc, error) {
+	e := rf.entry(c, seamReach)
 	if e.err != nil {
-		return nil, e.err
+		return nil, nil, e.err
 	}
 	if len(declared) == 0 {
-		// nothing to union on top: the entry IS the netlist. Devices
-		// and labels are shared read-only with the memo.
-		return &Netlist{NetCount: e.nets, Devices: e.devices, Labels: e.labels}, nil
+		// nothing to union on top: the entry IS the netlist. Devices,
+		// labels and occurrence maps are shared read-only with the memo.
+		return &Netlist{NetCount: e.nets, Devices: e.devices, Labels: e.labels}, e.occs, nil
 	}
 
 	// apply the declared records on top of the entry's net space, then
@@ -233,7 +271,16 @@ func (rf *Reference) Netlist(c *core.Cell, declared []core.Connection) (*Netlist
 		renum(int32(n))
 	}
 	out.NetCount = nets
-	return out, nil
+	// occurrence maps re-expressed in the declared-union numbering
+	occs := make([]refOcc, len(e.occs))
+	for i, oc := range e.occs {
+		m := make([]int32, len(oc.nets))
+		for k, n := range oc.nets {
+			m[k] = int32(renum(n))
+		}
+		occs[i] = refOcc{cell: oc.cell, sig: oc.sig, nets: m}
+	}
+	return out, occs, nil
 }
 
 // resolveLabels fills an entry's label map — the same namespace
@@ -315,19 +362,28 @@ func (rf *Reference) sigOf(c *core.Cell) uint64 {
 func pack32(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
 
 // entry returns the cell's current derivation, rebuilding it when the
-// structural signature says the memoized one is stale.
-func (rf *Reference) entry(c *core.Cell) *refEntry {
+// structural signature says the memoized one is stale or when a seam
+// needs boundary material deeper than the memoized entry retained.
+// Entries only ever grow their reach (the deepest any parent asked
+// for), so alternating parents cannot thrash the memo.
+func (rf *Reference) entry(c *core.Cell, minReach int) *refEntry {
 	sig := rf.sigOf(c)
-	if e, ok := rf.memo[c]; ok && e.sig == sig {
-		return e
+	if e, ok := rf.memo[c]; ok {
+		if e.sig == sig && e.reach >= minReach {
+			return e
+		}
+		if e.reach > minReach {
+			minReach = e.reach // never shrink: alternating parents must not thrash
+		}
 	}
 	var e *refEntry
 	if c.Kind == core.Composition {
-		e = rf.stitch(c)
+		e = rf.stitch(c, minReach)
 	} else {
-		e = leafEntry(c)
+		e = rf.leafEntry(c, minReach)
 	}
 	e.sig = sig
+	e.reach = minReach
 	if rf.memo == nil {
 		rf.memo = map[*core.Cell]*refEntry{}
 	}
@@ -335,9 +391,41 @@ func (rf *Reference) entry(c *core.Cell) *refEntry {
 	return e
 }
 
+// seamDepth bounds how deep (in centimicrons, measured inward from
+// bu's boundary) sanctioned seam contact against bv can reach into bu:
+// the deepest point of the pair's seam window — the box intersection
+// inflated by the contract's base reach — measured by inward
+// L-infinity distance. Plainly abutted boxes (degenerate intersection)
+// yield the base seamReach; an ABUT OVERLAP yields overlap depth plus
+// margin. The bound errs high (the margin absorbs material bleeding
+// past the boxes and exact-boundary contact), never low.
+func seamDepth(bu, bv geom.Rect) int {
+	sx0, sy0 := max(bu.Min.X, bv.Min.X), max(bu.Min.Y, bv.Min.Y)
+	sx1, sy1 := min(bu.Max.X, bv.Max.X), min(bu.Max.Y, bv.Max.Y)
+	if sx0 > sx1 || sy0 > sy1 {
+		return 0
+	}
+	dx := axisDepth(max(sx0-seamReach, bu.Min.X), min(sx1+seamReach, bu.Max.X), bu.Min.X, bu.Max.X)
+	dy := axisDepth(max(sy0-seamReach, bu.Min.Y), min(sy1+seamReach, bu.Max.Y), bu.Min.Y, bu.Max.Y)
+	return min(dx, dy)
+}
+
+// axisDepth is the maximum over x in [w0, w1] of min(x-b0, b1-x): the
+// deepest one-axis penetration of the window into the box span.
+func axisDepth(w0, w1, b0, b1 int) int {
+	x := (b0 + b1) / 2
+	if x < w0 {
+		x = w0
+	}
+	if x > w1 {
+		x = w1
+	}
+	return min(x-b0, b1-x)
+}
+
 // leafEntry extracts a leaf cell alone and packages its netlist,
-// ports and boundary material.
-func leafEntry(c *core.Cell) *refEntry {
+// ports and boundary material within reach of its bounding box.
+func (rf *Reference) leafEntry(c *core.Cell, reach int) *refEntry {
 	fr, err := flatten.Cell(c, flatten.Options{})
 	if err != nil {
 		return &refEntry{err: fmt.Errorf("lvs: leaf %s: %w", c.Name, err)}
@@ -362,7 +450,7 @@ func leafEntry(c *core.Cell) *refEntry {
 			e.portAt[key] = net
 		}
 	}
-	inner := c.BBox().Inset(seamReach)
+	inner := c.BBox().Inset(reach)
 	for _, f := range frags {
 		if inner.ContainsRect(f.R) {
 			continue
@@ -370,6 +458,13 @@ func leafEntry(c *core.Cell) *refEntry {
 		e.boundary = append(e.boundary, bfrag{layer: f.Layer, r: f.R, leafBox: c.BBox(), net: f.Net})
 	}
 	e.labels = ckt.NetOf
+	// the leaf is its own single occurrence; its standalone nets map
+	// identically
+	ident := make([]int32, e.nets)
+	for n := range ident {
+		ident[n] = int32(n)
+	}
+	e.occs = []refOcc{{cell: c, sig: rf.sigOf(c), nets: ident}}
 	return e
 }
 
@@ -384,17 +479,64 @@ type copyRef struct {
 
 // stitch derives a composition's entry from its instances' entries:
 // per-copy net blocks unioned at coincident connector points and
-// across sanctioned abutment seams.
-func (rf *Reference) stitch(c *core.Cell) *refEntry {
+// across sanctioned abutment seams. reach is the boundary retention
+// depth requested of this entry; each child entry is additionally
+// asked for the deepest reach its own seams need (seamDepth over the
+// touching copy-box pairs), so ABUT OVERLAPs deeper than the base
+// contract stitch correctly.
+func (rf *Reference) stitch(c *core.Cell, reach int) *refEntry {
 	e := &refEntry{portAt: map[portKey]int32{}}
+
+	// pass 0: every copy's placed box, from placement alone, to size
+	// each instance's required seam reach before its entry is built
+	type cbox struct {
+		box  geom.Rect
+		inst int
+	}
+	var cboxes []cbox
+	for ii, in := range c.Instances {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				cboxes = append(cboxes, cbox{in.CopyTransform(i, j).ApplyRect(in.Cell.BBox()), ii})
+			}
+		}
+	}
+	need := make([]int, len(c.Instances))
+	for ii := range need {
+		need[ii] = max(seamReach, reach)
+	}
+	if len(cboxes) > 1 {
+		boxes := make([]geom.Rect, len(cboxes))
+		for i, cb := range cboxes {
+			boxes[i] = cb.box
+		}
+		ix := geom.NewIndexFrom(boxes)
+		ix.Build()
+		for u := range cboxes {
+			ix.QueryRect(cboxes[u].box, func(v int) bool {
+				if v <= u {
+					return true
+				}
+				bu, bv := cboxes[u].box, cboxes[v].box
+				if du := seamDepth(bu, bv); du > need[cboxes[u].inst] {
+					need[cboxes[u].inst] = du
+				}
+				if dv := seamDepth(bv, bu); dv > need[cboxes[v].inst] {
+					need[cboxes[v].inst] = dv
+				}
+				return true
+			})
+		}
+	}
 
 	regs := map[portKey]int32{}
 	var copies []copyRef
 	var unions [][2]int32
+	var occs []refOcc // entry occurrences, nets still in block space
 
 	total := 0
-	for _, in := range c.Instances {
-		sub := rf.entry(in.Cell)
+	for ii, in := range c.Instances {
+		sub := rf.entry(in.Cell, need[ii])
 		if sub.err != nil {
 			e.err = sub.err
 			return e
@@ -418,6 +560,16 @@ func (rf *Reference) stitch(c *core.Cell) *refEntry {
 				} else {
 					regs[p.key] = net
 				}
+			}
+			// the copy's leaf occurrences, offset into this block —
+			// flatten walk order: instances in declaration order, copies
+			// x-major, sub-occurrences recursively
+			for _, oc := range sub.occs {
+				m := make([]int32, len(oc.nets))
+				for k, n := range oc.nets {
+					m[k] = base + n
+				}
+				occs = append(occs, refOcc{cell: oc.cell, sig: oc.sig, nets: m})
 			}
 			copies = append(copies, copyRef{bbox: cp.bbox, boundary: cp.boundary, base: base})
 		}
@@ -456,6 +608,15 @@ func (rf *Reference) stitch(c *core.Cell) *refEntry {
 	}
 	e.nets = nets
 
+	// occurrence maps in the dense numbering
+	for oi := range occs {
+		m := occs[oi].nets
+		for k, n := range m {
+			m[k] = renum(n)
+		}
+	}
+	e.occs = occs
+
 	rf.resolveLabels(c, e)
 
 	// the composition's own ports, for stitching one level up
@@ -468,8 +629,8 @@ func (rf *Reference) stitch(c *core.Cell) *refEntry {
 	}
 
 	// the composition's boundary: every copy's boundary material still
-	// within seamReach of the composition's box
-	inner := c.BBox().Inset(seamReach)
+	// within the requested reach of the composition's box
+	inner := c.BBox().Inset(reach)
 	for _, cr := range copies {
 		for _, bf := range cr.boundary {
 			if inner.ContainsRect(bf.r) {
@@ -512,9 +673,17 @@ func seamUnions(copies []copyRef, uf *geom.UnionFind) {
 				return true
 			}
 			win := geom.R(sx0-seamReach, sy0-seamReach, sx1+seamReach, sy1+seamReach)
+			// per-pair trust depth: only material within this seam's own
+			// reach of its copy's box participates. The filter makes the
+			// union set a function of the current placement alone —
+			// entries retain material to the deepest reach they have
+			// ever needed, and deeper-than-needed retention must not
+			// union more than a freshly derived entry would.
+			innerU := bu.Inset(seamDepth(bu, bv))
+			innerV := bv.Inset(seamDepth(bv, bu))
 			mine = mine[:0]
 			for _, bf := range copies[u].boundary {
-				if bf.r.Touches(win) {
+				if bf.r.Touches(win) && !innerU.ContainsRect(bf.r) {
 					mine = append(mine, bf)
 				}
 			}
@@ -523,7 +692,7 @@ func seamUnions(copies []copyRef, uf *geom.UnionFind) {
 			}
 			theirs = theirs[:0]
 			for _, bf := range copies[v].boundary {
-				if bf.r.Touches(win) {
+				if bf.r.Touches(win) && !innerV.ContainsRect(bf.r) {
 					theirs = append(theirs, bf)
 				}
 			}

@@ -57,8 +57,14 @@ type Options struct {
 	// ExactHeight, when positive, forces the channel to exactly this
 	// height (in lambda). Riot uses it for routes "made without moving
 	// the from instance": the channel must fill the existing gap
-	// between two fixed instances. Routing fails if the natural height
-	// does not fit.
+	// between two fixed instances. Routing fails — with a diagnostic
+	// naming the required versus available jog tracks — if the natural
+	// height does not fit: a fixed gap has no room for the overflow
+	// channels the unconstrained router would otherwise stack, so the
+	// route must never come out taller than the gap. Negative values
+	// are rejected outright (a caller measuring a gap between already
+	// overlapping instances must not silently fall back to an
+	// unconstrained route).
 	ExactHeight int
 }
 
@@ -92,6 +98,10 @@ func Route(bottom, top []Terminal, opt Options) (*Result, error) {
 	}
 	if len(bottom) == 0 {
 		return nil, fmt.Errorf("river: nothing to route")
+	}
+	if opt.ExactHeight < 0 {
+		return nil, fmt.Errorf("river: forced channel height %d is negative (the instances already overlap; no route can fill that gap)",
+			opt.ExactHeight)
 	}
 	cap := opt.TracksPerChannel
 	if cap <= 0 {
@@ -224,14 +234,22 @@ func Route(bottom, top []Terminal, opt Options) (*Result, error) {
 	}
 	if opt.ExactHeight > 0 {
 		// an all-straight route can squeeze into any positive gap;
-		// jogged routes need their full track stack plus clearance
+		// jogged routes need their full track stack plus clearance. A
+		// fixed gap cannot grow by "adding another channel" the way an
+		// unconstrained route does, so overflow past the gap's track
+		// capacity is a hard failure, reported in tracks: the designer's
+		// fix is fewer jogs (or moving the instances), not a taller cell.
 		minHeight := height
 		if tracks == 0 {
 			minHeight = 1
 		}
 		if opt.ExactHeight < minHeight {
-			return nil, fmt.Errorf("river: route needs height %d but only %d is available (the instances are too close together)",
-				minHeight, opt.ExactHeight)
+			avail := (opt.ExactHeight - 2*clear) / pitch
+			if avail < 0 {
+				avail = 0
+			}
+			return nil, fmt.Errorf("river: route needs %d jog track(s) but the fixed %d-lambda gap fits %d (height %d needed; the instances are too close together)",
+				tracks, opt.ExactHeight, avail, minHeight)
 		}
 		height = opt.ExactHeight
 	}

@@ -304,3 +304,55 @@ func TestTerminalCongestionPrecheck(t *testing.T) {
 		t.Errorf("crowding reported as %v, want a terminal-naming error", err)
 	}
 }
+
+// TestExactHeightOverflowFails pins the fixed-gap overflow contract:
+// when the jogged route's natural height (its track stack, however
+// many channels the unconstrained router would use) exceeds a forced
+// ExactHeight, routing must fail with a diagnostic naming required vs
+// available tracks — never emit a cell taller than the gap.
+func TestExactHeightOverflowFails(t *testing.T) {
+	// every net jogs left by 100, so the jog intervals all overlap and
+	// each needs its own track: with TracksPerChannel 2 this is a
+	// multi-channel route (5 tracks, 3 channels) whose natural stack
+	// cannot fit a small fixed gap
+	var bottom, top []Terminal
+	for i := 0; i < 5; i++ {
+		bottom = append(bottom, term("", 100+i*8, geom.NM, 0))
+		top = append(top, term("", i*8, geom.NM, 0))
+	}
+	nat, err := Route(bottom, top, Options{TracksPerChannel: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nat.Tracks != 5 || nat.Channels != 3 {
+		t.Fatalf("natural route = %d tracks, %d channels; want 5, 3", nat.Tracks, nat.Channels)
+	}
+
+	forced := nat.Height / 2
+	res, err := Route(bottom, top, Options{TracksPerChannel: 2, ExactHeight: forced})
+	if err == nil {
+		t.Fatalf("overflowing fixed-height route succeeded with height %d (> forced %d)", res.Height, forced)
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "5 jog track(s)") || !strings.Contains(msg, "track") {
+		t.Errorf("diagnostic does not name required tracks: %q", msg)
+	}
+
+	// the natural height itself must still be accepted exactly
+	fit, err := Route(bottom, top, Options{TracksPerChannel: 2, ExactHeight: nat.Height})
+	if err != nil {
+		t.Fatalf("exact-fit fixed height rejected: %v", err)
+	}
+	if fit.Height != nat.Height {
+		t.Errorf("exact-fit height = %d, want %d", fit.Height, nat.Height)
+	}
+}
+
+// TestExactHeightNegativeRejected: a negative forced gap (overlapping
+// instances) must fail outright, not silently route unconstrained.
+func TestExactHeightNegativeRejected(t *testing.T) {
+	res, err := Route(metalRow(0, 10), metalRow(0, 10), Options{ExactHeight: -4})
+	if err == nil {
+		t.Fatalf("negative forced height routed a %d-lambda-tall cell", res.Height)
+	}
+}

@@ -710,8 +710,16 @@ func cmdExtract(s *Shell, args []string) error {
 // composition — the layout-versus-schematic leg of the verification
 // triad. The layout side shares the incremental verifier cache with
 // DRC and EXTRACT; for the cell under edit, the session's retained
-// connection records participate in the reference.
+// connection records participate in the reference. -stats additionally
+// prints the hierarchical-certificate accounting: how many occurrences
+// compared pre-collapsed, and how often the session's certificate
+// store answered without re-matching a sub-cell.
 func cmdLVS(s *Shell, args []string) error {
+	stats := false
+	if len(args) > 0 && args[0] == "-stats" {
+		stats = true
+		args = args[1:]
+	}
 	cell, err := verifyTarget(s, "LVS", args)
 	if err != nil {
 		return err
@@ -724,6 +732,16 @@ func cmdLVS(s *Shell, args []string) error {
 	}
 	if err != nil {
 		return err
+	}
+	if stats {
+		st, store := res.Cert, s.LVS.Certs.Stats()
+		s.printf("%s: certificates: %d/%d occurrence(s) certified under %d distinct cell(s)\n",
+			cell.Name, st.Certified, st.Occurrences, st.Cells)
+		s.printf("%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
+			cell.Name, store.Hits, store.Matched)
+		if st.Fallback {
+			s.printf("%s: certified comparison fell back to the flat diagnosis\n", cell.Name)
+		}
 	}
 	if res.Clean {
 		s.printf("%s: netlists match (%d nets, %d devices)\n", cell.Name, res.RefNets, res.RefDevices)

@@ -97,3 +97,28 @@ func TestLVSCommandSharesVerifierCache(t *testing.T) {
 		t.Fatalf("LVS did not hit the verifier cache: %+v -> %+v", st, after)
 	}
 }
+
+// TestLVSCommandStats pins the -stats surface: an array design reports
+// its certificate coverage and the store's hit accounting, and a
+// repeat of the command answers from the certificate store.
+func TestLVSCommandStats(t *testing.T) {
+	s, out := lvsShell(t)
+	if err := s.ExecAll(
+		"EDIT TOP",
+		"CREATE SRCELL arr AT 0 0",
+		"REPLICATE arr 4 2",
+		"LVS -stats",
+	); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "8/8 occurrence(s) certified under 1 distinct cell(s)") {
+		t.Fatalf("LVS -stats output = %q", got)
+	}
+	if !strings.Contains(got, "1 sub-cell match(es) performed") {
+		t.Fatalf("LVS -stats output = %q", got)
+	}
+	if !strings.Contains(got, "netlists match") {
+		t.Fatalf("LVS -stats output = %q", got)
+	}
+}

@@ -173,7 +173,7 @@ func init() {
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
 		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
 		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", run: cmdExtract},
-		"LVS":         {usage: "LVS [<cell>]", help: "compare the extracted netlist against the declared composition", run: cmdLVS},
+		"LVS":         {usage: "LVS [-stats] [<cell>]", help: "compare the extracted netlist against the declared composition (-stats: certificate accounting)", run: cmdLVS},
 		"PLOT":        {usage: "PLOT <file> [<cell>]", help: "produce a hardcopy plot", run: cmdPlot},
 		"REPLAY":      {usage: "REPLAY <file>", help: "re-run a saved journal", run: cmdReplay},
 		"SAVEJOURNAL": {usage: "SAVEJOURNAL <file>", help: "save the session journal", run: cmdSaveJournal},

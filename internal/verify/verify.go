@@ -43,6 +43,11 @@ type Report struct {
 	Incremental bool
 	// Gen is the editor generation the report describes.
 	Gen uint64
+	// Flat is the flattened geometry the report was derived from. The
+	// LVS hierarchical-certificate path reads occurrence identity
+	// (per-device Src ids, SrcCells) from it to align the extracted
+	// circuit's transistors with the cells the composition declares.
+	Flat *flatten.Result
 }
 
 // Clean reports whether the design extracted successfully and checked
@@ -135,6 +140,7 @@ func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
 		Violations:  vs,
 		Incremental: splicedCkt || splicedDRC,
 		Gen:         gen,
+		Flat:        fr,
 	}
 	return v.report, nil
 }

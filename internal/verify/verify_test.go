@@ -221,3 +221,64 @@ func TestVerifierBatchesEditsIntoOneSplice(t *testing.T) {
 		t.Error("spliced violations differ from scratch after batched edits")
 	}
 }
+
+// TestVerifierChangeLogFloodRebuilds pins the change-log truncation
+// contract end to end: a burst of edits deep enough to trim the
+// editor's bounded change log must make ChangesSince report ok=false
+// for the verifier's old generation — never a silently partial dirty
+// set — and the verifier must respond with a full rebuild whose report
+// still matches the cache-free pipeline exactly.
+func TestVerifierChangeLogFloodRebuilds(t *testing.T) {
+	e := gridEditor(t, 9)
+	v := &Verifier{}
+	if _, err := v.Verify(e); err != nil {
+		t.Fatal(err)
+	}
+	oldGen := e.Generation()
+	full0 := v.Stats().Full
+
+	// flood: well past the log bound, jogging one instance back and
+	// forth (net displacement zero, so the final geometry equals a
+	// single-edit state only by accident of the jog count — the verify
+	// must not depend on that)
+	in := e.Cell.Instances[4]
+	const flood = 300
+	for i := 0; i < flood; i++ {
+		d := rules.Lambda
+		if i%2 == 1 {
+			d = -rules.Lambda
+		}
+		e.MoveInstance(in, geom.Pt(d, rules.Lambda))
+		e.MoveInstance(in, geom.Pt(0, -rules.Lambda))
+	}
+	if dirty, ok := e.ChangesSince(oldGen); ok {
+		t.Fatalf("ChangesSince across a trimmed log returned ok=true with %d rects; must refuse", len(dirty))
+	}
+	// a generation the log still covers keeps answering exactly
+	midGen := e.Generation()
+	e.MoveInstance(in, geom.Pt(rules.Lambda, 0))
+	if dirty, ok := e.ChangesSince(midGen); !ok || len(dirty) != 1 {
+		t.Fatalf("ChangesSince inside the log = %v, %v; want one rect, ok", dirty, ok)
+	}
+
+	rep, err := v.Verify(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Incremental {
+		t.Error("flooded verify claimed an incremental splice; must rebuild from scratch")
+	}
+	if got := v.Stats().Full; got != full0+1 {
+		t.Errorf("full rebuilds = %d, want %d", got, full0+1)
+	}
+	wantCkt, wantErr, wantVs := scratch(t, e.Cell)
+	if (rep.CircuitErr == nil) != (wantErr == nil) {
+		t.Fatalf("circuit error mismatch: %v vs %v", rep.CircuitErr, wantErr)
+	}
+	if !reflect.DeepEqual(rep.Circuit, wantCkt) {
+		t.Error("flooded rebuild circuit differs from scratch")
+	}
+	if !reflect.DeepEqual(rep.Violations, wantVs) {
+		t.Error("flooded rebuild violations differ from scratch")
+	}
+}
