@@ -12,15 +12,24 @@
 //	riot -workstation gigi    use the GIGI configuration (default
 //	                          charles)
 //	riot -drc CHIP            after the script, design-rule check the
-//	                          named cell; exit status 1 if it has
-//	                          violations
+//	                          named cell
 //	riot -extract CHIP        after the script, extract the named
-//	                          cell's circuit and print a summary; exit
-//	                          status 1 if extraction fails
+//	                          cell's circuit and print a summary
 //	riot -lvs CHIP            after the script, compare the named
 //	                          cell's extracted netlist against its
-//	                          declared composition; exit status 1 on
-//	                          any mismatch
+//	                          declared composition
+//	riot -cache DIR           persist verification caches (flatten
+//	                          shards, leaf netlists, LVS certificates)
+//	                          under DIR across invocations; defaults
+//	                          to $RIOT_CACHE when set
+//	riot -stats               after -lvs, print certificate and
+//	                          persistent-store accounting
+//
+// Exit status distinguishes why a run failed: 0 means every requested
+// check passed; 1 means the design failed verification (design-rule
+// violations, an LVS mismatch, or a failed extraction); 2 means the
+// invocation itself was broken (bad flags, an unreadable script, a
+// command error, an unknown cell, an unusable cache directory).
 //
 // Files are read from and written to the working directory. The
 // standard cell library (pads.cif, srcell.sticks, nand.sticks,
@@ -31,124 +40,197 @@ import (
 	"bufio"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"riot"
 )
 
-func main() {
-	script := flag.String("f", "", "command script to run")
-	cmds := flag.String("c", "", "semicolon-separated commands to run")
-	screenshot := flag.String("screenshot", "", "write a screen image (PPM) after the script")
-	station := flag.String("workstation", "charles", "workstation configuration: charles or gigi")
-	drcCell := flag.String("drc", "", "design-rule check a cell after the script (exit 1 on violations)")
-	extractCell := flag.String("extract", "", "extract a cell's circuit after the script (exit 1 on failure)")
-	lvsCell := flag.String("lvs", "", "netlist-compare a cell after the script (exit 1 on mismatch)")
-	flag.Parse()
+const (
+	exitOK     = 0 // requested checks all passed
+	exitVerify = 1 // the design failed verification
+	exitConfig = 2 // the invocation was broken (flags, files, cells)
+)
 
-	s, err := riot.NewSession(os.Stdout)
+func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fl := flag.NewFlagSet("riot", flag.ContinueOnError)
+	fl.SetOutput(stderr)
+	fl.Usage = func() {
+		fmt.Fprintln(stderr, `usage: riot [-f script | -c "CMD; ..."] [-drc CELL] [-extract CELL] [-lvs CELL [-stats]] [-cache DIR] [-screenshot FILE [-workstation charles|gigi]]`)
+	}
+	script := fl.String("f", "", "command script to run")
+	cmds := fl.String("c", "", "semicolon-separated commands to run")
+	screenshot := fl.String("screenshot", "", "write a screen image (PPM) after the script")
+	station := fl.String("workstation", "charles", "workstation configuration: charles or gigi")
+	drcCell := fl.String("drc", "", "design-rule check a cell after the script (exit 1 on violations)")
+	extractCell := fl.String("extract", "", "extract a cell's circuit after the script (exit 1 on failure)")
+	lvsCell := fl.String("lvs", "", "netlist-compare a cell after the script (exit 1 on mismatch)")
+	cacheDir := fl.String("cache", os.Getenv("RIOT_CACHE"), "persistent verification cache directory (default $RIOT_CACHE)")
+	stats := fl.Bool("stats", false, "print certificate and cache statistics after -lvs")
+	if err := fl.Parse(args); err != nil {
+		return exitConfig
+	}
+	if fl.NArg() > 0 {
+		fmt.Fprintf(stderr, "riot: unexpected argument %q (commands go through -f or -c)\n", fl.Arg(0))
+		return exitConfig
+	}
+	if *script != "" && *cmds != "" {
+		fmt.Fprintln(stderr, "riot: -f and -c are mutually exclusive")
+		return exitConfig
+	}
+
+	s, err := riot.NewSession(stdout)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "riot: %v\n", err)
+		return exitConfig
 	}
 	// real files behind the in-memory library
 	s.Mount(os.DirFS("."))
 	s.Shell.WriteFile = func(name string, data []byte) error {
 		return os.WriteFile(name, data, 0o644)
 	}
-
-	fail := func(err error) {
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+	if *cacheDir != "" {
+		if err := s.AttachCache(*cacheDir); err != nil {
+			fmt.Fprintf(stderr, "riot: cache %s: %v\n", *cacheDir, err)
+			return exitConfig
 		}
 	}
 
 	switch {
 	case *script != "":
 		f, err := os.Open(*script)
-		fail(err)
-		defer f.Close()
-		fail(s.Run(f))
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: %v\n", err)
+			return exitConfig
+		}
+		err = s.Run(f) // command errors print and continue; err is the reader's
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: %s: %v\n", *script, err)
+			return exitConfig
+		}
 	case *cmds != "":
 		for _, c := range strings.Split(*cmds, ";") {
 			if err := s.Exec(strings.TrimSpace(c)); err != nil {
-				fail(err)
+				fmt.Fprintf(stderr, "riot: %v\n", err)
+				return exitConfig
 			}
 		}
 	default:
-		fmt.Println("riot — graphical chip assembly (DAC 1982 reproduction)")
-		fmt.Println("type HELP for commands, QUIT to leave")
-		in := bufio.NewScanner(os.Stdin)
+		fmt.Fprintln(stdout, "riot — graphical chip assembly (DAC 1982 reproduction)")
+		fmt.Fprintln(stdout, "type HELP for commands, QUIT to leave")
+		in := bufio.NewScanner(stdin)
 		for !s.Shell.Quit() {
-			fmt.Print("riot> ")
+			fmt.Fprint(stdout, "riot> ")
 			if !in.Scan() {
 				break
 			}
 			if err := s.Exec(in.Text()); err != nil {
-				fmt.Printf("?%v\n", err)
+				fmt.Fprintf(stdout, "?%v\n", err)
 			}
 		}
 	}
 
-	drcDirty := false
+	// asking to verify a cell that doesn't exist is a broken
+	// invocation, not a failing verdict
+	missing := func(flagName, name string) bool {
+		if _, ok := s.Design().Cell(name); ok {
+			return false
+		}
+		fmt.Fprintf(stderr, "riot: %s: no cell %q in the design\n", flagName, name)
+		return true
+	}
+
+	code := exitOK
 	if *extractCell != "" {
+		if missing("-extract", *extractCell) {
+			return exitConfig
+		}
 		ckt, err := s.Extract(*extractCell)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			drcDirty = true
+			fmt.Fprintf(stderr, "riot: extract %s: %v\n", *extractCell, err)
+			code = exitVerify
 		} else {
-			fmt.Printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
+			fmt.Fprintf(stdout, "%s: %d net(s), %d transistor(s), %d label(s)\n",
 				*extractCell, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
 		}
 	}
 	if *lvsCell != "" {
+		if missing("-lvs", *lvsCell) {
+			return exitConfig
+		}
 		switch res, err := s.CheckLVS(*lvsCell); {
 		case err != nil:
-			fmt.Fprintln(os.Stderr, err)
-			drcDirty = true
+			fmt.Fprintf(stderr, "riot: lvs %s: %v\n", *lvsCell, err)
+			code = exitVerify
 		case !res.Clean:
 			for _, mm := range res.Mismatches {
-				fmt.Println(mm)
+				fmt.Fprintln(stdout, mm)
 			}
-			fmt.Printf("%s: %d LVS mismatch(es)\n", *lvsCell, len(res.Mismatches))
-			drcDirty = true
+			fmt.Fprintf(stdout, "%s: %d LVS mismatch(es)\n", *lvsCell, len(res.Mismatches))
+			code = exitVerify
 		default:
-			fmt.Printf("%s: netlists match (%d nets, %d devices)\n", *lvsCell, res.RefNets, res.RefDevices)
+			fmt.Fprintf(stdout, "%s: netlists match (%d nets, %d devices)\n", *lvsCell, res.RefNets, res.RefDevices)
+		}
+		if *stats {
+			printLVSStats(s, stdout, *lvsCell)
 		}
 	}
 	if *drcCell != "" {
+		if missing("-drc", *drcCell) {
+			return exitConfig
+		}
 		// failures exit 1, but only after a requested screenshot is
 		// written — the render of the failing layout is what the user
 		// wants
 		switch vs, err := s.CheckDRC(*drcCell); {
 		case err != nil:
-			fmt.Fprintln(os.Stderr, err)
-			drcDirty = true
+			fmt.Fprintf(stderr, "riot: drc %s: %v\n", *drcCell, err)
+			code = exitVerify
 		case len(vs) > 0:
 			for _, v := range vs {
-				fmt.Println(v)
+				fmt.Fprintln(stdout, v)
 			}
-			fmt.Printf("%s: %d design-rule violation(s)\n", *drcCell, len(vs))
-			drcDirty = true
+			fmt.Fprintf(stdout, "%s: %d design-rule violation(s)\n", *drcCell, len(vs))
+			code = exitVerify
 		default:
-			fmt.Printf("%s: no design-rule violations\n", *drcCell)
+			fmt.Fprintf(stdout, "%s: no design-rule violations\n", *drcCell)
 		}
 	}
 
 	if *screenshot != "" {
 		if s.Editor() == nil {
-			fail(fmt.Errorf("riot: -screenshot needs a cell under edit at script end"))
+			fmt.Fprintln(stderr, "riot: -screenshot needs a cell under edit at script end")
+			return exitConfig
 		}
 		u, _, err := s.OpenWorkstation(*station)
-		fail(err)
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: %v\n", err)
+			return exitConfig
+		}
 		u.ShowNames = true
-		fail(u.Screenshot(*screenshot))
-		fmt.Printf("screenshot written to %s\n", *screenshot)
+		if err := u.Screenshot(*screenshot); err != nil {
+			fmt.Fprintf(stderr, "riot: screenshot %s: %v\n", *screenshot, err)
+			return exitConfig
+		}
+		fmt.Fprintf(stdout, "screenshot written to %s\n", *screenshot)
 	}
 
-	if drcDirty {
-		os.Exit(1)
+	return code
+}
+
+// printLVSStats mirrors the shell's LVS -stats accounting for the CLI
+// check path, including the persistent store when -cache is attached.
+func printLVSStats(s *riot.Session, w io.Writer, cell string) {
+	store := s.Shell.LVS.Certs.Stats()
+	fmt.Fprintf(w, "%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
+		cell, store.Hits, store.Matched)
+	if c := s.Shell.Cache; c != nil {
+		cst := c.Stats()
+		fmt.Fprintf(w, "%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",
+			cell, store.DiskHits, s.Shell.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt)
 	}
 }

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// grid builds an abutting SRCELL array entirely from library files, so
+// the CLI tests need nothing on disk.
+const grid = "READ srcell.sticks; EDIT CHIP; CREATE SRCELL a ARRAY 4 4"
+
+// execRun drives the CLI entry point with captured streams and an
+// empty stdin (interactive mode exits immediately on EOF).
+func execRun(t *testing.T, args ...string) (code int, stdout, stderr string) {
+	t.Helper()
+	var out, errb bytes.Buffer
+	code = run(args, strings.NewReader(""), &out, &errb)
+	t.Logf("riot %q -> %d\nstdout: %s\nstderr: %s", args, code, out.String(), errb.String())
+	return code, out.String(), errb.String()
+}
+
+// TestExitCodeMatrix pins the exit-code contract over the broken-input
+// space: 0 for a passing run, 1 when the design fails verification,
+// 2 when the invocation itself is unusable — with a one-line
+// diagnostic on stderr for every 2.
+func TestExitCodeMatrix(t *testing.T) {
+	t.Chdir(t.TempDir())
+	cases := []struct {
+		name      string
+		args      []string
+		code      int
+		errNeedle string // wanted in stderr (exit 2 cases)
+		outNeedle string // wanted in stdout
+	}{
+		{name: "clean lvs", args: []string{"-c", grid, "-lvs", "CHIP"},
+			code: exitOK, outNeedle: "netlists match"},
+		{name: "clean drc", args: []string{"-c", grid, "-drc", "CHIP"},
+			code: exitOK, outNeedle: "no design-rule violations"},
+		{name: "clean extract", args: []string{"-c", grid, "-extract", "CHIP"},
+			code: exitOK, outNeedle: "transistor(s)"},
+		// b parked one lambda above a: disconnected rails within
+		// spacing range of each other
+		{name: "drc violations", args: []string{"-c", "READ srcell.sticks; EDIT CHIP; CREATE SRCELL a AT 0 0; CREATE SRCELL b AT 0 25", "-drc", "CHIP"},
+			code: exitVerify, outNeedle: "design-rule violation(s)"},
+		{name: "unknown flag", args: []string{"-no-such-flag"},
+			code: exitConfig, errNeedle: "flag provided but not defined"},
+		{name: "positional argument", args: []string{"stray"},
+			code: exitConfig, errNeedle: "unexpected argument"},
+		{name: "f and c together", args: []string{"-f", "x.riot", "-c", "HELP"},
+			code: exitConfig, errNeedle: "mutually exclusive"},
+		{name: "missing script", args: []string{"-f", "no-such-script.riot"},
+			code: exitConfig, errNeedle: "no-such-script.riot"},
+		{name: "bad command", args: []string{"-c", "FROBNICATE CHIP"},
+			code: exitConfig, errNeedle: "unknown command"},
+		{name: "drc unknown cell", args: []string{"-c", grid, "-drc", "NOPE"},
+			code: exitConfig, errNeedle: `no cell "NOPE"`},
+		{name: "lvs unknown cell", args: []string{"-c", grid, "-lvs", "NOPE"},
+			code: exitConfig, errNeedle: `no cell "NOPE"`},
+		{name: "extract unknown cell", args: []string{"-c", grid, "-extract", "NOPE"},
+			code: exitConfig, errNeedle: `no cell "NOPE"`},
+		{name: "screenshot without editor", args: []string{"-c", "READ srcell.sticks", "-screenshot", "out.ppm"},
+			code: exitConfig, errNeedle: "needs a cell under edit"},
+		{name: "bad workstation", args: []string{"-c", grid, "-screenshot", "out.ppm", "-workstation", "vt52"},
+			code: exitConfig, errNeedle: "unknown workstation"},
+		{name: "unusable cache dir", args: []string{"-cache", "/proc/1/no-such-cache", "-c", "HELP"},
+			code: exitConfig, errNeedle: "cache"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := execRun(t, tc.args...)
+			if code != tc.code {
+				t.Fatalf("exit code = %d, want %d", code, tc.code)
+			}
+			if tc.errNeedle != "" && !strings.Contains(errOut, tc.errNeedle) {
+				t.Errorf("stderr %q does not contain %q", errOut, tc.errNeedle)
+			}
+			if tc.outNeedle != "" && !strings.Contains(out, tc.outNeedle) {
+				t.Errorf("stdout %q does not contain %q", out, tc.outNeedle)
+			}
+			if code == exitConfig {
+				if lines := strings.Count(strings.TrimSpace(errOut), "\n"); lines > 2 {
+					t.Errorf("config error produced %d stderr lines, want a short diagnostic:\n%s", lines+1, errOut)
+				}
+			}
+		})
+	}
+}
+
+// TestCacheWarmStart runs the same -lvs check twice over one cache
+// directory and asserts the second invocation answers from the
+// persistent store — the CLI-level shape the CI warm-start job greps.
+func TestCacheWarmStart(t *testing.T) {
+	t.Chdir(t.TempDir())
+	cache := filepath.Join(t.TempDir(), "cache")
+
+	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	if code != exitOK {
+		t.Fatalf("cold run exit = %d", code)
+	}
+	if !strings.Contains(out, "1 sub-cell match(es) performed") {
+		t.Fatalf("cold run stats missing the match:\n%s", out)
+	}
+
+	code, out, _ = execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	if code != exitOK {
+		t.Fatalf("warm run exit = %d", code)
+	}
+	if !strings.Contains(out, "0 sub-cell match(es) performed") {
+		t.Errorf("warm run still matched:\n%s", out)
+	}
+	if !strings.Contains(out, "1 certificate(s) and 1 shard(s) loaded from disk") {
+		t.Errorf("warm run did not load from the persistent store:\n%s", out)
+	}
+	if !strings.Contains(out, "0 corrupt entr(ies) quarantined") {
+		t.Errorf("warm run reported corruption:\n%s", out)
+	}
+	if !strings.Contains(out, "netlists match") {
+		t.Errorf("warm run verdict missing:\n%s", out)
+	}
+}
+
+// TestInteractiveEOF pins that an interactive session exits 0 on EOF
+// and on QUIT, without touching the verification paths.
+func TestInteractiveEOF(t *testing.T) {
+	t.Chdir(t.TempDir())
+	var out, errb bytes.Buffer
+	if code := run(nil, strings.NewReader("HELP\nQUIT\n"), &out, &errb); code != exitOK {
+		t.Fatalf("interactive exit = %d, stderr %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "riot>") {
+		t.Errorf("no prompt printed:\n%s", out.String())
+	}
+}

@@ -1,0 +1,144 @@
+package castore
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// A minimal deterministic binary codec for cache payloads. The store's
+// checksum guards entries against accidental corruption, but it is not
+// cryptographic, so the decoder never trusts embedded lengths: every
+// count is bounded by the bytes actually remaining before anything is
+// allocated, and all errors surface through Dec.Err instead of panics.
+// Integers are fixed-width little-endian — payloads are caches, not
+// wire formats, and simplicity beats density here.
+
+// Enc accumulates an encoded payload. The zero value is ready to use.
+type Enc struct {
+	buf []byte
+}
+
+// Bytes returns the encoded payload.
+func (e *Enc) Bytes() []byte { return e.buf }
+
+// U64 appends an unsigned 64-bit value.
+func (e *Enc) U64(v uint64) {
+	e.buf = binary.LittleEndian.AppendUint64(e.buf, v)
+}
+
+// Int appends a signed integer (64-bit two's complement).
+func (e *Enc) Int(v int) { e.U64(uint64(int64(v))) }
+
+// U8 appends one byte.
+func (e *Enc) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// Bool appends a boolean as one byte.
+func (e *Enc) Bool(b bool) {
+	if b {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// Str appends a length-prefixed string.
+func (e *Enc) Str(s string) {
+	e.U64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Dec decodes a payload produced by Enc. The first malformed read
+// poisons the decoder: every later read returns the zero value and
+// Err reports the failure, so clients can decode straight-line and
+// check once at the end.
+type Dec struct {
+	buf []byte
+	off int
+	err error
+}
+
+// NewDec returns a decoder over payload.
+func NewDec(payload []byte) *Dec { return &Dec{buf: payload} }
+
+// Err returns the first decoding error, or nil.
+func (d *Dec) Err() error { return d.err }
+
+func (d *Dec) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = fmt.Errorf("castore: decode: "+format, args...)
+	}
+}
+
+func (d *Dec) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n < 0 || n > len(d.buf)-d.off {
+		d.fail("need %d bytes at offset %d of %d", n, d.off, len(d.buf))
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// U64 reads an unsigned 64-bit value.
+func (d *Dec) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// Int reads a signed integer.
+func (d *Dec) Int() int { return int(int64(d.U64())) }
+
+// U8 reads one byte.
+func (d *Dec) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (d *Dec) Bool() bool { return d.U8() != 0 }
+
+// Str reads a length-prefixed string, bounded by the remaining bytes.
+func (d *Dec) Str() string {
+	n := d.U64()
+	if d.err == nil && n > uint64(len(d.buf)-d.off) {
+		d.fail("string length %d exceeds remaining %d", n, len(d.buf)-d.off)
+	}
+	b := d.take(int(n))
+	return string(b)
+}
+
+// Len reads an element count whose elements occupy at least elemMin
+// bytes each, rejecting counts the remaining payload cannot hold — the
+// guard that keeps a forged length from driving a huge allocation.
+func (d *Dec) Len(elemMin int) int {
+	n := d.U64()
+	if d.err != nil {
+		return 0
+	}
+	if elemMin < 1 {
+		elemMin = 1
+	}
+	if n > uint64((len(d.buf)-d.off)/elemMin) {
+		d.fail("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return int(n)
+}
+
+// Done reports an error when decoded bytes remain — a payload longer
+// than its schema is skew, not padding.
+func (d *Dec) Done() error {
+	if d.err == nil && d.off != len(d.buf) {
+		d.fail("%d trailing bytes", len(d.buf)-d.off)
+	}
+	return d.err
+}

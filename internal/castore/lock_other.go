@@ -1,0 +1,13 @@
+//go:build !unix
+
+package castore
+
+import "os"
+
+// Non-unix platforms get no advisory locking: entry writes are still
+// individually atomic (tmp + rename), which is the property the
+// verdict-safety guarantees rest on; the flock only serializes
+// manifest recovery between concurrent processes.
+func flock(f *os.File, lock bool) error { return nil }
+
+func flockShared(f *os.File) error { return nil }

@@ -1,0 +1,25 @@
+//go:build unix
+
+package castore
+
+import (
+	"os"
+	"syscall"
+)
+
+// flock takes (lock=true) or releases (lock=false) the exclusive
+// advisory lock on f. Advisory flocks coordinate concurrent riot
+// processes sharing one cache directory; they cost nothing when only
+// one process is running.
+func flock(f *os.File, lock bool) error {
+	op := syscall.LOCK_UN
+	if lock {
+		op = syscall.LOCK_EX
+	}
+	return syscall.Flock(int(f.Fd()), op)
+}
+
+// flockShared downgrades to (or takes) a shared advisory lock.
+func flockShared(f *os.File) error {
+	return syscall.Flock(int(f.Fd()), syscall.LOCK_SH)
+}

@@ -1,0 +1,109 @@
+package castore
+
+import (
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+)
+
+// Tamper is a corruption mode for TamperEntries. The robustness test
+// suites (here and in the cache clients) drive every mode over a
+// populated store and assert that verification verdicts stay identical
+// to cache-free runs with the bad entries quarantined — the "hostile
+// bytes in, graceful behavior out" contract.
+type Tamper int
+
+// The corruption modes.
+const (
+	// TamperBitFlip flips one bit in the entry payload.
+	TamperBitFlip Tamper = iota
+	// TamperTruncate cuts the entry file in half (mid-payload or
+	// mid-header for small entries).
+	TamperTruncate
+	// TamperVersionBump rewrites the header's store version field.
+	TamperVersionBump
+	// TamperZero truncates the entry to zero length.
+	TamperZero
+	// TamperGarbage overwrites the whole entry with a fixed byte.
+	TamperGarbage
+)
+
+// String names the mode.
+func (t Tamper) String() string {
+	switch t {
+	case TamperBitFlip:
+		return "bit-flip"
+	case TamperTruncate:
+		return "truncate"
+	case TamperVersionBump:
+		return "version-bump"
+	case TamperZero:
+		return "zero-length"
+	default:
+		return "garbage"
+	}
+}
+
+// TamperEntries applies the corruption mode to every entry file under
+// the store directory (the manifest, tmp and quarantine areas are left
+// alone) and returns how many entries it damaged. It is test and
+// fault-injection support: the recovery path it exercises — load,
+// reject, quarantine, recompute — is the production path.
+func TamperEntries(dir string, mode Tamper) (int, error) {
+	n := 0
+	err := filepath.WalkDir(dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			switch d.Name() {
+			case "tmp", "quarantine":
+				if path != dir {
+					return filepath.SkipDir
+				}
+			}
+			return nil
+		}
+		if d.Name() == manifest {
+			return nil
+		}
+		if err := tamperFile(path, mode); err != nil {
+			return fmt.Errorf("castore: tamper %s: %w", path, err)
+		}
+		n++
+		return nil
+	})
+	return n, err
+}
+
+func tamperFile(path string, mode Tamper) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	switch mode {
+	case TamperBitFlip:
+		if len(data) == 0 {
+			return nil
+		}
+		// flip a payload bit when there is one, else a header bit
+		i := len(data) - 1
+		data[i] ^= 0x10
+	case TamperTruncate:
+		data = data[:len(data)/2]
+	case TamperVersionBump:
+		if len(data) >= 8 {
+			data[4]++
+		} else {
+			data = data[:0]
+		}
+	case TamperZero:
+		data = data[:0]
+	case TamperGarbage:
+		for i := range data {
+			data[i] = 0xA5
+		}
+	}
+	return os.WriteFile(path, data, 0o644)
+}

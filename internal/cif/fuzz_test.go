@@ -1,0 +1,68 @@
+package cif
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzParseCIF drives the streaming parser over arbitrary bytes. The
+// properties: never panic, never hang, never allocate past the Limits,
+// always return either a File or a positioned *ParseError — and
+// anything the parser accepts, the writer must serialize without
+// panicking.
+func FuzzParseCIF(f *testing.F) {
+	seeds := []string{
+		// well-formed
+		"DS 1; L NM; B 20 10 5 5; DF; E",
+		"DS 1 2 1; 9 PAD; L ND; P 0 0 10 0 10 10; W 4 0 0 8 8; 94 VDD 0 4 NM 4; DF; C 1 T 5 5 M X R 0 1; E",
+		"(header (nested)) DS 1; L NM; R 6 3 3; DF; DD 1; E",
+		"ds 1; l nm; b 4, 4 xy: -10 - 20; df; e",
+		// malformed: structure
+		"DS 1; L NM; B 2 2 0 0; DF",
+		"DS 1; DS 2; DF; DF; E",
+		"DF; E",
+		"DS 1; E",
+		"E inside nothing",
+		"(unterminated",
+		"DS 1; L NM; Q; DF; E",
+		// malformed: numbers and names
+		"DS 1; L NM; B 99999999999999999999999 1 0 0; DF; E",
+		"999999999999999999999999999 ext; E",
+		"DS 1; L TOOLONGNAME; DF; E",
+		"DS 1; L NM; B - - 0 0; DF; E",
+		"C -; E",
+		// resource abuse shapes
+		"DS 1; L NM; W 1 " + strings.Repeat("0 0 ", 64) + "; DF; E",
+		strings.Repeat("(", 80),
+		"42 " + strings.Repeat("x", 256) + "; E",
+		"DS 1; 94 " + strings.Repeat("N", 64) + " 1 2; DF; E",
+		"\x00\xff\xfe;;;E",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// tight limits so the fuzzer explores limit handling too
+		lim := Limits{MaxElements: 1 << 12, MaxPathPoints: 1 << 10, MaxUserExtBytes: 1 << 10, MaxCommentDepth: 16}
+		parsed, err := ParseLimits(bytes.NewReader(data), lim)
+		if err != nil {
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error is %T, not *ParseError: %v", err, err)
+			}
+			if pe.Line < 1 {
+				t.Fatalf("error line %d < 1: %v", pe.Line, err)
+			}
+			if parsed != nil {
+				t.Fatal("both file and error returned")
+			}
+			return
+		}
+		if parsed == nil {
+			t.Fatal("nil file without error")
+		}
+		_ = String(parsed)
+	})
+}

@@ -1,0 +1,81 @@
+package cif
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// TestParseLimits pins each Limits bound: input just inside parses,
+// input just past fails with a positioned error naming the bound.
+func TestParseLimits(t *testing.T) {
+	lim := Limits{MaxElements: 4, MaxPathPoints: 3, MaxUserExtBytes: 8, MaxCommentDepth: 3}
+	cases := []struct {
+		name string
+		src  string
+		ok   bool
+		want string // substring of the error when !ok
+	}{
+		{name: "elements at cap", src: "DS 1; L NM; B 2 2 0 0; B 2 2 9 9; R 2 4 4; DF; E", ok: true},
+		{name: "elements past cap", src: "DS 1; L NM; B 2 2 0 0; B 2 2 9 9; R 2 4 4; R 2 8 8; DF; E",
+			want: "more than 4 elements"},
+		{name: "path at cap", src: "DS 1; L NM; P 0 0 4 0 4 4; DF; E", ok: true},
+		{name: "path past cap", src: "DS 1; L NM; P 0 0 4 0 4 4 0 4; DF; E",
+			want: "longer than 3 points"},
+		// the extension body includes the separator after the number
+		{name: "user ext at cap", src: "DS 1; 42 1234567; DF; E", ok: true},
+		{name: "user ext past cap", src: "DS 1; 42 12345678; DF; E",
+			want: "longer than 8 bytes"},
+		{name: "comments at cap", src: "(((ok))) DS 1; L NM; B 2 2 0 0; DF; E", ok: true},
+		{name: "comments past cap", src: "((((deep)))) E", want: "nested deeper than 3"},
+		{name: "giant integer", src: "DS 99999999999999999999; DF; E", want: "integer overflow"},
+		{name: "giant ext number", src: strings.Repeat("9", 40) + " x; E", want: "overflow"},
+		{name: "long short name", src: "DS 1; L ABCDE; DF; E", want: "exceeds four characters"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseLimits(strings.NewReader(tc.src), lim)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("rejected: %v", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted %q", tc.src)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestParseErrorShape pins the structured error: *ParseError with the
+// 1-based line of the failure, formatted in the historical style.
+func TestParseErrorShape(t *testing.T) {
+	_, err := ParseString("DS 1;\nL NM;\nB 2 2 0 0\nQ; DF; E")
+	var pe *ParseError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error is %T, want *ParseError", err)
+	}
+	if pe.Line != 4 {
+		t.Errorf("line = %d, want 4 (the Q after the unterminated box)", pe.Line)
+	}
+	if !strings.HasPrefix(err.Error(), "cif: line 4: ") {
+		t.Errorf("error format = %q", err.Error())
+	}
+}
+
+// TestParseStreams pins that Parse consumes a reader incrementally:
+// an erroring reader surfaces as a read error, not a verdict.
+func TestParseStreams(t *testing.T) {
+	_, err := Parse(failingReader{})
+	if err == nil || !strings.Contains(err.Error(), "read error") {
+		t.Fatalf("reader failure reported as %v", err)
+	}
+}
+
+type failingReader struct{}
+
+func (failingReader) Read([]byte) (int, error) { return 0, errors.New("disk on fire") }

@@ -1,24 +1,83 @@
 package cif
 
 import (
+	"bufio"
 	"fmt"
 	"io"
+	"math"
 	"strings"
 
 	"riot/internal/geom"
 )
 
-// Parse reads a CIF 2.0 file. Parsing is strict about structure
-// (semicolon-terminated commands, balanced comments, DF matching DS)
-// but, like the published grammar, lenient about separators: any
-// character that cannot start a token serves as blank space.
-func Parse(r io.Reader) (*File, error) {
-	data, err := io.ReadAll(r)
-	if err != nil {
-		return nil, fmt.Errorf("cif: %w", err)
+// Limits bounds what one Parse call will accept, so a hostile or
+// corrupt stream fails with a positioned error instead of exhausting
+// memory. The zero value of any field means that field's Default.
+type Limits struct {
+	// MaxElements caps the total number of parsed elements (geometry,
+	// calls, connectors, user extensions) plus symbol definitions.
+	MaxElements int
+	// MaxPathPoints caps the points in one polygon or wire path.
+	MaxPathPoints int
+	// MaxUserExtBytes caps the body of one user-extension command.
+	MaxUserExtBytes int
+	// MaxCommentDepth caps comment nesting.
+	MaxCommentDepth int
+}
+
+// DefaultLimits is generous for real designs: a file at these limits
+// holds millions of elements.
+var DefaultLimits = Limits{
+	MaxElements:     1 << 22,
+	MaxPathPoints:   1 << 20,
+	MaxUserExtBytes: 1 << 16,
+	MaxCommentDepth: 64,
+}
+
+func (l Limits) withDefaults() Limits {
+	d := DefaultLimits
+	if l.MaxElements > 0 {
+		d.MaxElements = l.MaxElements
 	}
-	p := &parser{data: string(data), line: 1}
-	return p.file()
+	if l.MaxPathPoints > 0 {
+		d.MaxPathPoints = l.MaxPathPoints
+	}
+	if l.MaxUserExtBytes > 0 {
+		d.MaxUserExtBytes = l.MaxUserExtBytes
+	}
+	if l.MaxCommentDepth > 0 {
+		d.MaxCommentDepth = l.MaxCommentDepth
+	}
+	return d
+}
+
+// ParseError is the positioned error every failed Parse returns.
+type ParseError struct {
+	Line int    // 1-based source line of the failure
+	Msg  string // what went wrong there
+}
+
+func (e *ParseError) Error() string { return fmt.Sprintf("cif: line %d: %s", e.Line, e.Msg) }
+
+// Parse reads a CIF 2.0 file under DefaultLimits. Parsing is strict
+// about structure (semicolon-terminated commands, balanced comments,
+// DF matching DS) but, like the published grammar, lenient about
+// separators: any character that cannot start a token serves as blank
+// space. The stream is consumed incrementally — the file is never held
+// in memory whole — and every failure is a *ParseError carrying the
+// source line.
+func Parse(r io.Reader) (*File, error) {
+	return ParseLimits(r, DefaultLimits)
+}
+
+// ParseLimits is Parse under explicit Limits.
+func ParseLimits(r io.Reader, lim Limits) (*File, error) {
+	p := &parser{r: bufio.NewReader(r), line: 1, lim: lim.withDefaults()}
+	f, err := p.file()
+	if err != nil {
+		return nil, err
+	}
+	return f, nil
 }
 
 // ParseString parses CIF source held in a string.
@@ -27,27 +86,50 @@ func ParseString(s string) (*File, error) {
 }
 
 type parser struct {
-	data string
-	pos  int
-	line int
+	r       *bufio.Reader
+	line    int
+	lim     Limits
+	readErr error // first non-EOF reader failure, reported over parse errors
+	elems   int   // elements + symbols parsed, against MaxElements
 }
 
 func (p *parser) errf(format string, args ...any) error {
-	return fmt.Errorf("cif: line %d: %s", p.line, fmt.Sprintf(format, args...))
+	if p.readErr != nil {
+		return &ParseError{Line: p.line, Msg: fmt.Sprintf("read error: %v", p.readErr)}
+	}
+	return &ParseError{Line: p.line, Msg: fmt.Sprintf(format, args...)}
 }
 
-func (p *parser) eof() bool { return p.pos >= len(p.data) }
+func (p *parser) eof() bool {
+	if p.readErr != nil {
+		return true
+	}
+	_, err := p.r.Peek(1)
+	if err != nil {
+		if err != io.EOF {
+			p.readErr = err
+		}
+		return true
+	}
+	return false
+}
 
 func (p *parser) peek() byte {
-	if p.eof() {
+	b, err := p.r.Peek(1)
+	if err != nil {
 		return 0
 	}
-	return p.data[p.pos]
+	return b[0]
 }
 
 func (p *parser) advance() byte {
-	c := p.data[p.pos]
-	p.pos++
+	c, err := p.r.ReadByte()
+	if err != nil {
+		if err != io.EOF {
+			p.readErr = err
+		}
+		return 0
+	}
 	if c == '\n' {
 		p.line++
 	}
@@ -62,6 +144,9 @@ func (p *parser) skipComment() error {
 		switch p.advance() {
 		case '(':
 			depth++
+			if depth > p.lim.MaxCommentDepth {
+				return p.errf("comments nested deeper than %d", p.lim.MaxCommentDepth)
+			}
 		case ')':
 			depth--
 			if depth == 0 {
@@ -106,20 +191,31 @@ func (p *parser) skipBlanks() error {
 // skipIntSep consumes separators allowed between integers (anything
 // that is not a digit, '-', ';' or '('; comments also allowed).
 func (p *parser) skipIntSep() error {
+	_, err := p.skipIntSepJunk()
+	return err
+}
+
+// skipIntSepJunk is skipIntSep, also reporting whether any consumed
+// separator could have started a token (letters): legal between two
+// integers, junk if no integer follows.
+func (p *parser) skipIntSepJunk() (junk bool, err error) {
 	for !p.eof() {
 		c := p.peek()
 		if c == '(' {
 			if err := p.skipComment(); err != nil {
-				return err
+				return junk, err
 			}
 			continue
 		}
 		if (c >= '0' && c <= '9') || c == '-' || c == ';' {
-			return nil
+			return junk, nil
+		}
+		if isTokenStart(c) {
+			junk = true
 		}
 		p.advance()
 	}
-	return nil
+	return junk, nil
 }
 
 // integer reads one (possibly negative) integer.
@@ -141,10 +237,10 @@ func (p *parser) integer() (int, error) {
 	}
 	n := 0
 	for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
-		n = n*10 + int(p.advance()-'0')
-		if n < 0 {
+		if n > (math.MaxInt-9)/10 {
 			return 0, p.errf("integer overflow")
 		}
+		n = n*10 + int(p.advance()-'0')
 	}
 	if neg {
 		n = -n
@@ -165,22 +261,42 @@ func (p *parser) point() (geom.Point, error) {
 	return geom.Pt(x, y), nil
 }
 
-// peekInt reports whether the next token is an integer (after
-// separators), without consuming it.
-func (p *parser) peekInt() bool {
-	save, saveLine := p.pos, p.line
-	defer func() { p.pos, p.line = save, saveLine }()
-	if err := p.skipIntSep(); err != nil {
-		return false
+// peekInt consumes inter-integer separators, then reports whether the
+// next character starts an integer. The separators are gone either
+// way — the grammar treats them as blanks, so every continuation
+// (another integer, or the command's ';') tolerates their absence.
+// Letters consumed as separators are only legal when an integer does
+// follow; otherwise they were junk before the terminator and the
+// command is malformed.
+func (p *parser) peekInt() (bool, error) {
+	junk, err := p.skipIntSepJunk()
+	if err != nil {
+		return false, err
 	}
 	c := p.peek()
-	return (c >= '0' && c <= '9') || c == '-'
+	if (c >= '0' && c <= '9') || c == '-' {
+		return true, nil
+	}
+	if junk {
+		return false, p.errf("expected ';'")
+	}
+	return false, nil
 }
 
 // path reads one or more points up to the terminating semicolon.
 func (p *parser) path() ([]geom.Point, error) {
 	var pts []geom.Point
-	for p.peekInt() {
+	for {
+		more, err := p.peekInt()
+		if err != nil {
+			return nil, err
+		}
+		if !more {
+			break
+		}
+		if len(pts) >= p.lim.MaxPathPoints {
+			return nil, p.errf("path longer than %d points", p.lim.MaxPathPoints)
+		}
 		pt, err := p.point()
 		if err != nil {
 			return nil, err
@@ -203,6 +319,9 @@ func (p *parser) shortname() (string, error) {
 	for !p.eof() {
 		c := p.peek()
 		if (c >= 'A' && c <= 'Z') || (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') {
+			if b.Len() >= 4 {
+				return "", p.errf("short name %s%c... exceeds four characters", b.String(), c)
+			}
 			if c >= 'a' && c <= 'z' {
 				c -= 'a' - 'A'
 			}
@@ -212,8 +331,8 @@ func (p *parser) shortname() (string, error) {
 		}
 		break
 	}
-	if b.Len() == 0 || b.Len() > 4 {
-		return "", p.errf("bad short name %q", b.String())
+	if b.Len() == 0 {
+		return "", p.errf("expected a short name")
 	}
 	if c := b.String()[0]; c >= '0' && c <= '9' {
 		return "", p.errf("short name %q must begin with a letter", b.String())
@@ -236,14 +355,16 @@ func (p *parser) semicolon() error {
 // restOfCommand reads raw user-extension text up to the terminating
 // semicolon (which is consumed).
 func (p *parser) restOfCommand() (string, error) {
-	start := p.pos
+	var b strings.Builder
 	for !p.eof() {
 		if p.peek() == ';' {
-			text := p.data[start:p.pos]
 			p.advance()
-			return strings.TrimSpace(text), nil
+			return strings.TrimSpace(b.String()), nil
 		}
-		p.advance()
+		if b.Len() >= p.lim.MaxUserExtBytes {
+			return "", p.errf("user extension longer than %d bytes", p.lim.MaxUserExtBytes)
+		}
+		b.WriteByte(p.advance())
 	}
 	return "", p.errf("unterminated user extension")
 }
@@ -313,18 +434,31 @@ func rotationFor(d geom.Point) (geom.Orient, error) {
 	return geom.R0, fmt.Errorf("non-Manhattan rotation direction %v", d)
 }
 
+// countElement charges one element or symbol against MaxElements.
+func (p *parser) countElement() error {
+	p.elems++
+	if p.elems > p.lim.MaxElements {
+		return p.errf("more than %d elements", p.lim.MaxElements)
+	}
+	return nil
+}
+
 // file parses the whole CIF file.
 func (p *parser) file() (*File, error) {
 	f := &File{}
 	var cur *Symbol // non-nil while inside DS..DF
 	layer := geom.LayerNone
 
-	addElement := func(e Element) {
+	addElement := func(e Element) error {
+		if err := p.countElement(); err != nil {
+			return err
+		}
 		if cur != nil {
 			cur.Elements = append(cur.Elements, e)
 		} else {
 			f.TopLevel = append(f.TopLevel, e)
 		}
+		return nil
 	}
 	needLayer := func() error {
 		if layer == geom.LayerNone {
@@ -353,7 +487,9 @@ func (p *parser) file() (*File, error) {
 			if err != nil {
 				return nil, err
 			}
-			addElement(Polygon{Layer: layer, Points: pts})
+			if err := addElement(Polygon{Layer: layer, Points: pts}); err != nil {
+				return nil, err
+			}
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -375,7 +511,9 @@ func (p *parser) file() (*File, error) {
 				return nil, err
 			}
 			dir := geom.Pt(1, 0)
-			if p.peekInt() {
+			if more, err := p.peekInt(); err != nil {
+				return nil, err
+			} else if more {
 				dir, err = p.point()
 				if err != nil {
 					return nil, err
@@ -384,7 +522,9 @@ func (p *parser) file() (*File, error) {
 					return nil, p.errf("non-Manhattan box direction %v", dir)
 				}
 			}
-			addElement(Box{Layer: layer, Length: length, Width: width, Center: center, Direction: dir})
+			if err := addElement(Box{Layer: layer, Length: length, Width: width, Center: center, Direction: dir}); err != nil {
+				return nil, err
+			}
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -401,7 +541,9 @@ func (p *parser) file() (*File, error) {
 			if err != nil {
 				return nil, err
 			}
-			addElement(RoundFlash{Layer: layer, Diameter: diam, Center: center})
+			if err := addElement(RoundFlash{Layer: layer, Diameter: diam, Center: center}); err != nil {
+				return nil, err
+			}
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -418,7 +560,9 @@ func (p *parser) file() (*File, error) {
 			if err != nil {
 				return nil, err
 			}
-			addElement(Wire{Layer: layer, Width: width, Points: pts})
+			if err := addElement(Wire{Layer: layer, Width: width, Points: pts}); err != nil {
+				return nil, err
+			}
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -448,7 +592,9 @@ func (p *parser) file() (*File, error) {
 					return nil, err
 				}
 				a, b := 1, 1
-				if p.peekInt() {
+				if more, err := p.peekInt(); err != nil {
+					return nil, err
+				} else if more {
 					a, err = p.integer()
 					if err != nil {
 						return nil, err
@@ -463,6 +609,9 @@ func (p *parser) file() (*File, error) {
 				}
 				if f.SymbolByID(id) != nil {
 					return nil, p.errf("symbol %d redefined", id)
+				}
+				if err := p.countElement(); err != nil {
+					return nil, err
 				}
 				cur = &Symbol{ID: id, A: a, B: b}
 			case 'F', 'f':
@@ -499,7 +648,9 @@ func (p *parser) file() (*File, error) {
 			if err != nil {
 				return nil, err
 			}
-			addElement(Call{SymbolID: id, Transform: tr})
+			if err := addElement(Call{SymbolID: id, Transform: tr}); err != nil {
+				return nil, err
+			}
 			if err := p.semicolon(); err != nil {
 				return nil, err
 			}
@@ -514,6 +665,9 @@ func (p *parser) file() (*File, error) {
 			// user extension: collect full digit string
 			digit := int(c - '0')
 			for !p.eof() && p.peek() >= '0' && p.peek() <= '9' {
+				if digit > (math.MaxInt-9)/10 {
+					return nil, p.errf("user extension number overflow")
+				}
 				digit = digit*10 + int(p.advance()-'0')
 			}
 			text, err := p.restOfCommand()
@@ -523,7 +677,9 @@ func (p *parser) file() (*File, error) {
 			switch digit {
 			case 9: // symbol name
 				if cur == nil {
-					addElement(UserExt{Digit: 9, Text: text})
+					if err := addElement(UserExt{Digit: 9, Text: text}); err != nil {
+						return nil, err
+					}
 					continue
 				}
 				cur.Name = firstField(text)
@@ -532,9 +688,13 @@ func (p *parser) file() (*File, error) {
 				if err != nil {
 					return nil, p.errf("%v", err)
 				}
-				addElement(conn)
+				if err := addElement(conn); err != nil {
+					return nil, err
+				}
 			default:
-				addElement(UserExt{Digit: digit, Text: text})
+				if err := addElement(UserExt{Digit: digit, Text: text}); err != nil {
+					return nil, err
+				}
 			}
 
 		default:

@@ -1,6 +1,7 @@
 package flatten
 
 import (
+	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/geom"
 )
@@ -83,8 +84,13 @@ type Cache struct {
 	spans  map[*core.Instance]span
 	conns  map[*core.Instance]cachedConns
 
+	// optional persistent second level (AttachDisk): shards missing
+	// in memory are looked up by content signature before re-walking
+	disk   *castore.Store
+	signer *castore.Signer
+
 	// last run's shard accounting, for Stats
-	lastReused, lastReflattened int
+	lastReused, lastReflattened, lastDiskLoaded int
 }
 
 // Stats reports, for the most recent Flatten call, how many instance
@@ -143,13 +149,19 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 
 	shards := make([]*shard, len(c.Instances))
 	reused := make([]bool, len(c.Instances))
-	ca.lastReused, ca.lastReflattened = 0, 0
+	ca.lastReused, ca.lastReflattened, ca.lastDiskLoaded = 0, 0, 0
 	for i, in := range c.Instances {
 		key := keyOf(in)
 		if ent, ok := ca.shards[in]; ok && ent.key == key {
 			shards[i] = ent.sh
 			reused[i] = true
 			ca.lastReused++
+			continue
+		}
+		if sh := ca.diskLoad(in); sh != nil {
+			shards[i] = sh
+			ca.shards[in] = cachedShard{key: key, sh: sh}
+			ca.lastDiskLoaded++
 			continue
 		}
 		sh, err := flattenInstance(in)
@@ -160,6 +172,7 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		shards[i] = sh
 		ca.shards[in] = cachedShard{key: key, sh: sh}
 		ca.lastReflattened++
+		ca.diskStore(in, sh)
 	}
 
 	// splice the shards in instance order, renumbering occurrence ids
@@ -271,9 +284,15 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 // placement keys cannot see such changes.
 func (ca *Cache) Reset() { ca.reset() }
 
-// reset drops all cached state.
+// reset drops all cached state, including the signer's leaf memo: a
+// reset can mean Editor.Invalidate, after which pointer-keyed
+// signatures are no longer trustworthy. Disk entries stay — their
+// content keys re-derive from the fresh signatures.
 func (ca *Cache) reset() {
 	ca.cell, ca.shards, ca.last, ca.spans, ca.conns = nil, nil, nil, nil, nil
+	if ca.signer != nil {
+		ca.signer.Reset()
+	}
 }
 
 // flattenInstance walks one instance into a fresh shard with

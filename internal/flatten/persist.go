@@ -1,0 +1,231 @@
+package flatten
+
+import (
+	"fmt"
+
+	"riot/internal/castore"
+	"riot/internal/core"
+	"riot/internal/geom"
+	"riot/internal/rules"
+	"riot/internal/sticks"
+)
+
+// On-disk shard persistence. A Cache optionally carries a castore
+// handle; per-instance shards are then keyed by the instance's content
+// signature (cell geometry + placement + replication, see
+// castore.Signer) so a fresh process recognizes yesterday's instances
+// and splices their shards without re-walking the hierarchy. Shapes,
+// devices, joins, boxes and labels round-trip through the payload;
+// srcCells — occurrence identity, pointers by design — are
+// reconstructed by replaying the builder's walk order over the live
+// cell graph, which is cheap (no geometry) and exact (the walk order
+// is the contract flatten already guarantees).
+
+const nsShard = "flatshard"
+
+// shardFingerprint is the payload schema identity: the encoding
+// version plus every process constant flattened geometry depends on
+// (wire widths and contact pads come from the rule table).
+func shardFingerprint() uint64 {
+	return castore.Fingerprint(
+		"flatten-shard", "enc-v1",
+		fmt.Sprintf("lambda=%d contact=%d", rules.Lambda, rules.ContactSize),
+		fmt.Sprintf("w=%d,%d,%d", rules.MinWidth(geom.ND), rules.MinWidth(geom.NP), rules.MinWidth(geom.NM)),
+	)
+}
+
+// AttachDisk connects the cache to a persistent store. A nil store
+// detaches. The in-memory cache keeps working exactly as before; the
+// store only adds a second-level lookup on shard misses and a
+// write-behind on shard builds.
+func (ca *Cache) AttachDisk(st *castore.Store, sg *castore.Signer) {
+	ca.disk, ca.signer = st, sg
+}
+
+// DiskStats reports, for the most recent Flatten call, how many shards
+// loaded from the persistent store (they count as reflattened in
+// Stats, since they were not in-memory reuses).
+func (ca *Cache) DiskStats() (loaded int) { return ca.lastDiskLoaded }
+
+// diskLoad fetches and validates the instance's shard from the store.
+// Any failure — no entry, undecodable payload, a payload whose
+// occurrence structure does not match the live instance — reports a
+// miss (with the bad entry discarded), never a wrong shard.
+func (ca *Cache) diskLoad(in *core.Instance) *shard {
+	if ca.disk == nil || ca.signer == nil {
+		return nil
+	}
+	key, err := ca.signer.Instance(in)
+	if err != nil {
+		return nil
+	}
+	payload, ok := ca.disk.Get(nsShard, key, shardFingerprint())
+	if !ok {
+		return nil
+	}
+	sh, err := decodeShard(payload)
+	if err != nil {
+		ca.disk.Discard(nsShard, key, err.Error())
+		return nil
+	}
+	// occurrence identity: replay the builder's walk order (instances
+	// in declaration order, copies x-major, recursion) over the live
+	// cells
+	cells := occCells(in.Cell, nil)
+	n := in.Nx * in.Ny
+	if len(cells)*n != sh.srcN {
+		ca.disk.Discard(nsShard, key, fmt.Sprintf("occurrence count %d, walk yields %d", sh.srcN, len(cells)*n))
+		return nil
+	}
+	sh.srcCells = make([]*core.Cell, 0, sh.srcN)
+	for k := 0; k < n; k++ {
+		sh.srcCells = append(sh.srcCells, cells...)
+	}
+	return sh
+}
+
+// diskStore persists a freshly built shard (best-effort: the store
+// logs and counts failures).
+func (ca *Cache) diskStore(in *core.Instance, sh *shard) {
+	if ca.disk == nil || ca.signer == nil {
+		return
+	}
+	key, err := ca.signer.Instance(in)
+	if err != nil {
+		return
+	}
+	ca.disk.Put(nsShard, key, shardFingerprint(), encodeShard(sh))
+}
+
+// occCells lists the leaf cells one walk of c enters, in the builder's
+// order.
+func occCells(c *core.Cell, out []*core.Cell) []*core.Cell {
+	if c.Kind == core.Composition {
+		for _, in := range c.Instances {
+			for k := 0; k < in.Nx*in.Ny; k++ {
+				out = occCells(in.Cell, out)
+			}
+		}
+		return out
+	}
+	return append(out, c)
+}
+
+func encodeShard(sh *shard) []byte {
+	var e castore.Enc
+	e.Int(sh.srcN)
+	e.Int(len(sh.shapes))
+	for _, s := range sh.shapes {
+		e.Str(string(s.Layer))
+		encRect(&e, s.R)
+		e.Int(s.Src)
+	}
+	e.Int(len(sh.devices))
+	for _, d := range sh.devices {
+		e.U8(uint8(d.Kind))
+		encRect(&e, d.Gate)
+		encRect(&e, d.Channel)
+		encPoint(&e, d.ProbeA)
+		encPoint(&e, d.ProbeB)
+		encPoint(&e, d.ProbeG)
+		e.Int(d.Src)
+	}
+	e.Int(len(sh.joins))
+	for _, j := range sh.joins {
+		encPoint(&e, j.At[0])
+		encPoint(&e, j.At[1])
+		e.Str(string(j.Layers[0]))
+		e.Str(string(j.Layers[1]))
+	}
+	e.Int(len(sh.srcBoxes))
+	for _, r := range sh.srcBoxes {
+		encRect(&e, r)
+	}
+	e.Int(len(sh.labels))
+	for _, l := range sh.labels {
+		e.Str(l.Name)
+		encPoint(&e, l.At)
+		e.Str(string(l.Layer))
+	}
+	return e.Bytes()
+}
+
+func decodeShard(payload []byte) (*shard, error) {
+	d := castore.NewDec(payload)
+	sh := &shard{srcN: d.Int()}
+	if n := d.Len(8); n > 0 {
+		sh.shapes = make([]Shape, n)
+		for i := range sh.shapes {
+			sh.shapes[i] = Shape{Layer: geom.Layer(d.Str()), R: decRect(d), Src: d.Int()}
+		}
+	}
+	if n := d.Len(8); n > 0 {
+		sh.devices = make([]Device, n)
+		for i := range sh.devices {
+			sh.devices[i] = Device{
+				Kind:    decodeDeviceKind(d),
+				Gate:    decRect(d),
+				Channel: decRect(d),
+				ProbeA:  decPoint(d),
+				ProbeB:  decPoint(d),
+				ProbeG:  decPoint(d),
+				Src:     d.Int(),
+			}
+		}
+	}
+	if n := d.Len(8); n > 0 {
+		sh.joins = make([]Join, n)
+		for i := range sh.joins {
+			sh.joins[i] = Join{
+				At:     [2]geom.Point{decPoint(d), decPoint(d)},
+				Layers: [2]geom.Layer{geom.Layer(d.Str()), geom.Layer(d.Str())},
+			}
+		}
+	}
+	if n := d.Len(8); n > 0 {
+		sh.srcBoxes = make([]geom.Rect, n)
+		for i := range sh.srcBoxes {
+			sh.srcBoxes[i] = decRect(d)
+		}
+	}
+	if n := d.Len(8); n > 0 {
+		sh.labels = make([]NamedLabel, n)
+		for i := range sh.labels {
+			sh.labels[i] = NamedLabel{Name: d.Str(), Label: Label{At: decPoint(d), Layer: geom.Layer(d.Str())}}
+		}
+	}
+	if err := d.Done(); err != nil {
+		return nil, err
+	}
+	if sh.srcN < 0 || len(sh.srcBoxes) != sh.srcN {
+		return nil, fmt.Errorf("castore: decode: shard has %d boxes for %d occurrences", len(sh.srcBoxes), sh.srcN)
+	}
+	for _, s := range sh.shapes {
+		if s.Src < 0 || s.Src >= sh.srcN {
+			return nil, fmt.Errorf("castore: decode: shape occurrence %d out of %d", s.Src, sh.srcN)
+		}
+	}
+	for _, dev := range sh.devices {
+		if dev.Src < 0 || dev.Src >= sh.srcN {
+			return nil, fmt.Errorf("castore: decode: device occurrence %d out of %d", dev.Src, sh.srcN)
+		}
+	}
+	return sh, nil
+}
+
+func decodeDeviceKind(d *castore.Dec) sticks.DeviceKind { return sticks.DeviceKind(d.U8()) }
+
+func encPoint(e *castore.Enc, p geom.Point) { e.Int(p.X); e.Int(p.Y) }
+
+func decPoint(d *castore.Dec) geom.Point { return geom.Pt(d.Int(), d.Int()) }
+
+func encRect(e *castore.Enc, r geom.Rect) {
+	e.Int(r.Min.X)
+	e.Int(r.Min.Y)
+	e.Int(r.Max.X)
+	e.Int(r.Max.Y)
+}
+
+func decRect(d *castore.Dec) geom.Rect {
+	return geom.Rect{Min: decPoint(d), Max: decPoint(d)}
+}

@@ -3,6 +3,7 @@ package lvs
 import (
 	"strconv"
 
+	"riot/internal/castore"
 	"riot/internal/extract"
 	"riot/internal/flatten"
 )
@@ -95,8 +96,9 @@ type CertStats struct {
 
 // CertStoreStats is the cumulative store accounting (LVS -stats).
 type CertStoreStats struct {
-	Matched int // one-time sub-cell matches performed
-	Hits    int // comparisons served by an already-recorded certificate
+	Matched  int // one-time sub-cell matches performed
+	Hits     int // comparisons served by an already-recorded certificate
+	DiskHits int // certificates loaded from the persistent store
 }
 
 // CertStore records sub-cell certificates across comparisons. The zero
@@ -106,6 +108,12 @@ type CertStoreStats struct {
 type CertStore struct {
 	certs map[uint64]*certificate
 	stats CertStoreStats
+
+	// optional persistent second level (AttachDisk): certificates
+	// missing in memory are looked up by content signature before the
+	// one-time match is performed
+	disk   *castore.Store
+	signer *castore.Signer
 }
 
 // Stats reports the store's cumulative accounting.
@@ -116,6 +124,16 @@ func (cs *CertStore) Stats() CertStoreStats { return cs.stats }
 func (cs *CertStore) get(rf *Reference, oc refOcc) *certificate {
 	if ct, ok := cs.certs[oc.sig]; ok {
 		cs.stats.Hits++
+		return ct
+	}
+	if ct := cs.diskLoad(oc); ct != nil {
+		// the persistent store already holds the cell's one-time match
+		// (from a previous process): adopt it, skipping the match
+		cs.stats.DiskHits++
+		if cs.certs == nil {
+			cs.certs = map[uint64]*certificate{}
+		}
+		cs.certs[oc.sig] = ct
 		return ct
 	}
 	cs.stats.Matched++
@@ -179,6 +197,9 @@ func (cs *CertStore) get(rf *Reference, oc refOcc) *certificate {
 		cs.certs = map[uint64]*certificate{}
 	}
 	cs.certs[oc.sig] = ct
+	if e.err == nil {
+		cs.diskStore(oc.cell, ct)
+	}
 	return ct
 }
 

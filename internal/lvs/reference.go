@@ -3,6 +3,7 @@ package lvs
 import (
 	"fmt"
 
+	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/extract"
 	"riot/internal/flatten"
@@ -109,6 +110,12 @@ type Reference struct {
 	memo  map[*core.Cell]*refEntry
 	conns map[*core.Instance]cachedConns
 	parts map[*core.Instance]cachedParts
+
+	// optional persistent second level (AttachDisk): leaf entries
+	// missing in memory are looked up by content signature before the
+	// leaf is extracted
+	disk   *castore.Store
+	signer *castore.Signer
 }
 
 // instKey is the placement snapshot instance-level caches are valid
@@ -383,7 +390,11 @@ func (rf *Reference) entry(c *core.Cell, minReach int) *refEntry {
 		e = rf.leafEntry(c, minReach)
 	}
 	e.sig = sig
-	e.reach = minReach
+	// a disk-loaded leaf entry may retain boundary material deeper than
+	// asked; record the depth it actually has (never less than asked)
+	if e.reach < minReach {
+		e.reach = minReach
+	}
 	if rf.memo == nil {
 		rf.memo = map[*core.Cell]*refEntry{}
 	}
@@ -424,8 +435,14 @@ func axisDepth(w0, w1, b0, b1 int) int {
 }
 
 // leafEntry extracts a leaf cell alone and packages its netlist,
-// ports and boundary material within reach of its bounding box.
+// ports and boundary material within reach of its bounding box. With a
+// persistent store attached, the extraction is skipped when the store
+// holds an entry for the same cell content at sufficient reach, and
+// fresh derivations are written back.
 func (rf *Reference) leafEntry(c *core.Cell, reach int) *refEntry {
+	if e := rf.diskLoadLeaf(c, reach); e != nil {
+		return e
+	}
 	fr, err := flatten.Cell(c, flatten.Options{})
 	if err != nil {
 		return &refEntry{err: fmt.Errorf("lvs: leaf %s: %w", c.Name, err)}
@@ -465,6 +482,8 @@ func (rf *Reference) leafEntry(c *core.Cell, reach int) *refEntry {
 		ident[n] = int32(n)
 	}
 	e.occs = []refOcc{{cell: c, sig: rf.sigOf(c), nets: ident}}
+	e.reach = reach
+	rf.diskStoreLeaf(c, e)
 	return e
 }
 

@@ -739,6 +739,11 @@ func cmdLVS(s *Shell, args []string) error {
 			cell.Name, st.Certified, st.Occurrences, st.Cells)
 		s.printf("%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
 			cell.Name, store.Hits, store.Matched)
+		if s.Cache != nil {
+			cst := s.Cache.Stats()
+			s.printf("%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",
+				cell.Name, store.DiskHits, s.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt)
+		}
 		if st.Fallback {
 			s.printf("%s: certified comparison fell back to the flat diagnosis\n", cell.Name)
 		}

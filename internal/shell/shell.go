@@ -23,6 +23,7 @@ import (
 	"strconv"
 	"strings"
 
+	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/lvs"
 	"riot/internal/replay"
@@ -46,6 +47,10 @@ type Shell struct {
 	// reference netlists, the last verdict); the layout side comes from
 	// the shared Verifier, so LVS after DRC re-extracts nothing.
 	LVS lvs.Incremental
+
+	// Cache is the persistent verification store attached with
+	// AttachCache, nil when the session runs on in-memory caches only.
+	Cache *castore.Store
 
 	// FS resolves READ and REPLAY file names; WriteFile stores WRITE
 	// and SAVEJOURNAL output. Both must be provided (tests use maps,
@@ -73,6 +78,24 @@ func New(out io.Writer) *Shell {
 
 // Quit reports whether the QUIT command has run.
 func (s *Shell) Quit() bool { return s.quit }
+
+// AttachCache opens (creating if needed) the persistent verification
+// store rooted at dir and wires it under the verifier's flatten cache
+// and both LVS memos, so flatten shards, leaf reference netlists and
+// sub-cell match certificates survive across processes. Corrupt,
+// truncated or version-skewed entries are quarantined and recomputed
+// cold (the store logs each through the shell output); verdicts are
+// identical to cache-free runs either way.
+func (s *Shell) AttachCache(dir string) error {
+	st, err := castore.Open(dir)
+	if err != nil {
+		return err
+	}
+	st.Log = func(format string, args ...any) { s.printf(format+"\n", args...) }
+	s.Cache = st
+	s.LVS.AttachDisk(st, &castore.Signer{}, &s.Verifier)
+	return nil
+}
 
 func (s *Shell) printf(format string, args ...any) {
 	if s.Out != nil {

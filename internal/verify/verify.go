@@ -22,6 +22,7 @@
 package verify
 
 import (
+	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/drc"
 	"riot/internal/extract"
@@ -83,6 +84,18 @@ type Verifier struct {
 
 // Stats reports the verifier's run accounting.
 func (v *Verifier) Stats() Stats { return v.stats }
+
+// AttachDisk connects the verifier's flatten cache to a persistent
+// content-addressed store: instance shards missing in memory (always,
+// in a fresh process) are loaded by content signature instead of
+// re-walked. A nil store detaches.
+func (v *Verifier) AttachDisk(st *castore.Store, sg *castore.Signer) {
+	v.cache.AttachDisk(st, sg)
+}
+
+// FlattenDiskStats reports, for the most recent run, how many instance
+// shards loaded from the persistent store.
+func (v *Verifier) FlattenDiskStats() (loaded int) { return v.cache.DiskStats() }
 
 // FlattenStats reports, for the most recent run, how many instance
 // shards the flatten cache reused vs re-flattened.
