@@ -19,11 +19,16 @@
 //	                          cell's extracted netlist against its
 //	                          declared composition
 //	riot -cache DIR           persist verification caches (flatten
-//	                          shards, leaf netlists, LVS certificates)
-//	                          under DIR across invocations; defaults
-//	                          to $RIOT_CACHE when set
+//	                          shards, leaf netlists, LVS and per-cell
+//	                          hierarchical certificates) under DIR
+//	                          across invocations; defaults to
+//	                          $RIOT_CACHE when set
 //	riot -stats               after -lvs, print certificate and
 //	                          persistent-store accounting
+//	riot -hier=false          verify with the flat engines only,
+//	                          bypassing the hierarchical per-cell
+//	                          certificate path (verdicts are identical;
+//	                          this is the slow reference mode)
 //
 // Exit status distinguishes why a run failed: 0 means every requested
 // check passed; 1 means the design failed verification (design-rule
@@ -70,6 +75,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	lvsCell := fl.String("lvs", "", "netlist-compare a cell after the script (exit 1 on mismatch)")
 	cacheDir := fl.String("cache", os.Getenv("RIOT_CACHE"), "persistent verification cache directory (default $RIOT_CACHE)")
 	stats := fl.Bool("stats", false, "print certificate and cache statistics after -lvs")
+	hier := fl.Bool("hier", true, "verify through hierarchical per-cell certificates (=false: flat engines only)")
 	if err := fl.Parse(args); err != nil {
 		return exitConfig
 	}
@@ -92,6 +98,10 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	s.Shell.WriteFile = func(name string, data []byte) error {
 		return os.WriteFile(name, data, 0o644)
 	}
+	s.Shell.CreateFile = func(name string) (io.WriteCloser, error) {
+		return os.Create(name)
+	}
+	s.Shell.Verifier.Hier = *hier
 	if *cacheDir != "" {
 		if err := s.AttachCache(*cacheDir); err != nil {
 			fmt.Fprintf(stderr, "riot: cache %s: %v\n", *cacheDir, err)
@@ -228,6 +238,7 @@ func printLVSStats(s *riot.Session, w io.Writer, cell string) {
 	store := s.Shell.LVS.Certs.Stats()
 	fmt.Fprintf(w, "%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
 		cell, store.Hits, store.Matched)
+	fmt.Fprintf(w, "%s: %s\n", cell, s.Shell.Verifier.HierStats())
 	if c := s.Shell.Cache; c != nil {
 		cst := c.Stats()
 		fmt.Fprintf(w, "%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",

@@ -9,11 +9,14 @@ import (
 	"riot/internal/geom"
 )
 
-// Write emits f as CIF 2.0 text. Symbols are written in definition
+// WriteTo emits f as CIF 2.0 text, streaming symbol by symbol —
+// nothing buffers more than one bufio block, so a full-chip mask file
+// never materializes in memory. Symbols are written in definition
 // order, followed by any top-level elements and the E command. The
 // output round-trips through Parse: parse(write(f)) yields a file with
-// the same symbols, names, connectors and geometry.
-func Write(w io.Writer, f *File) error {
+// the same symbols, names, connectors and geometry. WriteTo implements
+// io.WriterTo.
+func (f *File) WriteTo(w io.Writer) (int64, error) {
 	bw := bufio.NewWriter(w)
 	ew := &errWriter{w: bw}
 	ew.printf("(CIF 2.0 written by riot);\n")
@@ -26,20 +29,27 @@ func Write(w io.Writer, f *File) error {
 	}
 	ew.printf("E\n")
 	if ew.err != nil {
-		return ew.err
+		return ew.n, ew.err
 	}
-	return bw.Flush()
+	return ew.n, bw.Flush()
 }
 
-// String renders the file as CIF text.
+// Write emits f as CIF 2.0 text to w (see File.WriteTo).
+func Write(w io.Writer, f *File) error {
+	_, err := f.WriteTo(w)
+	return err
+}
+
+// String renders the file as CIF text (a buffered WriteTo).
 func String(f *File) string {
 	var b strings.Builder
-	_ = Write(&b, f)
+	_, _ = f.WriteTo(&b)
 	return b.String()
 }
 
 type errWriter struct {
 	w   io.Writer
+	n   int64
 	err error
 }
 
@@ -47,7 +57,9 @@ func (e *errWriter) printf(format string, args ...any) {
 	if e.err != nil {
 		return
 	}
-	_, e.err = fmt.Fprintf(e.w, format, args...)
+	var n int
+	n, e.err = fmt.Fprintf(e.w, format, args...)
+	e.n += int64(n)
 }
 
 func writeSymbol(w *errWriter, s *Symbol) {

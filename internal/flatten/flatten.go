@@ -150,8 +150,18 @@ type Options struct {
 // connectors and, for composition cells, every instance connector
 // ("inst.CONN").
 func Cell(c *core.Cell, opt Options) (*Result, error) {
+	return CellAt(c, geom.Identity, opt)
+}
+
+// CellAt flattens a cell hierarchy under an explicit placement
+// transform: every shape, device, join and label lands in the
+// transformed frame. The hierarchical certificate engine flattens each
+// distinct cell once per orientation with CellAt (orientation changes
+// fragment emission order, so a rotated placement cannot reuse an
+// identity-orientation flatten by transforming its output).
+func CellAt(c *core.Cell, tr geom.Transform, opt Options) (*Result, error) {
 	b := &builder{sequential: opt.Sequential}
-	if err := b.cell(c, geom.Identity); err != nil {
+	if err := b.cell(c, tr); err != nil {
 		return nil, err
 	}
 	res := &Result{
@@ -162,11 +172,14 @@ func Cell(c *core.Cell, opt Options) (*Result, error) {
 		SrcCells: b.srcCells,
 	}
 	for _, cn := range c.Connectors() {
-		res.Labels = append(res.Labels, NamedLabel{cn.Name, Label{cn.At, cn.Layer}})
+		res.Labels = append(res.Labels, NamedLabel{cn.Name, Label{tr.Apply(cn.At), cn.Layer}})
 	}
 	if c.Kind == core.Composition {
 		for _, in := range c.Instances {
-			res.Labels = append(res.Labels, instanceLabels(in)...)
+			for _, nl := range instanceLabels(in) {
+				nl.At = tr.Apply(nl.At)
+				res.Labels = append(res.Labels, nl)
+			}
 		}
 	}
 	return res, nil

@@ -1,0 +1,81 @@
+package hier
+
+import (
+	"fmt"
+	"testing"
+
+	"riot/internal/drc"
+	"riot/internal/extract"
+	"riot/internal/geom"
+)
+
+// BenchmarkHierVerifyScale measures the hierarchical verdict (extract
+// + DRC through Engine.Verify) over growing SRCELL arrays. Certificate
+// and template memos are warm — the steady editing-loop state — so the
+// measured quantity is one whole-design re-verification. The fast path
+// makes the cost size-independent: 256x256 should time within 2x of
+// 64x64. Sizes below the fast threshold exercise the general
+// O(placements) composition.
+func BenchmarkHierVerifyScale(b *testing.B) {
+	for _, n := range []int{16, 32, 64, 128, 256} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			top := srArray(b, n, n, geom.R0)
+			e := New()
+			if _, ok := e.Verify(top); !ok {
+				b.Fatalf("engine declined: %v", e.LastDecline())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, ok := e.Verify(top); !ok {
+					b.Fatal("engine declined")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkHierGeneralCompose measures the exact general composition
+// (no sampling shortcut) by materializing the circuit, which runs the
+// per-placement path even on uniform arrays — the cost bound for
+// irregular designs with the same number of placements.
+func BenchmarkHierGeneralCompose(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			top := srArray(b, n, n, geom.R0)
+			e := New()
+			if _, ok := e.Verify(top); !ok {
+				b.Fatalf("engine declined: %v", e.LastDecline())
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				res, ok := e.Verify(top)
+				if !ok {
+					b.Fatal("engine declined")
+				}
+				if _, err := res.Circuit(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFlatVerifyScale is the flat reference for the same arrays,
+// timeable only at the small end — the quadratic flattened-geometry
+// cost is exactly what the hierarchical engine removes.
+func BenchmarkFlatVerifyScale(b *testing.B) {
+	for _, n := range []int{16, 32, 64} {
+		b.Run(fmt.Sprintf("%dx%d", n, n), func(b *testing.B) {
+			top := srArray(b, n, n, geom.R0)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := extract.FromCell(top); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := drc.CheckCell(top); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,324 @@
+// Package hier is the hierarchical verification engine: it extracts
+// and design-rule-checks each DISTINCT cell once — per orientation —
+// into certificates (extract.CellCert, drc.CellDRC), then composes
+// placements of those certificates into the whole-design verdict.
+// Work scales with the number of distinct cells plus the number of
+// placements, not with flattened geometry; for uniform arrays a
+// sampling fast path drops even the per-placement term.
+//
+// The engine's contract is verdict identity: the composed circuit
+// (after the same canonical dense net renumbering) and the composed
+// violation set equal the flat extractor's and flat checker's output
+// exactly, or the engine declines and the caller falls back to the
+// flat path. The composition rules and the arguments for their
+// exactness:
+//
+//   - Translation preserves the flat solver's orders (fragment
+//     emission, gate-subtraction piece order, locator tie-breaks), so
+//     a placement contributes its certificate's fragments verbatim.
+//     Orientation does not — certificates are per (cell, orientation).
+//   - Cross-placement connectivity is same-layer fragment touching,
+//     a pure function of the pair's relative placement: computed once
+//     per (certU, certV, delta) template and replayed per pair.
+//   - Contact joins whose resolution depends on context (LayerNone
+//     sides, locally-unresolved sides) re-resolve against the placed
+//     design: the flat "lowest global fragment" pick distributes over
+//     occurrence order because the flat fragment list is
+//     occurrence-major.
+//   - Width residues have bounded locality: outside every
+//     cross-placement interaction window the flat residues equal the
+//     translated local ones; inside a window they recompute from all
+//     occupants' material. Spacing measures only cross-placement
+//     untrusted candidate pairs against a composed touch partition.
+//     Contact surround is monotone in added metal, so only locally
+//     dirty cuts re-derive.
+//   - A placement whose transistor gates overlap another placement's
+//     diffusion (or vice versa) would change fragmentation itself;
+//     the engine declines ("poison") and the flat path decides.
+//
+// Certificates persist in the content-addressed store under the
+// "hiercert" namespace, so a warm restart re-extracts zero certified
+// cells.
+package hier
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"riot/internal/castore"
+	"riot/internal/core"
+	"riot/internal/drc"
+	"riot/internal/extract"
+	"riot/internal/flatten"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// Engine holds the certificate and template memos. Not safe for
+// concurrent use (one engine per verifier, like the other caches).
+type Engine struct {
+	memo   map[certKey]*Cert
+	tmpl   map[tmplKey]*template
+	disk   *castore.Store
+	signer *castore.Signer
+	stats  Stats
+	// certSeq numbers certificates as they enter the memo; window memo
+	// keys use the small ids instead of pointers.
+	certSeq int
+	// winMemo caches width-window residue pieces by the window's
+	// translation-invariant signature (layer, window rectangle and
+	// occupant pattern relative to the pair's first occurrence) — a
+	// lattice repeats a handful of patterns across thousands of pairs.
+	winMemo map[string][]geom.Rect
+	// lastDecline records why the most recent Verify declined (nil when
+	// it succeeded): fallback diagnostics for -stats and tests.
+	lastDecline error
+}
+
+// LastDecline reports why the most recent Verify declined, or nil.
+func (e *Engine) LastDecline() error { return e.lastDecline }
+
+// Stats counts engine work for the -stats reports and the
+// warm-restart tests.
+type Stats struct {
+	// Runs counts Verify calls; FastRuns those answered by the array
+	// sampling path; Fallbacks those declined to the flat engines.
+	Runs, FastRuns, Fallbacks int
+	// CertBuilt counts cold per-cell extract+DRC certificate builds;
+	// CertMemoHits and CertDiskHits count reuse; CertStored counts
+	// persisted certificates.
+	CertBuilt, CertMemoHits, CertDiskHits, CertStored int
+	// TemplateBuilt / TemplateHits count pair-interaction templates.
+	TemplateBuilt, TemplateHits int
+}
+
+// Cert pairs one distinct (cell, orientation)'s extraction and DRC
+// certificates.
+type Cert struct {
+	Cell   *core.Cell
+	Orient geom.Orient
+	X      *extract.CellCert
+	D      *drc.CellDRC
+
+	id int // engine-local sequence number for memo keys
+}
+
+type certKey struct {
+	cell *core.Cell
+	o    geom.Orient
+}
+
+// errDecline marks conditions the engine hands to the flat path.
+var (
+	errPend   = errors.New("hier: device terminal needs flat context")
+	errPoison = errors.New("hier: cross-placement gate/diffusion overlap")
+)
+
+// New returns an empty engine.
+func New() *Engine {
+	return &Engine{
+		memo:    map[certKey]*Cert{},
+		tmpl:    map[tmplKey]*template{},
+		winMemo: map[string][]geom.Rect{},
+	}
+}
+
+// AttachDisk connects the engine to a content-addressed store:
+// certificates load from and persist to the "hiercert" namespace.
+func (e *Engine) AttachDisk(st *castore.Store, sg *castore.Signer) {
+	e.disk, e.signer = st, sg
+}
+
+// Stats returns the engine's counters.
+func (e *Engine) Stats() Stats { return e.stats }
+
+// ResetMemo drops the in-memory certificate and template memos (tests
+// use it to simulate a cold process against a warm disk store).
+func (e *Engine) ResetMemo() {
+	e.memo = map[certKey]*Cert{}
+	e.tmpl = map[tmplKey]*template{}
+	e.winMemo = map[string][]geom.Rect{}
+}
+
+// Verify runs the hierarchical verdict for a composition top. ok is
+// false when the engine declines (non-composition top, certificate
+// build failure, pending device terminals, fragmentation poison) —
+// the caller must fall back to the flat engines, which reproduce
+// whatever verdict or error the design deserves.
+func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
+	e.stats.Runs++
+	e.lastDecline = nil
+	if top == nil || top.Kind != core.Composition {
+		e.stats.Fallbacks++
+		e.lastDecline = errors.New("hier: top is not a composition")
+		return nil, false
+	}
+	if r, ok, err := e.fast(top); err != nil {
+		e.stats.Fallbacks++
+		e.lastDecline = err
+		return nil, false
+	} else if ok {
+		e.stats.FastRuns++
+		return r, true
+	}
+	st, err := e.generalTop(top)
+	if err != nil {
+		e.stats.Fallbacks++
+		e.lastDecline = err
+		return nil, false
+	}
+	return &Result{
+		NetCount:    st.netCount,
+		DeviceCount: st.deviceCount(),
+		Violations:  st.violations,
+		e:           e,
+		top:         top,
+		gen:         st,
+	}, true
+}
+
+// Result is one hierarchical verdict. NetCount, DeviceCount and
+// Violations are exact (fast-path results verify their extrapolation
+// before claiming exactness); Circuit materializes the full netlist
+// on demand.
+type Result struct {
+	NetCount    int
+	DeviceCount int
+	Violations  []drc.Violation
+
+	e   *Engine
+	top *core.Cell
+	gen *genState // nil on the fast path until Circuit materializes
+	ckt *extract.Circuit
+}
+
+// cert returns the certificate for one distinct (cell, orientation),
+// building it at most once per engine (and at most once per disk
+// store across processes).
+func (e *Engine) cert(c *core.Cell, o geom.Orient) (*Cert, error) {
+	k := certKey{c, o}
+	if ct, ok := e.memo[k]; ok {
+		e.stats.CertMemoHits++
+		return ct, nil
+	}
+	if ct := e.diskLoad(c, o); ct != nil {
+		e.stats.CertDiskHits++
+		e.certSeq++
+		ct.id = e.certSeq
+		e.memo[k] = ct
+		return ct, nil
+	}
+	fr, err := flatten.CellAt(c, geom.Transform{O: o}, flatten.Options{Sequential: true})
+	if err != nil {
+		return nil, err
+	}
+	x, err := extract.CellSolve(fr)
+	if err != nil {
+		return nil, err
+	}
+	ct := &Cert{Cell: c, Orient: o, X: x, D: drc.CellCheck(fr)}
+	e.stats.CertBuilt++
+	e.certSeq++
+	ct.id = e.certSeq
+	e.memo[k] = ct
+	e.diskStore(ct)
+	return ct, nil
+}
+
+// placed is one leaf occurrence: a certificate at a translation. The
+// walk visits leaves in flatten order, so occurrence ids, and with
+// them the composed net numbering, match the flat walk's.
+type placed struct {
+	cert    *Cert
+	d       geom.Point // local -> global translation
+	box     geom.Rect  // placed declared bounding box (trust frame)
+	mat     geom.Rect  // placed material bounding box
+	netBase int32
+}
+
+// walk collects the design's leaf occurrences in flatten order.
+func (e *Engine) walk(c *core.Cell, tr geom.Transform, occs []placed) ([]placed, error) {
+	if c.Kind != core.Composition {
+		ct, err := e.cert(c, tr.O)
+		if err != nil {
+			return nil, err
+		}
+		return append(occs, placedAt(ct, tr.D)), nil
+	}
+	var err error
+	for _, in := range c.Instances {
+		for i := 0; i < in.Nx; i++ {
+			for j := 0; j < in.Ny; j++ {
+				occs, err = e.walk(in.Cell, in.CopyTransform(i, j).Then(tr), occs)
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return occs, nil
+}
+
+func placedAt(ct *Cert, d geom.Point) placed {
+	return placed{
+		cert: ct,
+		d:    d,
+		box:  ct.X.Box.Translate(d),
+		mat:  ct.X.MatBox.Translate(d),
+	}
+}
+
+// generalTop runs the exact O(placements) composition for a top cell.
+func (e *Engine) generalTop(top *core.Cell) (*genState, error) {
+	occs, err := e.walk(top, geom.Identity, nil)
+	if err != nil {
+		return nil, err
+	}
+	return e.compose(occs)
+}
+
+// layersOf returns the union of the occurrences' checked layers in
+// deterministic (sorted) order.
+func layersOf(occs []placed) []geom.Layer {
+	seen := map[geom.Layer]bool{}
+	var out []geom.Layer
+	for i := range occs {
+		for _, l := range occs[i].cert.D.Layers {
+			if !seen[l] {
+				seen[l] = true
+				out = append(out, l)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// rhoOf is the width-interaction radius of a layer: residues depend on
+// material within the opening square's reach, bounded by twice the
+// minimum width.
+func rhoOf(l geom.Layer) int { return 2 * rules.Of(l).MinWidth * rules.Lambda }
+
+// pairReach bounds the distance at which two placements can interact
+// at all: width windows (rho), spacing halos, and touching material.
+func pairReach(layers []geom.Layer) int {
+	reach := rules.Lambda
+	for _, l := range layers {
+		if r := rhoOf(l); r > reach {
+			reach = r
+		}
+		if s := rules.Of(l).MinSpacing * rules.Lambda; s > reach {
+			reach = s
+		}
+	}
+	return reach
+}
+
+// String renders engine statistics for -stats reports.
+func (s Stats) String() string {
+	return fmt.Sprintf("hier: %d run(s), %d fast, %d fallback(s); certs %d built, %d memo, %d disk, %d stored; templates %d built, %d hits",
+		s.Runs, s.FastRuns, s.Fallbacks,
+		s.CertBuilt, s.CertMemoHits, s.CertDiskHits, s.CertStored,
+		s.TemplateBuilt, s.TemplateHits)
+}

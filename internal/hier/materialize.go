@@ -1,0 +1,88 @@
+package hier
+
+import (
+	"sort"
+
+	"riot/internal/extract"
+	"riot/internal/flatten"
+	"riot/internal/geom"
+)
+
+// Circuit materializes the full netlist for a verdict: every
+// occurrence's devices renumbered into the composed dense net space,
+// plus the label map resolved in flat order. Fast-path verdicts run
+// the exact general composition on demand first — materialization is
+// O(placed copies), which is exactly the cost the fast path exists to
+// avoid, so it only happens when a caller actually needs the netlist.
+func (r *Result) Circuit() (*extract.Circuit, error) {
+	if r.ckt != nil {
+		return r.ckt, nil
+	}
+	st := r.gen
+	if st == nil {
+		var err error
+		st, err = r.e.generalTop(r.top)
+		if err != nil {
+			return nil, err
+		}
+		r.gen = st
+		// The general path is exact; its verdict supersedes the fitted
+		// one (they agree whenever the fit's verification held).
+		r.NetCount = st.netCount
+		r.DeviceCount = st.deviceCount()
+		r.Violations = st.violations
+	}
+
+	ckt := &extract.Circuit{NetCount: st.netCount, NetOf: map[string]int{}}
+	for i := range st.occs {
+		o := &st.occs[i]
+		for _, dv := range o.cert.X.Devices {
+			ckt.Transistors = append(ckt.Transistors, extract.Transistor{
+				Kind: dv.Kind,
+				Gate: int(st.netOf[o.netBase+dv.GateNet]),
+				A:    int(st.netOf[o.netBase+dv.ANet]),
+				B:    int(st.netOf[o.netBase+dv.BNet]),
+			})
+		}
+	}
+
+	// Labels in flat walk order: the top's own connectors, then each
+	// top-level instance's connector labels (the flat walk does not
+	// recurse labels either). Unresolved labels drop silently; later
+	// resolutions of a repeated name win — both flat conventions.
+	set := func(name string, at geom.Point, l geom.Layer) {
+		if n := st.labelNet(at, l); n >= 0 {
+			ckt.NetOf[name] = int(n)
+		}
+	}
+	for _, cn := range r.top.Connectors() {
+		set(cn.Name, cn.At, cn.Layer)
+	}
+	for _, in := range r.top.Instances {
+		for _, nl := range flatten.InstanceLabels(in) {
+			set(nl.Name, nl.At, nl.Layer)
+		}
+	}
+	r.ckt = ckt
+	return ckt, nil
+}
+
+// labelNet resolves a label point to its dense composed net: the
+// lowest occurrence with material on the layer at the point decides,
+// matching the flat locator's lowest-fragment pick over the
+// occurrence-major fragment list.
+func (st *genState) labelNet(p geom.Point, l geom.Layer) int32 {
+	var cand []int
+	st.matIx.QueryPoint(p, func(id int) bool {
+		cand = append(cand, id)
+		return true
+	})
+	sort.Ints(cand)
+	for _, id := range cand {
+		o := &st.occs[id]
+		if n := o.cert.X.FindOnLayer(p.Sub(o.d), l); n >= 0 {
+			return st.netOf[o.netBase+n]
+		}
+	}
+	return -1
+}

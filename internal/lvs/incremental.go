@@ -47,6 +47,11 @@ func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, err
 	if inc.have && inc.cell == ed.Cell && inc.gen == rep.Gen {
 		return inc.res, nil
 	}
+	// the hierarchical verify path skips flattening; LVS reads
+	// occurrence identity from the flat result, so complete the report
+	if err := v.EnsureFlat(rep); err != nil {
+		return nil, err
+	}
 	res, err := inc.compare(ed.Cell, ed.Declared, rep)
 	if err != nil {
 		return nil, err
@@ -62,6 +67,9 @@ func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, err
 func (inc *Incremental) CheckCell(cell *core.Cell, v *verify.Verifier) (*Result, error) {
 	rep, err := v.VerifyCell(cell)
 	if err != nil {
+		return nil, err
+	}
+	if err := v.EnsureFlat(rep); err != nil {
 		return nil, err
 	}
 	inc.have = false // verdict cache is per-editor-generation only

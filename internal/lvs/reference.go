@@ -8,7 +8,7 @@ import (
 	"riot/internal/extract"
 	"riot/internal/flatten"
 	"riot/internal/geom"
-	"riot/internal/rules"
+	"riot/internal/seam"
 )
 
 // This file derives the reference netlist — what the composition
@@ -32,21 +32,14 @@ import (
 // whose cells changed: moving one instance re-stitches its composition
 // but re-extracts no leaf.
 
-// seamReach is the base distance the abutment contract reaches into a
-// cell, in centimicrons: for plainly abutted boxes (touching, not
-// overlapping), material within this distance of the cell's bounding
-// box participates in seam continuity. Wire end caps and rail halves
-// bleed at most half the widest library wire (2 lambda) past the box,
-// so 4 lambda covers every sanctioned contact point with margin.
-//
-// seamReach is NOT a cap on seam trust: an ABUT OVERLAP places the
-// boxes overlapping, and material as deep as the overlap reaches can
-// legitimately touch the neighbor's. Each entry therefore retains
-// boundary material to the deepest reach any seam it participates in
-// actually needs (seamDepth, computed from the overlap of the two
-// placed boxes), so a deep overlap stitches exactly like a shallow one
+// seamReach is the base abutment-contract reach, shared with the
+// hierarchical extract/DRC certificate engine through internal/seam
+// (see seam.Reach for the full contract). Each entry retains boundary
+// material to the deepest reach any seam it participates in actually
+// needs (seamDepth, computed from the overlap of the two placed
+// boxes), so a deep overlap stitches exactly like a shallow one
 // instead of mis-reporting its sanctioned contacts as shorts.
-const seamReach = 4 * rules.Lambda
+const seamReach = seam.Reach
 
 // portKey identifies a connector position: connectors coincide when
 // they share a point and a layer.
@@ -366,7 +359,7 @@ func (rf *Reference) sigOf(c *core.Cell) uint64 {
 	return h
 }
 
-func pack32(a, b int) uint64 { return uint64(uint32(a))<<32 | uint64(uint32(b)) }
+func pack32(a, b int) uint64 { return seam.Pack32(a, b) }
 
 // entry returns the cell's current derivation, rebuilding it when the
 // structural signature says the memoized one is stale or when a seam
@@ -402,37 +395,9 @@ func (rf *Reference) entry(c *core.Cell, minReach int) *refEntry {
 	return e
 }
 
-// seamDepth bounds how deep (in centimicrons, measured inward from
-// bu's boundary) sanctioned seam contact against bv can reach into bu:
-// the deepest point of the pair's seam window — the box intersection
-// inflated by the contract's base reach — measured by inward
-// L-infinity distance. Plainly abutted boxes (degenerate intersection)
-// yield the base seamReach; an ABUT OVERLAP yields overlap depth plus
-// margin. The bound errs high (the margin absorbs material bleeding
-// past the boxes and exact-boundary contact), never low.
-func seamDepth(bu, bv geom.Rect) int {
-	sx0, sy0 := max(bu.Min.X, bv.Min.X), max(bu.Min.Y, bv.Min.Y)
-	sx1, sy1 := min(bu.Max.X, bv.Max.X), min(bu.Max.Y, bv.Max.Y)
-	if sx0 > sx1 || sy0 > sy1 {
-		return 0
-	}
-	dx := axisDepth(max(sx0-seamReach, bu.Min.X), min(sx1+seamReach, bu.Max.X), bu.Min.X, bu.Max.X)
-	dy := axisDepth(max(sy0-seamReach, bu.Min.Y), min(sy1+seamReach, bu.Max.Y), bu.Min.Y, bu.Max.Y)
-	return min(dx, dy)
-}
-
-// axisDepth is the maximum over x in [w0, w1] of min(x-b0, b1-x): the
-// deepest one-axis penetration of the window into the box span.
-func axisDepth(w0, w1, b0, b1 int) int {
-	x := (b0 + b1) / 2
-	if x < w0 {
-		x = w0
-	}
-	if x > w1 {
-		x = w1
-	}
-	return min(x-b0, b1-x)
-}
+// seamDepth bounds how deep sanctioned seam contact against bv can
+// reach into bu; see seam.Depth for the full contract.
+func seamDepth(bu, bv geom.Rect) int { return seam.Depth(bu, bv) }
 
 // leafEntry extracts a leaf cell alone and packages its netlist,
 // ports and boundary material within reach of its bounding box. With a
@@ -727,19 +692,8 @@ func seamUnions(copies []copyRef, uf *geom.UnionFind) {
 	}
 }
 
-// fnv-1a, the hash behind signatures and refinement colors.
-const (
-	fnvOffset = 14695981039346656037
-	fnvPrime  = 1099511628211
-)
+// fnv-1a, the hash behind signatures and refinement colors (shared
+// with the hierarchical certificate engine through internal/seam).
+func fnvInit() uint64 { return seam.FNVInit() }
 
-func fnvInit() uint64 { return fnvOffset }
-
-func fnvMix(h, v uint64) uint64 {
-	for i := 0; i < 8; i++ {
-		h ^= v & 0xff
-		h *= fnvPrime
-		v >>= 8
-	}
-	return h
-}
+func fnvMix(h, v uint64) uint64 { return seam.FNVMix(h, v) }

@@ -125,12 +125,14 @@ func cmdWrite(s *Shell, args []string) error {
 }
 
 // cmdWriteCIF flattens a cell's hierarchy into CIF symbols — the path
-// to mask generation.
+// to mask generation. The CIF text streams through File.WriteTo when a
+// CreateFile sink is attached, so a full-chip mask file never
+// materializes in memory; without one it buffers through WriteFile.
 func cmdWriteCIF(s *Shell, args []string) error {
 	if len(args) != 2 {
 		return fmt.Errorf("shell: WRITECIF <file> <cell>")
 	}
-	if s.WriteFile == nil {
+	if s.CreateFile == nil && s.WriteFile == nil {
 		return fmt.Errorf("shell: no file writer attached")
 	}
 	cell, ok := s.Design.Cell(args[1])
@@ -141,12 +143,26 @@ func cmdWriteCIF(s *Shell, args []string) error {
 	if err != nil {
 		return err
 	}
-	var b bytes.Buffer
-	if err := cif.Write(&b, f); err != nil {
-		return err
-	}
-	if err := s.WriteFile(args[0], b.Bytes()); err != nil {
-		return err
+	if s.CreateFile != nil {
+		w, err := s.CreateFile(args[0])
+		if err != nil {
+			return err
+		}
+		if _, err := f.WriteTo(w); err != nil {
+			w.Close()
+			return err
+		}
+		if err := w.Close(); err != nil {
+			return err
+		}
+	} else {
+		var b bytes.Buffer
+		if _, err := f.WriteTo(&b); err != nil {
+			return err
+		}
+		if err := s.WriteFile(args[0], b.Bytes()); err != nil {
+			return err
+		}
 	}
 	s.printf("wrote %s (%d symbols)\n", args[0], len(f.Symbols))
 	return nil
@@ -712,8 +728,10 @@ func cmdExtract(s *Shell, args []string) error {
 // DRC and EXTRACT; for the cell under edit, the session's retained
 // connection records participate in the reference. -stats additionally
 // prints the hierarchical-certificate accounting: how many occurrences
-// compared pre-collapsed, and how often the session's certificate
-// store answered without re-matching a sub-cell.
+// compared pre-collapsed, how often the session's certificate store
+// answered without re-matching a sub-cell, and the hierarchical
+// verification engine's run counters (fast runs, fallbacks, per-cell
+// certificates built vs reloaded).
 func cmdLVS(s *Shell, args []string) error {
 	stats := false
 	if len(args) > 0 && args[0] == "-stats" {
@@ -739,6 +757,10 @@ func cmdLVS(s *Shell, args []string) error {
 			cell.Name, st.Certified, st.Occurrences, st.Cells)
 		s.printf("%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
 			cell.Name, store.Hits, store.Matched)
+		s.printf("%s: %s\n", cell.Name, s.Verifier.HierStats())
+		if err := s.Verifier.HierDecline(); err != nil {
+			s.printf("%s: hier declined: %v\n", cell.Name, err)
+		}
 		if s.Cache != nil {
 			cst := s.Cache.Stats()
 			s.printf("%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",

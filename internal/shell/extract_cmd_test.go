@@ -72,6 +72,9 @@ func TestShellVerifierAcrossEditorSessions(t *testing.T) {
 func TestShellVerifierReuse(t *testing.T) {
 	env := newEnv(t)
 	sh := env.sh
+	// this test pins the flat incremental splice path; the hierarchical
+	// engine would serve these runs whole (Incremental=false, honestly)
+	sh.Verifier.Hier = false
 	if err := sh.ExecAll(
 		"READ gate.sticks",
 		"EDIT TOP",

@@ -58,6 +58,12 @@ type Shell struct {
 	FS        fs.FS
 	WriteFile func(name string, data []byte) error
 
+	// CreateFile, when set, opens a streaming sink for bulk output:
+	// WRITECIF streams mask geometry straight to it instead of
+	// buffering the whole file through WriteFile. cmd/riot wires
+	// os.Create; when nil the shell falls back to WriteFile.
+	CreateFile func(name string) (io.WriteCloser, error)
+
 	// Plot renders a cell to a plotter file; wired by the caller once
 	// a display stack exists (keeps shell independent of graphics).
 	Plot func(cell *core.Cell, file string) error
@@ -67,13 +73,18 @@ type Shell struct {
 	quit bool
 }
 
-// New returns a shell over a fresh design.
+// New returns a shell over a fresh design. The verifier's hierarchical
+// path is on: DRC, EXTRACT and LVS verify per-distinct-cell
+// certificates instead of flattened copies whenever the engine can
+// prove the verdict identical (and fall back silently when it can't).
 func New(out io.Writer) *Shell {
-	return &Shell{
+	s := &Shell{
 		Design:  core.NewDesign(),
 		Out:     out,
 		Journal: replay.New(),
 	}
+	s.Verifier.Hier = true
+	return s
 }
 
 // Quit reports whether the QUIT command has run.

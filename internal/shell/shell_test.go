@@ -1,6 +1,7 @@
 package shell
 
 import (
+	"io"
 	"io/fs"
 	"strings"
 	"testing"
@@ -180,6 +181,60 @@ func TestShellWriteCIF(t *testing.T) {
 	text := string(data)
 	if !strings.Contains(text, "9 TOP;") || !strings.Contains(text, "9 PAD;") {
 		t.Errorf("CIF missing symbols:\n%s", text)
+	}
+}
+
+// streamSink records writes through the shell's CreateFile hook so the
+// streaming WRITECIF path can be compared against the buffered one.
+type streamSink struct {
+	env    *testEnv
+	name   string
+	buf    strings.Builder
+	closed bool
+}
+
+func (w *streamSink) Write(p []byte) (int, error) { return w.buf.WriteString(string(p)) }
+func (w *streamSink) Close() error {
+	w.closed = true
+	w.env.files[w.name] = []byte(w.buf.String())
+	return nil
+}
+
+// TestShellWriteCIFStreams checks WRITECIF prefers the CreateFile
+// streaming sink (mask text never passes through WriteFile) and that
+// the streamed bytes equal the buffered path's exactly.
+func TestShellWriteCIFStreams(t *testing.T) {
+	env := newEnv(t)
+	sh := env.sh
+	err := sh.ExecAll(
+		"READ gate.sticks",
+		"EDIT TOP",
+		"CREATE GATE a AT 0 0",
+		"CREATE GATE b AT 20 0",
+		"ENDEDIT",
+		"WRITECIF buffered.cif TOP",
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var sink *streamSink
+	sh.CreateFile = func(name string) (io.WriteCloser, error) {
+		sink = &streamSink{env: env, name: name}
+		return sink, nil
+	}
+	sh.WriteFile = func(name string, data []byte) error {
+		t.Fatalf("WRITECIF buffered %q through WriteFile with a streaming sink attached", name)
+		return nil
+	}
+	if err := sh.Exec("WRITECIF streamed.cif TOP"); err != nil {
+		t.Fatal(err)
+	}
+	if sink == nil || !sink.closed {
+		t.Fatal("streaming sink not used or not closed")
+	}
+	if string(env.files["streamed.cif"]) != string(env.files["buffered.cif"]) {
+		t.Error("streamed CIF differs from the buffered path")
 	}
 }
 

@@ -22,11 +22,14 @@
 package verify
 
 import (
+	"errors"
+
 	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/drc"
 	"riot/internal/extract"
 	"riot/internal/flatten"
+	"riot/internal/hier"
 )
 
 // Report is the outcome of one whole-design verification.
@@ -48,6 +51,8 @@ type Report struct {
 	// LVS hierarchical-certificate path reads occurrence identity
 	// (per-device Src ids, SrcCells) from it to align the extracted
 	// circuit's transistors with the cells the composition declares.
+	// Reports from the hierarchical path leave it nil — no flattening
+	// happened — and Verifier.EnsureFlat populates it on demand.
 	Flat *flatten.Result
 }
 
@@ -66,6 +71,9 @@ type Stats struct {
 	Cached  int
 	Spliced int
 	Full    int
+	// Hier counts runs answered by the hierarchical certificate engine
+	// (per-distinct-cell work, no flattening at all).
+	Hier int
 }
 
 // Verifier caches verification state across edits of one composition
@@ -74,6 +82,14 @@ type Verifier struct {
 	cache flatten.Cache
 	ext   extract.Incremental
 	chk   drc.Incremental
+
+	// Hier routes runs through the hierarchical certificate engine
+	// first: each distinct (cell, orientation) extracts and DRC-checks
+	// once, placements compose, and the flat pipeline below never runs
+	// unless the engine declines. Off by default — the flat pipeline is
+	// the reference semantics; the shell turns it on.
+	Hier bool
+	eng  *hier.Engine
 
 	cell   *core.Cell
 	gen    uint64
@@ -85,13 +101,30 @@ type Verifier struct {
 // Stats reports the verifier's run accounting.
 func (v *Verifier) Stats() Stats { return v.stats }
 
-// AttachDisk connects the verifier's flatten cache to a persistent
-// content-addressed store: instance shards missing in memory (always,
+// AttachDisk connects the verifier's flatten cache and the
+// hierarchical engine to a persistent content-addressed store:
+// instance shards and per-cell certificates missing in memory (always,
 // in a fresh process) are loaded by content signature instead of
-// re-walked. A nil store detaches.
+// re-derived. A nil store detaches the flatten cache.
 func (v *Verifier) AttachDisk(st *castore.Store, sg *castore.Signer) {
 	v.cache.AttachDisk(st, sg)
+	v.engine().AttachDisk(st, sg)
 }
+
+// engine returns the hierarchical engine, creating it on first use.
+func (v *Verifier) engine() *hier.Engine {
+	if v.eng == nil {
+		v.eng = hier.New()
+	}
+	return v.eng
+}
+
+// HierStats reports the hierarchical engine's work counters.
+func (v *Verifier) HierStats() hier.Stats { return v.engine().Stats() }
+
+// HierDecline reports why the most recent hierarchical attempt fell
+// back to the flat pipeline, or nil.
+func (v *Verifier) HierDecline() error { return v.engine().LastDecline() }
 
 // FlattenDiskStats reports, for the most recent run, how many instance
 // shards loaded from the persistent store.
@@ -118,6 +151,13 @@ func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
 			// switch — drop the flatten cache so no stale shard splices
 			// (the downstream caches reset themselves off the nil delta)
 			v.cache.Reset()
+			if !ok && v.eng != nil {
+				// an Invalidate can mean leaf cells mutated in place;
+				// the engine's pointer-keyed certificate memo would not
+				// notice, so drop it (disk entries are content-signed
+				// and re-key correctly after the signer reset above)
+				v.eng.ResetMemo()
+			}
 		}
 	}
 	return v.run(cell, gen)
@@ -134,6 +174,11 @@ func (v *Verifier) VerifyCell(cell *core.Cell) (*Report, error) {
 }
 
 func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
+	if v.Hier {
+		if rep, ok := v.runHier(cell, gen); ok {
+			return rep, nil
+		}
+	}
 	fr, delta, err := v.cache.Flatten(cell)
 	if err != nil {
 		v.have = false
@@ -156,4 +201,51 @@ func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
 		Flat:        fr,
 	}
 	return v.report, nil
+}
+
+// runHier attempts the hierarchical path: per-distinct-cell
+// certificates composed over placements, verdict-identical to the flat
+// pipeline or declined. On success the circuit materializes eagerly so
+// the report is complete; Flat stays nil until EnsureFlat. Any decline
+// (engine-level or during materialization) reports ok=false and the
+// caller runs the flat pipeline, which reproduces whatever verdict or
+// error the design deserves.
+func (v *Verifier) runHier(cell *core.Cell, gen uint64) (*Report, bool) {
+	res, ok := v.engine().Verify(cell)
+	if !ok {
+		return nil, false
+	}
+	ckt, err := res.Circuit()
+	if err != nil {
+		return nil, false
+	}
+	v.stats.Hier++
+	v.cell, v.gen, v.have = cell, gen, true
+	v.report = &Report{
+		Circuit:    ckt,
+		Violations: res.Violations,
+		Gen:        gen,
+	}
+	return v.report, true
+}
+
+// EnsureFlat populates rep.Flat for reports the hierarchical path
+// produced without flattening. Only the verifier's current report can
+// be completed — the flatten cache tracks one design state. The
+// cache's own snapshot diffing keeps this safe to call at any time;
+// downstream splice caches guard on Result pointer identity, so a
+// flatten the solver never saw costs at most one full re-solve later.
+func (v *Verifier) EnsureFlat(rep *Report) error {
+	if rep.Flat != nil {
+		return nil
+	}
+	if rep != v.report {
+		return errors.New("verify: EnsureFlat on a stale report")
+	}
+	fr, _, err := v.cache.Flatten(v.cell)
+	if err != nil {
+		return err
+	}
+	rep.Flat = fr
+	return nil
 }
