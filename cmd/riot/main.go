@@ -29,6 +29,11 @@
 //	                          bypassing the hierarchical per-cell
 //	                          certificate path (verdicts are identical;
 //	                          this is the slow reference mode)
+//	riot -faults SPEC         arm deterministic fault-injection points
+//	                          (e.g. "cert-pend=SRCELL,store-corrupt:1")
+//	                          to exercise the pipeline's degradation
+//	                          paths; defaults to $RIOT_FAULTS when set
+
 //
 // Exit status distinguishes why a run failed: 0 means every requested
 // check passed; 1 means the design failed verification (design-rule
@@ -50,6 +55,7 @@ import (
 	"strings"
 
 	"riot"
+	"riot/internal/faultinject"
 )
 
 const (
@@ -76,6 +82,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	cacheDir := fl.String("cache", os.Getenv("RIOT_CACHE"), "persistent verification cache directory (default $RIOT_CACHE)")
 	stats := fl.Bool("stats", false, "print certificate and cache statistics after -lvs")
 	hier := fl.Bool("hier", true, "verify through hierarchical per-cell certificates (=false: flat engines only)")
+	faults := fl.String("faults", os.Getenv("RIOT_FAULTS"), "arm fault-injection points, e.g. \"cert-pend=SRCELL,store-corrupt:1\" (default $RIOT_FAULTS)")
 	if err := fl.Parse(args); err != nil {
 		return exitConfig
 	}
@@ -102,6 +109,14 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return os.Create(name)
 	}
 	s.Shell.Verifier.Hier = *hier
+	if *faults != "" {
+		set, err := faultinject.Parse(*faults)
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: -faults: %v\n", err)
+			return exitConfig
+		}
+		s.Shell.InjectFaults(set)
+	}
 	if *cacheDir != "" {
 		if err := s.AttachCache(*cacheDir); err != nil {
 			fmt.Fprintf(stderr, "riot: cache %s: %v\n", *cacheDir, err)
@@ -239,9 +254,16 @@ func printLVSStats(s *riot.Session, w io.Writer, cell string) {
 	fmt.Fprintf(w, "%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
 		cell, store.Hits, store.Matched)
 	fmt.Fprintf(w, "%s: %s\n", cell, s.Shell.Verifier.HierStats())
+	if d := s.Shell.Verifier.HierDeclineInfo(); d != nil {
+		fmt.Fprintf(w, "%s: hier declined: condition=%s cell=%q placement=%d: %v\n",
+			cell, d.Cond, d.Cell, d.Placement, d)
+	}
 	if c := s.Shell.Cache; c != nil {
 		cst := c.Stats()
-		fmt.Fprintf(w, "%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",
-			cell, store.DiskHits, s.Shell.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt)
+		fmt.Fprintf(w, "%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined (%d moved aside), %d miss(es), %d put(s), %d put error(s)\n",
+			cell, store.DiskHits, s.Shell.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt, cst.Quarantined, cst.Misses, cst.Puts, cst.PutErrors)
+	}
+	if s.Shell.Faults != nil {
+		fmt.Fprintf(w, "%s: faults: %s\n", cell, s.Shell.Faults)
 	}
 }

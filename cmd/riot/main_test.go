@@ -5,6 +5,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"riot/internal/castore"
 )
 
 // grid builds an abutting SRCELL array entirely from library files, so
@@ -131,5 +133,82 @@ func TestInteractiveEOF(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "riot>") {
 		t.Errorf("no prompt printed:\n%s", out.String())
+	}
+}
+
+// TestTamperedCacheStats pins the tamper-then-stats contract: damaging
+// every persistent-store entry between two runs must not change the
+// verdict — the store rejects, quarantines and recomputes — and the
+// corruption must be visible in the -stats counters.
+func TestTamperedCacheStats(t *testing.T) {
+	t.Chdir(t.TempDir())
+	cache := filepath.Join(t.TempDir(), "cache")
+
+	if code, _, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats"); code != exitOK {
+		t.Fatalf("cold run exit = %d", code)
+	}
+	n, err := castore.TamperEntries(cache, castore.TamperBitFlip)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing to tamper: the cold run persisted no entries")
+	}
+
+	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	if code != exitOK {
+		t.Fatalf("tampered run exit = %d; corruption must degrade, not fail", code)
+	}
+	if !strings.Contains(out, "netlists match") {
+		t.Errorf("tampered run verdict missing:\n%s", out)
+	}
+	if strings.Contains(out, " 0 corrupt entr(ies) quarantined") {
+		t.Errorf("tampered run reported zero corruption after %d tampered entries:\n%s", n, out)
+	}
+	if !strings.Contains(out, "corrupt entr(ies) quarantined (") ||
+		!strings.Contains(out, "moved aside)") {
+		t.Errorf("tampered run stats missing the quarantine counters:\n%s", out)
+	}
+}
+
+// TestFaultsFlag pins the -faults plumbing end to end: a bad spec is a
+// broken invocation; an armed partial-degradation fault keeps the
+// verdict and surfaces in -stats; an armed whole-decline fault falls
+// back flat with a structured decline line.
+func TestFaultsFlag(t *testing.T) {
+	t.Chdir(t.TempDir())
+
+	code, _, errOut := execRun(t, "-faults", "no-such-point", "-c", grid, "-lvs", "CHIP")
+	if code != exitConfig || !strings.Contains(errOut, "unknown fault point") {
+		t.Fatalf("bad spec: exit %d, stderr %q", code, errOut)
+	}
+
+	// template-poison on the corner placement: the placement and its
+	// abutting partners quarantine, the rest compose, verdict holds
+	code, out, _ := execRun(t, "-faults", "template-poison=0", "-c", grid, "-lvs", "CHIP", "-stats")
+	if code != exitOK {
+		t.Fatalf("poison-injected run exit = %d", code)
+	}
+	if !strings.Contains(out, "netlists match") {
+		t.Errorf("poison-injected verdict missing:\n%s", out)
+	}
+	if !strings.Contains(out, "partial 1 run(s)") {
+		t.Errorf("poison-injected run not served partially:\n%s", out)
+	}
+	if !strings.Contains(out, "faults: template-poison=0 hit") {
+		t.Errorf("fault fire count missing from -stats:\n%s", out)
+	}
+
+	// cert-pend on every SRCELL: the whole grid would quarantine, the
+	// budget declines the run and the flat path serves
+	code, out, _ = execRun(t, "-faults", "cert-pend=SRCELL", "-c", grid, "-lvs", "CHIP", "-stats")
+	if code != exitOK {
+		t.Fatalf("pend-injected run exit = %d", code)
+	}
+	if !strings.Contains(out, "netlists match") {
+		t.Errorf("pend-injected verdict missing:\n%s", out)
+	}
+	if !strings.Contains(out, "hier declined: condition=quarantine-budget") {
+		t.Errorf("structured decline line missing:\n%s", out)
 	}
 }

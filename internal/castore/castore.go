@@ -64,6 +64,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+
+	"riot/internal/faultinject"
 )
 
 // Version is the store format version written to entry headers and the
@@ -97,6 +99,11 @@ type Store struct {
 	// Log receives one line per noteworthy event (quarantines, write
 	// failures); nil discards. Set it before sharing the store.
 	Log func(format string, args ...any)
+	// Faults is the optional fault-injection set (faultinject.Set); a
+	// nil set never fires. The StoreCorrupt point flips a payload byte
+	// after the disk read, driving the validate→quarantine→recompute
+	// path on demand. Set it before sharing the store.
+	Faults *faultinject.Set
 
 	dir string
 
@@ -277,6 +284,10 @@ func (s *Store) Get(ns string, key Key, fingerprint uint64) ([]byte, bool) {
 	if err != nil {
 		s.count(func(st *Stats) { st.Misses++ })
 		return nil, false
+	}
+	if s.Faults.Hit(faultinject.StoreCorrupt, ns) && len(data) > 0 {
+		data = append([]byte(nil), data...)
+		data[len(data)-1] ^= 0x01
 	}
 	payload, reason := validate(data, fingerprint)
 	if reason != "" {

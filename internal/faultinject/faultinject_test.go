@@ -1,0 +1,119 @@
+package faultinject
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestNilSetNeverFires(t *testing.T) {
+	var s *Set
+	if s.Hit(CertPend, "SRCELL") {
+		t.Fatal("nil set fired")
+	}
+	if s.Hits(CertPend) != 0 {
+		t.Fatal("nil set counted hits")
+	}
+	if s.String() != "none" {
+		t.Fatalf("nil set renders %q", s.String())
+	}
+	s.Reset() // must not panic
+}
+
+func TestMatchKeys(t *testing.T) {
+	s := New()
+	s.Enable(CertPend, "SRCELL")
+	if s.Hit(CertPend, "NAND") {
+		t.Fatal("mismatched key fired")
+	}
+	if !s.Hit(CertPend, "SRCELL") {
+		t.Fatal("matching key did not fire")
+	}
+	if s.Hit(TemplatePoison, "SRCELL") {
+		t.Fatal("unarmed point fired")
+	}
+	s.Enable(StoreCorrupt, "")
+	if !s.Hit(StoreCorrupt, "anything") {
+		t.Fatal("empty match must fire for every key")
+	}
+	if got := s.Hits(CertPend); got != 1 {
+		t.Fatalf("CertPend hits = %d, want 1", got)
+	}
+}
+
+func TestFireLimit(t *testing.T) {
+	s := New()
+	s.EnableN(StoreCorrupt, "", 2)
+	fired := 0
+	for i := 0; i < 5; i++ {
+		if s.Hit(StoreCorrupt, "ns") {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("limited arm fired %d times, want 2", fired)
+	}
+	if s.Hits(StoreCorrupt) != 2 {
+		t.Fatalf("hits = %d, want 2", s.Hits(StoreCorrupt))
+	}
+}
+
+func TestParse(t *testing.T) {
+	s, err := Parse("cert-pend=SRCELL, store-corrupt:1, template-poison=3:2, compose-budget")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.Hit(CertPend, "SRCELL") || s.Hit(CertPend, "NAND") {
+		t.Fatal("cert-pend=SRCELL parsed wrong")
+	}
+	if !s.Hit(StoreCorrupt, "x") || s.Hit(StoreCorrupt, "x") {
+		t.Fatal("store-corrupt:1 limit parsed wrong")
+	}
+	if !s.Hit(TemplatePoison, "3") || s.Hit(TemplatePoison, "4") {
+		t.Fatal("template-poison=3 match parsed wrong")
+	}
+	if !s.Hit(ComposeBudget, "") {
+		t.Fatal("compose-budget parsed wrong")
+	}
+	if _, err := Parse("no-such-point"); err == nil {
+		t.Fatal("unknown point must be an error")
+	}
+	if _, err := Parse("cert-pend=X:notanumber"); err == nil {
+		t.Fatal("bad limit must be an error")
+	}
+	if got, err := Parse(""); err != nil || got.String() != "none" {
+		t.Fatalf("empty spec: %v %v", got, err)
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	s := New()
+	s.Enable(StoreCorrupt, "")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s.Hit(StoreCorrupt, "ns")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Hits(StoreCorrupt); got != 800 {
+		t.Fatalf("concurrent hits = %d, want 800", got)
+	}
+}
+
+func TestStringDeterministic(t *testing.T) {
+	s := New()
+	s.Enable(CertPend, "SRCELL")
+	s.EnableN(StoreCorrupt, "", 1)
+	s.Hit(CertPend, "SRCELL")
+	a, b := s.String(), s.String()
+	if a != b {
+		t.Fatalf("String not deterministic: %q vs %q", a, b)
+	}
+	if a == "none" {
+		t.Fatal("armed set renders as none")
+	}
+}

@@ -42,7 +42,6 @@
 package hier
 
 import (
-	"errors"
 	"fmt"
 	"sort"
 
@@ -50,6 +49,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/drc"
 	"riot/internal/extract"
+	"riot/internal/faultinject"
 	"riot/internal/flatten"
 	"riot/internal/geom"
 	"riot/internal/rules"
@@ -73,11 +73,48 @@ type Engine struct {
 	winMemo map[string][]geom.Rect
 	// lastDecline records why the most recent Verify declined (nil when
 	// it succeeded): fallback diagnostics for -stats and tests.
-	lastDecline error
+	lastDecline *Decline
+
+	// Faults is the optional fault-injection set; nil never fires.
+	Faults *faultinject.Set
+	// QuarantineBudget caps how many placements a run may quarantine
+	// before declining whole: 0 picks the default (max(4, n/4) of n
+	// placements), a negative value disables partial degradation, a
+	// positive value is the absolute cap.
+	QuarantineBudget int
+	// ComposeBudget caps the pair-template work units (template builds
+	// plus replays) of one composition; 0 is unlimited. Exhaustion
+	// declines the run whole — a sanity valve for pathological designs.
+	ComposeBudget int
 }
 
 // LastDecline reports why the most recent Verify declined, or nil.
-func (e *Engine) LastDecline() error { return e.lastDecline }
+func (e *Engine) LastDecline() error {
+	if e.lastDecline == nil {
+		return nil // avoid the typed-nil-in-interface trap
+	}
+	return e.lastDecline
+}
+
+// LastDeclineInfo reports the most recent Verify's structured decline
+// record, or nil when it succeeded.
+func (e *Engine) LastDeclineInfo() *Decline { return e.lastDecline }
+
+// quarantineBudget resolves the effective quarantine cap for a run of
+// n placements.
+func (e *Engine) quarantineBudget(n int) int {
+	switch {
+	case e.QuarantineBudget > 0:
+		return e.QuarantineBudget
+	case e.QuarantineBudget < 0:
+		return 0
+	}
+	b := n / 4
+	if b < 4 {
+		b = 4
+	}
+	return b
+}
 
 // Stats counts engine work for the -stats reports and the
 // warm-restart tests.
@@ -91,6 +128,10 @@ type Stats struct {
 	CertBuilt, CertMemoHits, CertDiskHits, CertStored int
 	// TemplateBuilt / TemplateHits count pair-interaction templates.
 	TemplateBuilt, TemplateHits int
+	// PartialRuns counts runs served by partial degradation (some
+	// placements quarantined and flattened, the rest composed);
+	// Quarantined totals the quarantined placements across them.
+	PartialRuns, Quarantined int
 }
 
 // Cert pairs one distinct (cell, orientation)'s extraction and DRC
@@ -109,18 +150,26 @@ type certKey struct {
 	o    geom.Orient
 }
 
-// errDecline marks conditions the engine hands to the flat path.
-var (
-	errPend   = errors.New("hier: device terminal needs flat context")
-	errPoison = errors.New("hier: cross-placement gate/diffusion overlap")
-)
-
 // New returns an empty engine.
 func New() *Engine {
-	return &Engine{
-		memo:    map[certKey]*Cert{},
-		tmpl:    map[tmplKey]*template{},
-		winMemo: map[string][]geom.Rect{},
+	e := &Engine{}
+	e.ensureMemos()
+	return e
+}
+
+// ensureMemos makes a zero-value Engine usable: the exported
+// configuration fields (QuarantineBudget, ComposeBudget, Faults)
+// invite struct-literal construction, which would otherwise leave the
+// memo maps nil.
+func (e *Engine) ensureMemos() {
+	if e.memo == nil {
+		e.memo = map[certKey]*Cert{}
+	}
+	if e.tmpl == nil {
+		e.tmpl = map[tmplKey]*template{}
+	}
+	if e.winMemo == nil {
+		e.winMemo = map[string][]geom.Rect{}
 	}
 }
 
@@ -142,21 +191,26 @@ func (e *Engine) ResetMemo() {
 }
 
 // Verify runs the hierarchical verdict for a composition top. ok is
-// false when the engine declines (non-composition top, certificate
-// build failure, pending device terminals, fragmentation poison) —
-// the caller must fall back to the flat engines, which reproduce
-// whatever verdict or error the design deserves.
+// false when the engine declines whole (non-composition top,
+// certificate build failure, quarantine over budget, ...) — the caller
+// must fall back to the flat engines, which reproduce whatever verdict
+// or error the design deserves. Decline conditions that touch only
+// some placements (pend certificates, fragmentation poison) degrade
+// partially instead: the engine quarantines the offending placements,
+// re-derives their flat residue, and splices it into the composed
+// remainder — still verdict-identical to flat.
 func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
+	e.ensureMemos()
 	e.stats.Runs++
 	e.lastDecline = nil
 	if top == nil || top.Kind != core.Composition {
 		e.stats.Fallbacks++
-		e.lastDecline = errors.New("hier: top is not a composition")
+		e.lastDecline = &Decline{Cond: CondNotComposition, Placement: -1}
 		return nil, false
 	}
 	if r, ok, err := e.fast(top); err != nil {
 		e.stats.Fallbacks++
-		e.lastDecline = err
+		e.lastDecline = declineOf(err)
 		return nil, false
 	} else if ok {
 		e.stats.FastRuns++
@@ -165,13 +219,20 @@ func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
 	st, err := e.generalTop(top)
 	if err != nil {
 		e.stats.Fallbacks++
-		e.lastDecline = err
+		e.lastDecline = declineOf(err)
 		return nil, false
+	}
+	quarantined := 0
+	if st.quar != nil {
+		quarantined = len(st.quar.occOf)
+		e.stats.PartialRuns++
+		e.stats.Quarantined += quarantined
 	}
 	return &Result{
 		NetCount:    st.netCount,
 		DeviceCount: st.deviceCount(),
 		Violations:  st.violations,
+		Quarantined: quarantined,
 		e:           e,
 		top:         top,
 		gen:         st,
@@ -181,11 +242,13 @@ func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
 // Result is one hierarchical verdict. NetCount, DeviceCount and
 // Violations are exact (fast-path results verify their extrapolation
 // before claiming exactness); Circuit materializes the full netlist
-// on demand.
+// on demand. Quarantined counts the placements served by the partial
+// flat residue rather than certificate composition (0 on clean runs).
 type Result struct {
 	NetCount    int
 	DeviceCount int
 	Violations  []drc.Violation
+	Quarantined int
 
 	e   *Engine
 	top *core.Cell
@@ -273,9 +336,9 @@ func placedAt(ct *Cert, d geom.Point) placed {
 func (e *Engine) generalTop(top *core.Cell) (*genState, error) {
 	occs, err := e.walk(top, geom.Identity, nil)
 	if err != nil {
-		return nil, err
+		return nil, &Decline{Cond: CondCertBuild, Placement: -1, Err: err}
 	}
-	return e.compose(occs)
+	return e.compose(occs, true)
 }
 
 // layersOf returns the union of the occurrences' checked layers in
@@ -317,8 +380,9 @@ func pairReach(layers []geom.Layer) int {
 
 // String renders engine statistics for -stats reports.
 func (s Stats) String() string {
-	return fmt.Sprintf("hier: %d run(s), %d fast, %d fallback(s); certs %d built, %d memo, %d disk, %d stored; templates %d built, %d hits",
+	return fmt.Sprintf("hier: %d run(s), %d fast, %d fallback(s); certs %d built, %d memo, %d disk, %d stored; templates %d built, %d hits; partial %d run(s), %d placement(s) quarantined",
 		s.Runs, s.FastRuns, s.Fallbacks,
 		s.CertBuilt, s.CertMemoHits, s.CertDiskHits, s.CertStored,
-		s.TemplateBuilt, s.TemplateHits)
+		s.TemplateBuilt, s.TemplateHits,
+		s.PartialRuns, s.Quarantined)
 }

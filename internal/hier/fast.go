@@ -2,6 +2,7 @@ package hier
 
 import (
 	"riot/internal/core"
+	"riot/internal/faultinject"
 	"riot/internal/geom"
 	"riot/internal/rules"
 )
@@ -80,8 +81,10 @@ func (e *Engine) fast(top *core.Cell) (*Result, bool, error) {
 	if err != nil {
 		return nil, false, err
 	}
-	if ct.X.Pend {
-		return nil, false, errPend
+	if ct.X.Pend || e.Faults.Hit(faultinject.CertPend, in.Cell.Name) {
+		// Not eligible rather than a decline: the general path can
+		// quarantine the pend placements and still serve the run.
+		return nil, false, nil
 	}
 
 	o := in.Tr.O
@@ -122,6 +125,9 @@ func (e *Engine) fast(top *core.Cell) (*Result, bool, error) {
 		}
 	}
 
+	// Samples compose WITHOUT partial degradation: a pend or poison
+	// sample means the full array would quarantine placements, so the
+	// fast path is simply not eligible and the general path decides.
 	run := func(s fastSize) (*genState, error) {
 		occs := make([]placed, 0, s.nx*s.ny)
 		for i := 0; i < s.nx; i++ {
@@ -130,14 +136,21 @@ func (e *Engine) fast(top *core.Cell) (*Result, bool, error) {
 				occs = append(occs, placedAt(ct, d))
 			}
 		}
-		return e.compose(occs)
+		return e.compose(occs, false)
+	}
+	sampleErr := func(err error) (bool, error) {
+		if d, ok := err.(*Decline); ok && (d.Cond == CondPend || d.Cond == CondPoison) {
+			return false, nil
+		}
+		return false, err
 	}
 
 	var n [4]int
 	for k, s := range fastFitSizes {
 		st, err := run(s)
 		if err != nil {
-			return nil, false, err
+			ok, err := sampleErr(err)
+			return nil, ok, err
 		}
 		if len(st.violations) > 0 || st.spacingCands > 0 {
 			return nil, false, nil
@@ -153,7 +166,8 @@ func (e *Engine) fast(top *core.Cell) (*Result, bool, error) {
 	for _, s := range fastVerifySizes {
 		st, err := run(s)
 		if err != nil {
-			return nil, false, err
+			ok, err := sampleErr(err)
+			return nil, ok, err
 		}
 		if len(st.violations) > 0 || st.spacingCands > 0 {
 			return nil, false, nil

@@ -167,12 +167,60 @@ func TestHierDeepOverlapMatchesFlat(t *testing.T) {
 	}
 }
 
+// editTrace replays one trial of the editing-trace protocol: a 3x3
+// grid of individually placed SRCELLs followed by six random editor
+// operations (moves by lambda-grid offsets, NAND creates, deletes,
+// rotations). Both the randomized differential below and the
+// partial-degradation regression (partial_test.go) pin their behavior
+// to this exact op stream — changing it moves both baselines together,
+// so the recorded pr7DeclinedWhole constant must be re-measured.
+func editTrace(t testing.TB, rng *rand.Rand, trial int) *core.Cell {
+	t.Helper()
+	d, top := newDesign(t, fmt.Sprintf("RAND%d", trial))
+	ed, err := core.NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 9; i++ {
+		x, y := i%3, i/3
+		tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
+		if _, err := ed.CreateInstance("SRCELL", fmt.Sprintf("c%d", i), tr, 1, 1, 0, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	created := 0
+	for step := 0; step < 6; step++ {
+		switch op := rng.Intn(10); {
+		case op < 5 && len(top.Instances) > 0:
+			in := top.Instances[rng.Intn(len(top.Instances))]
+			ed.MoveInstance(in, geom.Pt((rng.Intn(9)-4)*rules.Lambda, (rng.Intn(9)-4)*rules.Lambda))
+		case op < 7:
+			created++
+			at := geom.Pt((3+rng.Intn(3))*20*rules.Lambda+rng.Intn(2*rules.Lambda), rng.Intn(3)*24*rules.Lambda)
+			if _, err := ed.CreateInstance("NAND", fmt.Sprintf("x%d", created),
+				geom.MakeTransform(geom.R0, at), 1, 1, 0, 0); err != nil {
+				t.Fatal(err)
+			}
+		case op < 8 && len(top.Instances) > 1:
+			if err := ed.DeleteInstance(top.Instances[rng.Intn(len(top.Instances))]); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			if len(top.Instances) == 0 {
+				continue
+			}
+			ed.OrientInstance(top.Instances[rng.Intn(len(top.Instances))], geom.R90)
+		}
+	}
+	return top
+}
+
 // TestHierRandomPlacementsMatchFlat is the randomized differential:
 // independent trials of editor-style operation bursts (moves by
 // lambda-grid offsets, creates, deletes, rotations) on individually
 // placed grids, verdict-compared against flat after every burst. An
 // engine decline is legal — a move can bury a gate under a neighbor's
-// diffusion, the documented poison fallback — but accepted trials
+// diffusion, the documented poison condition — but accepted trials
 // must dominate, and on every accepted trial the verdict (circuit,
 // violations, labels) must be identical to flat.
 func TestHierRandomPlacementsMatchFlat(t *testing.T) {
@@ -181,42 +229,7 @@ func TestHierRandomPlacementsMatchFlat(t *testing.T) {
 	e := New()
 	accepted, declined := 0, 0
 	for trial := 0; trial < trials; trial++ {
-		d, top := newDesign(t, fmt.Sprintf("RAND%d", trial))
-		ed, err := core.NewEditor(d, top)
-		if err != nil {
-			t.Fatal(err)
-		}
-		for i := 0; i < 9; i++ {
-			x, y := i%3, i/3
-			tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
-			if _, err := ed.CreateInstance("SRCELL", fmt.Sprintf("c%d", i), tr, 1, 1, 0, 0); err != nil {
-				t.Fatal(err)
-			}
-		}
-		created := 0
-		for step := 0; step < 6; step++ {
-			switch op := rng.Intn(10); {
-			case op < 5 && len(top.Instances) > 0:
-				in := top.Instances[rng.Intn(len(top.Instances))]
-				ed.MoveInstance(in, geom.Pt((rng.Intn(9)-4)*rules.Lambda, (rng.Intn(9)-4)*rules.Lambda))
-			case op < 7:
-				created++
-				at := geom.Pt((3+rng.Intn(3))*20*rules.Lambda+rng.Intn(2*rules.Lambda), rng.Intn(3)*24*rules.Lambda)
-				if _, err := ed.CreateInstance("NAND", fmt.Sprintf("x%d", created),
-					geom.MakeTransform(geom.R0, at), 1, 1, 0, 0); err != nil {
-					t.Fatal(err)
-				}
-			case op < 8 && len(top.Instances) > 1:
-				if err := ed.DeleteInstance(top.Instances[rng.Intn(len(top.Instances))]); err != nil {
-					t.Fatal(err)
-				}
-			default:
-				if len(top.Instances) == 0 {
-					continue
-				}
-				ed.OrientInstance(top.Instances[rng.Intn(len(top.Instances))], geom.R90)
-			}
-		}
+		top := editTrace(t, rng, trial)
 		if mustMatch(t, e, top, fmt.Sprintf("trial %d", trial)) {
 			accepted++
 		} else {

@@ -1,8 +1,6 @@
 package hier
 
 import (
-	"sort"
-
 	"riot/internal/extract"
 	"riot/internal/flatten"
 	"riot/internal/geom"
@@ -31,11 +29,32 @@ func (r *Result) Circuit() (*extract.Circuit, error) {
 		r.NetCount = st.netCount
 		r.DeviceCount = st.deviceCount()
 		r.Violations = st.violations
+		if st.quar != nil {
+			r.Quarantined = len(st.quar.occOf)
+		}
 	}
 
+	// Devices in flat walk order: composed occurrences read their
+	// certificate's locally-resolved terminals; quarantined ones read
+	// their group span's globally-resolved terminals. Both interleave
+	// in global occurrence order, which is the flat device order.
 	ckt := &extract.Circuit{NetCount: st.netCount, NetOf: map[string]int{}}
 	for i := range st.occs {
 		o := &st.occs[i]
+		if st.inQ(i) {
+			q := st.quar
+			sp := q.g.OccDevSpan[q.qIdx[i]]
+			for k := sp[0]; k < sp[1]; k++ {
+				dn := q.devNodes[k]
+				ckt.Transistors = append(ckt.Transistors, extract.Transistor{
+					Kind: q.g.Devices[k].Kind,
+					Gate: int(st.netOf[dn[0]]),
+					A:    int(st.netOf[dn[1]]),
+					B:    int(st.netOf[dn[2]]),
+				})
+			}
+			continue
+		}
 		for _, dv := range o.cert.X.Devices {
 			ckt.Transistors = append(ckt.Transistors, extract.Transistor{
 				Kind: dv.Kind,
@@ -67,22 +86,12 @@ func (r *Result) Circuit() (*extract.Circuit, error) {
 	return ckt, nil
 }
 
-// labelNet resolves a label point to its dense composed net: the
-// lowest occurrence with material on the layer at the point decides,
-// matching the flat locator's lowest-fragment pick over the
-// occurrence-major fragment list.
+// labelNet resolves a label point to its dense composed net via the
+// shared lowest-global-fragment resolution (composed and quarantined
+// material alike).
 func (st *genState) labelNet(p geom.Point, l geom.Layer) int32 {
-	var cand []int
-	st.matIx.QueryPoint(p, func(id int) bool {
-		cand = append(cand, id)
-		return true
-	})
-	sort.Ints(cand)
-	for _, id := range cand {
-		o := &st.occs[id]
-		if n := o.cert.X.FindOnLayer(p.Sub(o.d), l); n >= 0 {
-			return st.netOf[o.netBase+n]
-		}
+	if n := st.nodeAt(p, l); n >= 0 {
+		return st.netOf[n]
 	}
 	return -1
 }

@@ -1,0 +1,206 @@
+package hier
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"riot/internal/core"
+	"riot/internal/faultinject"
+	"riot/internal/geom"
+	"riot/internal/rules"
+)
+
+// placedGrid builds a composition of nx x ny individually placed
+// SRCELLs at abutting pitch (no array instance, so the sampling fast
+// path never applies). shove, when non-nil, overrides the transform of
+// one placement by index.
+func placedGrid(t testing.TB, name string, nx, ny int, shove map[int]geom.Transform) (*core.Design, *core.Cell) {
+	t.Helper()
+	d, top := newDesign(t, name)
+	sr, _ := d.Cell("SRCELL")
+	for i := 0; i < nx*ny; i++ {
+		x, y := i%nx, i/nx
+		tr := geom.MakeTransform(geom.R0, geom.Pt(x*20*rules.Lambda, y*24*rules.Lambda))
+		if s, ok := shove[i]; ok {
+			tr = s
+		}
+		top.Instances = append(top.Instances, core.NewInstance(fmt.Sprintf("c%d", i), sr, tr))
+	}
+	return d, top
+}
+
+// TestHierPartialPendInjection forces a pend certificate through fault
+// injection: the NAND placement must be quarantined and served from
+// the flat group residue while the SRCELL grid stays composed, and the
+// spliced verdict must equal flat exactly.
+func TestHierPartialPendInjection(t *testing.T) {
+	d, top := placedGrid(t, "PENDQ", 3, 3, nil)
+	nand, _ := d.Cell("NAND")
+	top.Instances = append(top.Instances, core.NewInstance("n", nand,
+		geom.MakeTransform(geom.R0, geom.Pt(64*rules.Lambda, 0))))
+
+	e := New()
+	e.Faults = faultinject.New()
+	e.Faults.Enable(faultinject.CertPend, "NAND")
+	if !mustMatch(t, e, top, "pend-injected") {
+		t.Fatalf("engine declined whole instead of quarantining: %v", e.LastDecline())
+	}
+	if e.Faults.Hits(faultinject.CertPend) == 0 {
+		t.Fatal("cert-pend fault armed but never fired")
+	}
+	st := e.Stats()
+	if st.PartialRuns == 0 || st.Quarantined == 0 {
+		t.Fatalf("no partial degradation recorded: %+v", st)
+	}
+	if e.LastDeclineInfo() != nil {
+		t.Fatalf("partial run must not record a decline: %+v", e.LastDeclineInfo())
+	}
+}
+
+// TestHierPartialPoisonInjection forces fragmentation poison on the
+// center placement's pair templates: the placement and every partner
+// it interacts with land in the quarantine group, and the spliced
+// verdict must equal flat exactly.
+func TestHierPartialPoisonInjection(t *testing.T) {
+	_, top := placedGrid(t, "POISONQ", 3, 3, nil)
+
+	e := New()
+	// the center's abutting partners all pull into the group; give the
+	// run headroom so the test exercises splicing, not the budget
+	e.QuarantineBudget = len(top.Instances)
+	e.Faults = faultinject.New()
+	e.Faults.Enable(faultinject.TemplatePoison, "4") // center occurrence
+	if !mustMatch(t, e, top, "poison-injected") {
+		t.Fatalf("engine declined whole instead of quarantining: %v", e.LastDecline())
+	}
+	if e.Faults.Hits(faultinject.TemplatePoison) == 0 {
+		t.Fatal("template-poison fault armed but never fired")
+	}
+	st := e.Stats()
+	if st.PartialRuns == 0 || st.Quarantined < 2 {
+		t.Fatalf("a poisoned pair must quarantine both members: %+v", st)
+	}
+}
+
+// TestHierPartialRealPoison shoves the center cell of a 3x3 grid into
+// its neighbors — the documented organic poison condition (a gate
+// buried under a neighbor's diffusion changes fragmentation itself).
+// Across the sweep at least one shove must be served by partial
+// quarantine rather than a whole decline, and every accepted verdict
+// must equal flat, including the rotated quarantined placements.
+func TestHierPartialRealPoison(t *testing.T) {
+	e := New()
+	accepted, partials := 0, 0
+	for _, tc := range []struct {
+		dx, dy int
+		o      geom.Orient
+	}{
+		{-4, 0, geom.R0}, {4, 0, geom.R0}, {0, -4, geom.R0}, {0, 4, geom.R0},
+		{-4, -4, geom.R0}, {4, 4, geom.R0}, {-6, 0, geom.R0}, {0, -6, geom.R0},
+		{-4, 0, geom.R90}, {0, -4, geom.R90}, {0, 0, geom.R90}, {-4, -4, geom.MX},
+	} {
+		name := fmt.Sprintf("SHOVE%d_%d_O%d", tc.dx+8, tc.dy+8, tc.o)
+		shoved := geom.MakeTransform(tc.o,
+			geom.Pt((20+tc.dx)*rules.Lambda, (24+tc.dy)*rules.Lambda))
+		_, top := placedGrid(t, name, 3, 3, map[int]geom.Transform{4: shoved})
+		before := e.Stats().PartialRuns
+		if mustMatch(t, e, top, name) {
+			accepted++
+			if e.Stats().PartialRuns > before {
+				partials++
+			}
+		}
+	}
+	if accepted == 0 {
+		t.Fatal("engine declined every shoved grid; partial degradation should carry most")
+	}
+	if partials == 0 {
+		t.Error("no shove produced a quarantined partial run; deep overlap should poison at least one pair")
+	}
+}
+
+// TestHierQuarantineBudgetDecline pins the whole-run decline edges:
+// partial degradation disabled (negative budget) must decline with a
+// structured quarantine-budget record, and compose-budget exhaustion
+// (explicit cap or injected fault) must decline with a compose-budget
+// record. The flat engines serve every declined design.
+func TestHierQuarantineBudgetDecline(t *testing.T) {
+	_, top := placedGrid(t, "NOBUDGET", 3, 3, nil)
+
+	e := New()
+	e.QuarantineBudget = -1 // disable partial degradation
+	e.Faults = faultinject.New()
+	e.Faults.Enable(faultinject.CertPend, "SRCELL")
+	if _, ok := e.Verify(top); ok {
+		t.Fatal("engine accepted with partial degradation disabled and every placement pend")
+	}
+	d := e.LastDeclineInfo()
+	if d == nil || d.Cond != CondQuarantineBudget {
+		t.Fatalf("decline = %+v, want condition %s", d, CondQuarantineBudget)
+	}
+	if d.Quarantined != len(top.Instances) {
+		t.Errorf("decline quarantine count = %d, want %d", d.Quarantined, len(top.Instances))
+	}
+	if e.LastDecline() == nil {
+		t.Fatal("LastDecline lost the structured record")
+	}
+
+	e2 := New()
+	e2.ComposeBudget = 1 // the abutting grid needs many pair templates
+	if _, ok := e2.Verify(top); ok {
+		t.Fatal("engine accepted past an exhausted compose budget")
+	}
+	if d := e2.LastDeclineInfo(); d == nil || d.Cond != CondComposeBudget {
+		t.Fatalf("decline = %+v, want condition %s", d, CondComposeBudget)
+	}
+
+	e3 := New()
+	e3.Faults = faultinject.New()
+	e3.Faults.Enable(faultinject.ComposeBudget, "")
+	if _, ok := e3.Verify(top); ok {
+		t.Fatal("engine accepted with the compose-budget fault armed")
+	}
+	if d := e3.LastDeclineInfo(); d == nil || d.Cond != CondComposeBudget {
+		t.Fatalf("decline = %+v, want condition %s", d, CondComposeBudget)
+	}
+	if e3.Faults.Hits(faultinject.ComposeBudget) == 0 {
+		t.Fatal("compose-budget fault armed but never fired")
+	}
+
+	// every declined design is still decidable by the flat reference
+	if ckt, cktErr, _ := flatVerdict(t, top); cktErr != nil || ckt == nil {
+		t.Fatalf("flat reference failed on the declined design: %v", cktErr)
+	}
+}
+
+// pr7DeclinedWhole is the measured whole-run decline count of the
+// seed-1982 editing trace before partial degradation existed (PR 7):
+// 4 of the 12 trials declined whole, all fragmentation poison.
+const pr7DeclinedWhole = 4
+
+// TestHierPartialRegressionBaseline replays the exact editing-trace
+// protocol of TestHierRandomPlacementsMatchFlat and requires partial
+// degradation to strictly beat the recorded PR 7 whole-decline count:
+// the trials that used to fall back to the flat pipeline must now be
+// served by quarantine splicing (and still match flat exactly —
+// mustMatch enforces that per trial).
+func TestHierPartialRegressionBaseline(t *testing.T) {
+	rng := rand.New(rand.NewSource(1982))
+	const trials = 12
+	e := New()
+	declined := 0
+	for trial := 0; trial < trials; trial++ {
+		top := editTrace(t, rng, trial)
+		if !mustMatch(t, e, top, fmt.Sprintf("trial %d", trial)) {
+			declined++
+		}
+	}
+	if declined >= pr7DeclinedWhole {
+		t.Errorf("declined %d of %d trials whole; the PR 7 baseline was %d and partial degradation must strictly improve on it",
+			declined, trials, pr7DeclinedWhole)
+	}
+	if st := e.Stats(); st.PartialRuns == 0 {
+		t.Errorf("the trace's poison trials should now be served partially: %+v", st)
+	}
+}

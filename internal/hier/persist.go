@@ -8,6 +8,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/drc"
 	"riot/internal/extract"
+	"riot/internal/faultinject"
 	"riot/internal/flatten"
 	"riot/internal/geom"
 	"riot/internal/rules"
@@ -59,6 +60,12 @@ func (e *Engine) diskLoad(c *core.Cell, o geom.Orient) *Cert {
 	payload, ok := e.disk.Get(certNamespace, key, certFingerprint())
 	if !ok {
 		return nil
+	}
+	if e.Faults.Hit(faultinject.CertDecode, c.Name) {
+		// A trailing garbage byte survives the store's CRC (it already
+		// validated) but makes the bounded decoder's Done() fail —
+		// exactly the shape of a version-skew or truncated-write bug.
+		payload = append(append([]byte(nil), payload...), 0xFF)
 	}
 	ct, err := decodeCert(payload)
 	if err != nil {

@@ -113,9 +113,13 @@ func buildTemplate(cu, cv *Cert, delta geom.Point) *template {
 	for _, d := range cv.X.Devices {
 		vg = append(vg, d.Gate)
 	}
+	// A poisoned template still carries its DRC relations: the partial
+	// path quarantines the pair's placements for EXTRACTION (their flat
+	// residue re-derives fragmentation) but the DRC certificates are
+	// raw-rectangle-based and fragmentation-independent, so the spacing,
+	// width and touch relations below stay exact and are still replayed.
 	if gateOverND(ug, cv, back) || gateOverND(vg, cu, delta) {
 		t.poison = true
-		return t
 	}
 
 	// per-layer raw-rectangle relations

@@ -758,13 +758,17 @@ func cmdLVS(s *Shell, args []string) error {
 		s.printf("%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
 			cell.Name, store.Hits, store.Matched)
 		s.printf("%s: %s\n", cell.Name, s.Verifier.HierStats())
-		if err := s.Verifier.HierDecline(); err != nil {
-			s.printf("%s: hier declined: %v\n", cell.Name, err)
+		if d := s.Verifier.HierDeclineInfo(); d != nil {
+			s.printf("%s: hier declined: condition=%s cell=%q placement=%d: %v\n",
+				cell.Name, d.Cond, d.Cell, d.Placement, d)
 		}
 		if s.Cache != nil {
 			cst := s.Cache.Stats()
-			s.printf("%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined\n",
-				cell.Name, store.DiskHits, s.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt)
+			s.printf("%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined (%d moved aside), %d miss(es), %d put(s), %d put error(s)\n",
+				cell.Name, store.DiskHits, s.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt, cst.Quarantined, cst.Misses, cst.Puts, cst.PutErrors)
+		}
+		if s.Faults != nil {
+			s.printf("%s: faults: %s\n", cell.Name, s.Faults)
 		}
 		if st.Fallback {
 			s.printf("%s: certified comparison fell back to the flat diagnosis\n", cell.Name)

@@ -25,6 +25,7 @@ import (
 
 	"riot/internal/castore"
 	"riot/internal/core"
+	"riot/internal/faultinject"
 	"riot/internal/lvs"
 	"riot/internal/replay"
 	"riot/internal/rules"
@@ -51,6 +52,10 @@ type Shell struct {
 	// Cache is the persistent verification store attached with
 	// AttachCache, nil when the session runs on in-memory caches only.
 	Cache *castore.Store
+
+	// Faults is the session's fault-injection set (nil = disarmed),
+	// wired with InjectFaults; LVS -stats reports its fire counts.
+	Faults *faultinject.Set
 
 	// FS resolves READ and REPLAY file names; WriteFile stores WRITE
 	// and SAVEJOURNAL output. Both must be provided (tests use maps,
@@ -103,9 +108,22 @@ func (s *Shell) AttachCache(dir string) error {
 		return err
 	}
 	st.Log = func(format string, args ...any) { s.printf(format+"\n", args...) }
+	st.Faults = s.Faults
 	s.Cache = st
 	s.LVS.AttachDisk(st, &castore.Signer{}, &s.Verifier)
 	return nil
+}
+
+// InjectFaults arms the whole pipeline with a fault-injection set
+// (nil disarms): the hierarchical engine's degradation edges and the
+// persistent store's corruption path. Order-independent with
+// AttachCache — whichever runs second picks the set up.
+func (s *Shell) InjectFaults(f *faultinject.Set) {
+	s.Faults = f
+	s.Verifier.InjectFaults(f)
+	if s.Cache != nil {
+		s.Cache.Faults = f
+	}
 }
 
 func (s *Shell) printf(format string, args ...any) {

@@ -28,6 +28,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/drc"
 	"riot/internal/extract"
+	"riot/internal/faultinject"
 	"riot/internal/flatten"
 	"riot/internal/hier"
 )
@@ -45,6 +46,11 @@ type Report struct {
 	// first run, after Invalidate, or when the change log was
 	// exhausted).
 	Incremental bool
+	// Quarantined counts placements the hierarchical engine served by
+	// partial degradation (flat residue spliced into the composed
+	// remainder) rather than certificate composition; 0 for flat-path
+	// reports and clean hierarchical runs.
+	Quarantined int
 	// Gen is the editor generation the report describes.
 	Gen uint64
 	// Flat is the flattened geometry the report was derived from. The
@@ -72,8 +78,10 @@ type Stats struct {
 	Spliced int
 	Full    int
 	// Hier counts runs answered by the hierarchical certificate engine
-	// (per-distinct-cell work, no flattening at all).
-	Hier int
+	// (per-distinct-cell work, no flattening at all); HierPartial those
+	// among them that quarantined placements and spliced a flat residue.
+	Hier        int
+	HierPartial int
 }
 
 // Verifier caches verification state across edits of one composition
@@ -125,6 +133,15 @@ func (v *Verifier) HierStats() hier.Stats { return v.engine().Stats() }
 // HierDecline reports why the most recent hierarchical attempt fell
 // back to the flat pipeline, or nil.
 func (v *Verifier) HierDecline() error { return v.engine().LastDecline() }
+
+// HierDeclineInfo reports the structured decline record of the most
+// recent hierarchical attempt, or nil.
+func (v *Verifier) HierDeclineInfo() *hier.Decline { return v.engine().LastDeclineInfo() }
+
+// InjectFaults arms the hierarchical engine with a fault-injection
+// set (nil disarms). The castore faults are wired separately on the
+// store itself; see shell.InjectFaults for the full-pipeline hookup.
+func (v *Verifier) InjectFaults(f *faultinject.Set) { v.engine().Faults = f }
 
 // FlattenDiskStats reports, for the most recent run, how many instance
 // shards loaded from the persistent store.
@@ -220,11 +237,15 @@ func (v *Verifier) runHier(cell *core.Cell, gen uint64) (*Report, bool) {
 		return nil, false
 	}
 	v.stats.Hier++
+	if res.Quarantined > 0 {
+		v.stats.HierPartial++
+	}
 	v.cell, v.gen, v.have = cell, gen, true
 	v.report = &Report{
-		Circuit:    ckt,
-		Violations: res.Violations,
-		Gen:        gen,
+		Circuit:     ckt,
+		Violations:  res.Violations,
+		Quarantined: res.Quarantined,
+		Gen:         gen,
 	}
 	return v.report, true
 }
