@@ -23,8 +23,15 @@
 //	                          hierarchical certificates) under DIR
 //	                          across invocations; defaults to
 //	                          $RIOT_CACHE when set
-//	riot -stats               after -lvs, print certificate and
-//	                          persistent-store accounting
+//	riot -stats               after the run, print the unified
+//	                          verification statistics (every mode:
+//	                          -drc, -extract, -lvs, scripts)
+//	riot -stats=json          same content as one machine-readable
+//	                          JSON object
+//	riot -trace FILE          record the verification pipeline's span
+//	                          tree and write it as Chrome trace-event
+//	                          JSON (load in chrome://tracing or
+//	                          ui.perfetto.dev)
 //	riot -hier=false          verify with the flat engines only,
 //	                          bypassing the hierarchical per-cell
 //	                          certificate path (verdicts are identical;
@@ -66,11 +73,45 @@ const (
 
 func main() { os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr)) }
 
+// statsFlag accepts -stats (human-readable text), -stats=json
+// (machine-readable) and -stats=false. Declaring IsBoolFlag lets the
+// bare form work without swallowing the next argument.
+type statsFlag struct {
+	on   bool
+	json bool
+}
+
+func (f *statsFlag) String() string {
+	switch {
+	case f.on && f.json:
+		return "json"
+	case f.on:
+		return "true"
+	}
+	return "false"
+}
+
+func (f *statsFlag) IsBoolFlag() bool { return true }
+
+func (f *statsFlag) Set(v string) error {
+	switch v {
+	case "true", "text":
+		f.on, f.json = true, false
+	case "false":
+		f.on, f.json = false, false
+	case "json":
+		f.on, f.json = true, true
+	default:
+		return fmt.Errorf("want -stats, -stats=json or -stats=false, got %q", v)
+	}
+	return nil
+}
+
 func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fl := flag.NewFlagSet("riot", flag.ContinueOnError)
 	fl.SetOutput(stderr)
 	fl.Usage = func() {
-		fmt.Fprintln(stderr, `usage: riot [-f script | -c "CMD; ..."] [-drc CELL] [-extract CELL] [-lvs CELL [-stats]] [-cache DIR] [-screenshot FILE [-workstation charles|gigi]]`)
+		fmt.Fprintln(stderr, `usage: riot [-f script | -c "CMD; ..."] [-drc CELL] [-extract CELL] [-lvs CELL] [-stats[=json]] [-trace FILE] [-cache DIR] [-screenshot FILE [-workstation charles|gigi]]`)
 	}
 	script := fl.String("f", "", "command script to run")
 	cmds := fl.String("c", "", "semicolon-separated commands to run")
@@ -80,7 +121,9 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	extractCell := fl.String("extract", "", "extract a cell's circuit after the script (exit 1 on failure)")
 	lvsCell := fl.String("lvs", "", "netlist-compare a cell after the script (exit 1 on mismatch)")
 	cacheDir := fl.String("cache", os.Getenv("RIOT_CACHE"), "persistent verification cache directory (default $RIOT_CACHE)")
-	stats := fl.Bool("stats", false, "print certificate and cache statistics after -lvs")
+	var stats statsFlag
+	fl.Var(&stats, "stats", "print unified verification statistics after the run (=json: machine-readable)")
+	traceFile := fl.String("trace", "", "write the pipeline's span tree as Chrome trace-event JSON to FILE")
 	hier := fl.Bool("hier", true, "verify through hierarchical per-cell certificates (=false: flat engines only)")
 	faults := fl.String("faults", os.Getenv("RIOT_FAULTS"), "arm fault-injection points, e.g. \"cert-pend=SRCELL,store-corrupt:1\" (default $RIOT_FAULTS)")
 	if err := fl.Parse(args); err != nil {
@@ -122,6 +165,11 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			fmt.Fprintf(stderr, "riot: cache %s: %v\n", *cacheDir, err)
 			return exitConfig
 		}
+	}
+	var trace *riot.Trace
+	if *traceFile != "" {
+		trace = riot.NewTrace()
+		s.SetTrace(trace)
 	}
 
 	switch {
@@ -200,9 +248,6 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		default:
 			fmt.Fprintf(stdout, "%s: netlists match (%d nets, %d devices)\n", *lvsCell, res.RefNets, res.RefDevices)
 		}
-		if *stats {
-			printLVSStats(s, stdout, *lvsCell)
-		}
 	}
 	if *drcCell != "" {
 		if missing("-drc", *drcCell) {
@@ -223,6 +268,36 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 			code = exitVerify
 		default:
 			fmt.Fprintf(stdout, "%s: no design-rule violations\n", *drcCell)
+		}
+	}
+
+	if stats.on {
+		// -stats with nothing verified is a broken invocation: nothing
+		// ran, so every counter would read zero no matter the design
+		if !s.Shell.VerifiedAny() {
+			fmt.Fprintln(stderr, "riot: -stats: no verification ran (combine with -drc, -extract, -lvs, or a script that verifies)")
+			return exitConfig
+		}
+		snap := s.Snapshot()
+		if stats.json {
+			fmt.Fprintf(stdout, "%s\n", snap.JSON())
+		} else {
+			fmt.Fprint(stdout, snap.Text())
+		}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: -trace: %v\n", err)
+			return exitConfig
+		}
+		werr := trace.WriteChrome(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			fmt.Fprintf(stderr, "riot: -trace %s: %v\n", *traceFile, werr)
+			return exitConfig
 		}
 	}
 
@@ -247,23 +322,3 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	return code
 }
 
-// printLVSStats mirrors the shell's LVS -stats accounting for the CLI
-// check path, including the persistent store when -cache is attached.
-func printLVSStats(s *riot.Session, w io.Writer, cell string) {
-	store := s.Shell.LVS.Certs.Stats()
-	fmt.Fprintf(w, "%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
-		cell, store.Hits, store.Matched)
-	fmt.Fprintf(w, "%s: %s\n", cell, s.Shell.Verifier.HierStats())
-	if d := s.Shell.Verifier.HierDeclineInfo(); d != nil {
-		fmt.Fprintf(w, "%s: hier declined: condition=%s cell=%q placement=%d: %v\n",
-			cell, d.Cond, d.Cell, d.Placement, d)
-	}
-	if c := s.Shell.Cache; c != nil {
-		cst := c.Stats()
-		fmt.Fprintf(w, "%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined (%d moved aside), %d miss(es), %d put(s), %d put error(s)\n",
-			cell, store.DiskHits, s.Shell.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt, cst.Quarantined, cst.Misses, cst.Puts, cst.PutErrors)
-	}
-	if s.Shell.Faults != nil {
-		fmt.Fprintf(w, "%s: faults: %s\n", cell, s.Shell.Faults)
-	}
-}

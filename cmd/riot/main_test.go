@@ -2,12 +2,17 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 
 	"riot/internal/castore"
 )
+
+var update = flag.Bool("update", false, "rewrite the golden stats files")
 
 // grid builds an abutting SRCELL array entirely from library files, so
 // the CLI tests need nothing on disk.
@@ -90,36 +95,202 @@ func TestExitCodeMatrix(t *testing.T) {
 	}
 }
 
+// statsJSON extracts and parses the -stats=json object from a run's
+// stdout (the last line).
+func statsJSON(t *testing.T, out string) map[string]map[string]any {
+	t.Helper()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	last := lines[len(lines)-1]
+	var snap map[string]map[string]any
+	if err := json.Unmarshal([]byte(last), &snap); err != nil {
+		t.Fatalf("stats line %q is not a JSON object: %v", last, err)
+	}
+	return snap
+}
+
+// counter reads one numeric stat from a parsed snapshot.
+func counter(t *testing.T, snap map[string]map[string]any, section, key string) float64 {
+	t.Helper()
+	sec, ok := snap[section]
+	if !ok {
+		t.Fatalf("stats missing section %q: %v", section, snap)
+	}
+	v, ok := sec[key].(float64)
+	if !ok {
+		t.Fatalf("stats section %q missing numeric %q: %v", section, key, sec)
+	}
+	return v
+}
+
 // TestCacheWarmStart runs the same -lvs check twice over one cache
 // directory and asserts the second invocation answers from the
-// persistent store — the CLI-level shape the CI warm-start job greps.
+// persistent store — the CLI-level shape the CI warm-start job checks
+// through -stats=json.
 func TestCacheWarmStart(t *testing.T) {
 	t.Chdir(t.TempDir())
 	cache := filepath.Join(t.TempDir(), "cache")
 
-	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats=json")
 	if code != exitOK {
 		t.Fatalf("cold run exit = %d", code)
 	}
-	if !strings.Contains(out, "1 sub-cell match(es) performed") {
-		t.Fatalf("cold run stats missing the match:\n%s", out)
+	snap := statsJSON(t, out)
+	if got := counter(t, snap, "lvs", "matched"); got != 1 {
+		t.Fatalf("cold run matched = %v, want 1:\n%s", got, out)
 	}
 
-	code, out, _ = execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	code, out, _ = execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats=json")
 	if code != exitOK {
 		t.Fatalf("warm run exit = %d", code)
 	}
-	if !strings.Contains(out, "0 sub-cell match(es) performed") {
-		t.Errorf("warm run still matched:\n%s", out)
+	snap = statsJSON(t, out)
+	if got := counter(t, snap, "lvs", "matched"); got != 0 {
+		t.Errorf("warm run still matched (%v):\n%s", got, out)
 	}
-	if !strings.Contains(out, "1 certificate(s) and 1 shard(s) loaded from disk") {
-		t.Errorf("warm run did not load from the persistent store:\n%s", out)
+	if got := counter(t, snap, "hier", "cert_disk_hits"); got != 1 {
+		t.Errorf("warm run loaded %v certificate(s) from disk, want 1:\n%s", got, out)
 	}
-	if !strings.Contains(out, "0 corrupt entr(ies) quarantined") {
-		t.Errorf("warm run reported corruption:\n%s", out)
+	if got := counter(t, snap, "flatten", "disk_loaded"); got != 1 {
+		t.Errorf("warm run loaded %v shard(s) from disk, want 1:\n%s", got, out)
+	}
+	if got := counter(t, snap, "castore", "corrupt"); got != 0 {
+		t.Errorf("warm run reported corruption (%v):\n%s", got, out)
 	}
 	if !strings.Contains(out, "netlists match") {
 		t.Errorf("warm run verdict missing:\n%s", out)
+	}
+}
+
+// TestStatsGolden pins the exact -stats text and -stats=json output of
+// a deterministic DRC run against golden files: the field set, the
+// section ordering and the counter values are the machine-readable
+// contract (go test ./cmd/riot -run StatsGolden -update rewrites them).
+func TestStatsGolden(t *testing.T) {
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	goldenDir := filepath.Join(wd, "testdata")
+	t.Chdir(t.TempDir())
+	for _, tc := range []struct {
+		name   string
+		flag   string
+		golden string
+	}{
+		{"text", "-stats", "stats_text.golden"},
+		{"json", "-stats=json", "stats_json.golden"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := execRun(t, "-c", grid, "-drc", "CHIP", tc.flag)
+			if code != exitOK {
+				t.Fatalf("exit = %d, stderr %s", code, errOut)
+			}
+			// the stats block follows the DRC verdict line
+			i := strings.Index(out, "no design-rule violations\n")
+			if i < 0 {
+				t.Fatalf("verdict line missing:\n%s", out)
+			}
+			got := out[i+len("no design-rule violations\n"):]
+			path := filepath.Join(goldenDir, tc.golden)
+			if *update {
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (run with -update to create)", err)
+			}
+			if got != string(want) {
+				t.Errorf("stats output drifted from %s:\ngot:\n%swant:\n%s", tc.golden, got, want)
+			}
+		})
+	}
+}
+
+// TestStatsRequiresWork pins the satellite contract: -stats in any mode
+// that verified something reports, and -stats with nothing verified is
+// a broken invocation (exit 2), not a silent no-op.
+func TestStatsRequiresWork(t *testing.T) {
+	t.Chdir(t.TempDir())
+	for _, tc := range []struct {
+		name string
+		args []string
+	}{
+		{"drc", []string{"-c", grid, "-drc", "CHIP", "-stats"}},
+		{"extract", []string{"-c", grid, "-extract", "CHIP", "-stats"}},
+		{"lvs", []string{"-c", grid, "-lvs", "CHIP", "-stats"}},
+		{"script", []string{"-c", grid + "; DRC", "-stats"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out, errOut := execRun(t, tc.args...)
+			if code != exitOK {
+				t.Fatalf("exit = %d, stderr %s", code, errOut)
+			}
+			if !strings.Contains(out, "verify: cached=") {
+				t.Errorf("-stats printed nothing for %s:\n%s", tc.name, out)
+			}
+		})
+	}
+	code, _, errOut := execRun(t, "-c", grid, "-stats")
+	if code != exitConfig {
+		t.Fatalf("-stats with no verification: exit = %d, want %d", code, exitConfig)
+	}
+	if !strings.Contains(errOut, "no verification ran") {
+		t.Errorf("missing diagnostic: %q", errOut)
+	}
+}
+
+// TestStatsSurfacesAgree runs the shell STATS JSON command and the
+// -stats=json flag in one invocation with no verification between them
+// and pins byte-identical output — the CLI side of the three-surface
+// identity (Session.Snapshot is pinned in the riot package tests).
+func TestStatsSurfacesAgree(t *testing.T) {
+	t.Chdir(t.TempDir())
+	code, out, errOut := execRun(t, "-c", grid+"; DRC; STATS JSON", "-stats=json")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr %s", code, errOut)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("want STATS JSON and -stats=json lines:\n%s", out)
+	}
+	shellLine, flagLine := lines[len(lines)-2], lines[len(lines)-1]
+	if !strings.HasPrefix(shellLine, "{") || shellLine != flagLine {
+		t.Errorf("STATS JSON and -stats=json disagree:\nshell: %s\nflag:  %s", shellLine, flagLine)
+	}
+}
+
+// TestTraceFlag pins -trace end to end: the file exists, parses as
+// Chrome trace-event JSON, and contains the pipeline's top span.
+func TestTraceFlag(t *testing.T) {
+	t.Chdir(t.TempDir())
+	code, _, errOut := execRun(t, "-c", grid, "-lvs", "CHIP", "-trace", "trace.json")
+	if code != exitOK {
+		t.Fatalf("exit = %d, stderr %s", code, errOut)
+	}
+	data, err := os.ReadFile("trace.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace file is not valid JSON: %v", err)
+	}
+	names := map[string]bool{}
+	for _, ev := range doc.TraceEvents {
+		names[ev.Name] = true
+	}
+	for _, want := range []string{"lvs", "verify", "hier", "match"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (events: %v)", want, names)
+		}
 	}
 }
 
@@ -155,19 +326,19 @@ func TestTamperedCacheStats(t *testing.T) {
 		t.Fatal("nothing to tamper: the cold run persisted no entries")
 	}
 
-	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats")
+	code, out, _ := execRun(t, "-cache", cache, "-c", grid, "-lvs", "CHIP", "-stats=json")
 	if code != exitOK {
 		t.Fatalf("tampered run exit = %d; corruption must degrade, not fail", code)
 	}
 	if !strings.Contains(out, "netlists match") {
 		t.Errorf("tampered run verdict missing:\n%s", out)
 	}
-	if strings.Contains(out, " 0 corrupt entr(ies) quarantined") {
+	snap := statsJSON(t, out)
+	if got := counter(t, snap, "castore", "corrupt"); got == 0 {
 		t.Errorf("tampered run reported zero corruption after %d tampered entries:\n%s", n, out)
 	}
-	if !strings.Contains(out, "corrupt entr(ies) quarantined (") ||
-		!strings.Contains(out, "moved aside)") {
-		t.Errorf("tampered run stats missing the quarantine counters:\n%s", out)
+	if got := counter(t, snap, "castore", "quarantined"); got == 0 {
+		t.Errorf("tampered run quarantined nothing after %d tampered entries:\n%s", n, out)
 	}
 }
 
@@ -185,30 +356,32 @@ func TestFaultsFlag(t *testing.T) {
 
 	// template-poison on the corner placement: the placement and its
 	// abutting partners quarantine, the rest compose, verdict holds
-	code, out, _ := execRun(t, "-faults", "template-poison=0", "-c", grid, "-lvs", "CHIP", "-stats")
+	code, out, _ := execRun(t, "-faults", "template-poison=0", "-c", grid, "-lvs", "CHIP", "-stats=json")
 	if code != exitOK {
 		t.Fatalf("poison-injected run exit = %d", code)
 	}
 	if !strings.Contains(out, "netlists match") {
 		t.Errorf("poison-injected verdict missing:\n%s", out)
 	}
-	if !strings.Contains(out, "partial 1 run(s)") {
-		t.Errorf("poison-injected run not served partially:\n%s", out)
+	snap := statsJSON(t, out)
+	if got := counter(t, snap, "hier", "partial_runs"); got != 1 {
+		t.Errorf("poison-injected run not served partially (partial_runs=%v):\n%s", got, out)
 	}
-	if !strings.Contains(out, "faults: template-poison=0 hit") {
+	if got := counter(t, snap, "faults", "template-poison"); got == 0 {
 		t.Errorf("fault fire count missing from -stats:\n%s", out)
 	}
 
 	// cert-pend on every SRCELL: the whole grid would quarantine, the
 	// budget declines the run and the flat path serves
-	code, out, _ = execRun(t, "-faults", "cert-pend=SRCELL", "-c", grid, "-lvs", "CHIP", "-stats")
+	code, out, _ = execRun(t, "-faults", "cert-pend=SRCELL", "-c", grid, "-lvs", "CHIP", "-stats=json")
 	if code != exitOK {
 		t.Fatalf("pend-injected run exit = %d", code)
 	}
 	if !strings.Contains(out, "netlists match") {
 		t.Errorf("pend-injected verdict missing:\n%s", out)
 	}
-	if !strings.Contains(out, "hier declined: condition=quarantine-budget") {
-		t.Errorf("structured decline line missing:\n%s", out)
+	snap = statsJSON(t, out)
+	if d, ok := snap["hier"]["decline"].(string); !ok || d != "quarantine-budget" {
+		t.Errorf("structured decline missing from -stats (got %v):\n%s", snap["hier"]["decline"], out)
 	}
 }

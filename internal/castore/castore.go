@@ -66,6 +66,7 @@ import (
 	"sync"
 
 	"riot/internal/faultinject"
+	"riot/internal/obs"
 )
 
 // Version is the store format version written to entry headers and the
@@ -97,8 +98,13 @@ type Stats struct {
 // *Store without guarding call sites.
 type Store struct {
 	// Log receives one line per noteworthy event (quarantines, write
-	// failures); nil discards. Set it before sharing the store.
-	Log func(format string, args ...any)
+	// failures); nil means the default obs.Stderr. Set obs.Discard to
+	// silence, or a capture func to test. Set it before sharing the
+	// store.
+	Log obs.Logger
+	// Trace, when enabled, receives one typed EventCorrupt per
+	// rejected entry. Set it before sharing the store.
+	Trace *obs.Trace
 	// Faults is the optional fault-injection set (faultinject.Set); a
 	// nil set never fires. The StoreCorrupt point flips a payload byte
 	// after the disk read, driving the validate→quarantine→recompute
@@ -160,7 +166,9 @@ func (s *Store) Stats() Stats {
 func (s *Store) logf(format string, args ...any) {
 	if s.Log != nil {
 		s.Log(format, args...)
+		return
 	}
+	obs.Stderr(format, args...)
 }
 
 func (s *Store) count(f func(*Stats)) {
@@ -327,6 +335,9 @@ func validate(data []byte, fingerprint uint64) ([]byte, string) {
 // reject logs, counts and quarantines a bad entry.
 func (s *Store) reject(ns string, key Key, path, reason string) {
 	s.logf("castore: %s/%s: %s; entry quarantined, recomputing cold", ns, key.Short(), reason)
+	if s.Trace.Enabled() {
+		s.Trace.Event(obs.EventCorrupt, fmt.Sprintf("%s/%s: %s", ns, key.Short(), reason))
+	}
 	qdir := filepath.Join(s.dir, "quarantine")
 	dst := filepath.Join(qdir, ns+"-"+key.String())
 	moved := os.MkdirAll(qdir, 0o755) == nil && os.Rename(path, dst) == nil

@@ -5,6 +5,7 @@ import (
 
 	"riot/internal/flatten"
 	"riot/internal/geom"
+	"riot/internal/obs"
 	"riot/internal/rules"
 )
 
@@ -35,6 +36,11 @@ import (
 // The spliced report is identical to a from-scratch Check
 // (differential-tested).
 type Incremental struct {
+	// Trace, when enabled, records a "drc" span per Check call, noting
+	// whether the splice or the full path ran; nil records nothing and
+	// costs nothing.
+	Trace *obs.Trace
+
 	fr    *flatten.Result
 	evals map[geom.Layer]*layerEval
 }
@@ -43,10 +49,13 @@ type Incremental struct {
 // previous Result this Incremental checked, enables the splice path;
 // the second return reports whether it ran.
 func (inc *Incremental) Check(fr *flatten.Result, delta *flatten.Delta) ([]Violation, bool) {
+	sp := inc.Trace.Begin("drc")
+	defer sp.End()
 	usable := delta != nil && inc.fr != nil && delta.Old == inc.fr
 	layers := checkedLayers(fr)
 
 	if !usable {
+		sp.Note("path", "full")
 		// full rebuild: the same per-layer parallel fan-out as Check
 		evals := evalAll(fr, layers, runtime.GOMAXPROCS(0))
 		inc.fr = fr
@@ -61,6 +70,7 @@ func (inc *Incremental) Check(fr *flatten.Result, delta *flatten.Delta) ([]Viola
 		return dedupe(out), false
 	}
 
+	sp.Note("path", "splice")
 	maps := layerMaps(fr, delta)
 	spliced := false
 	evals := make(map[geom.Layer]*layerEval, len(layers))

@@ -5,6 +5,7 @@ import (
 
 	"riot/internal/flatten"
 	"riot/internal/geom"
+	"riot/internal/obs"
 )
 
 // Incremental is a circuit extractor that caches its connectivity
@@ -28,6 +29,11 @@ import (
 // the union partition is provably the same closure, and the numbering
 // tail is the same code.
 type Incremental struct {
+	// Trace, when enabled, records an "extract" span per Solve call,
+	// noting whether the splice or the full path ran; nil records
+	// nothing and costs nothing.
+	Trace *obs.Trace
+
 	fr     *flatten.Result
 	frags  []flatten.Shape
 	counts []int32 // fragments per shape, aligned with fr.Shapes
@@ -46,7 +52,10 @@ type Incremental struct {
 // otherwise a full parallel solve runs and primes the cache. The
 // second return reports whether the splice path ran.
 func (inc *Incremental) Solve(fr *flatten.Result, delta *flatten.Delta) (*Circuit, bool, error) {
+	sp := inc.Trace.Begin("extract")
+	defer sp.End()
 	if delta == nil || inc.fr == nil || delta.Old != inc.fr {
+		sp.Note("path", "full")
 		ckt, st, err := solveWorkers(fr, false, runtime.GOMAXPROCS(0))
 		if err != nil {
 			inc.fr = nil
@@ -55,6 +64,7 @@ func (inc *Incremental) Solve(fr *flatten.Result, delta *flatten.Delta) (*Circui
 		inc.fr, inc.frags, inc.counts, inc.edges = fr, st.frags, st.counts, st.edges
 		return ckt, false, nil
 	}
+	sp.Note("path", "splice")
 	ckt, err := inc.splice(fr, delta)
 	if err != nil {
 		return nil, true, err

@@ -1,9 +1,12 @@
 package flatten
 
 import (
+	"strconv"
+
 	"riot/internal/castore"
 	"riot/internal/core"
 	"riot/internal/geom"
+	"riot/internal/obs"
 )
 
 // This file is the incremental half of the package: a Cache memoizes
@@ -78,6 +81,13 @@ type Delta struct {
 // across edits. The zero Cache is ready to use; a Cache serves one
 // cell at a time (Flatten resets it when the cell changes identity).
 type Cache struct {
+	// Trace, when enabled, records a "flatten" span per Flatten call
+	// with one "shard <inst>" child per re-flattened instance and a
+	// "splice" child for the assembly; nil (the default) records
+	// nothing and costs nothing. Survives Reset — it is wiring, not
+	// cached state.
+	Trace *obs.Trace
+
 	cell   *core.Cell
 	shards map[*core.Instance]cachedShard
 	last   *Result
@@ -130,6 +140,8 @@ func (ca *Cache) instConns(in *core.Instance) []core.InstConn {
 // Result exists to diff against, the Delta from it (nil on the first
 // run, on a cell switch, or after an error reset).
 func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
+	fsp := ca.Trace.Begin("flatten")
+	defer fsp.End()
 	if c.Kind != core.Composition {
 		// leaves have no instance list to splice; full walk
 		fr, err := Cell(c, Options{})
@@ -164,7 +176,12 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 			ca.lastDiskLoaded++
 			continue
 		}
+		var ssp *obs.Span
+		if fsp != nil {
+			ssp = fsp.Child("shard " + in.Name)
+		}
 		sh, err := flattenInstance(in)
+		ssp.End()
 		if err != nil {
 			ca.last, ca.spans = nil, nil
 			return nil, nil, err
@@ -174,6 +191,7 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		ca.lastReflattened++
 		ca.diskStore(in, sh)
 	}
+	ssp := fsp.Child("splice")
 
 	// splice the shards in instance order, renumbering occurrence ids
 	// into the walk-global sequence — exactly the from-scratch walk's
@@ -275,6 +293,12 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		}
 	}
 	ca.last, ca.spans = res, spans
+	ssp.End()
+	if fsp != nil {
+		fsp.Note("reused", strconv.Itoa(ca.lastReused))
+		fsp.Note("reflattened", strconv.Itoa(ca.lastReflattened))
+		fsp.Note("disk", strconv.Itoa(ca.lastDiskLoaded))
+	}
 	return res, delta, nil
 }
 

@@ -1,12 +1,14 @@
 package hier
 
 import (
+	"fmt"
 	"sort"
 	"strconv"
 
 	"riot/internal/drc"
 	"riot/internal/faultinject"
 	"riot/internal/geom"
+	"riot/internal/obs"
 	"riot/internal/rules"
 )
 
@@ -67,6 +69,11 @@ func neg(p geom.Point) geom.Point { return geom.Pt(-p.X, -p.Y) }
 // exhaustion, an unresolvable quarantined device terminal) return an
 // error, always a *Decline.
 func (e *Engine) compose(occs []placed, allowPartial bool) (*genState, error) {
+	csp := e.Trace.Begin("compose")
+	defer csp.End()
+	if csp != nil {
+		csp.Note("placements", strconv.Itoa(len(occs)))
+	}
 	if e.Faults.Hit(faultinject.ComposeBudget, "") {
 		return nil, &Decline{Cond: CondComposeBudget, Placement: -1}
 	}
@@ -154,7 +161,17 @@ func (e *Engine) compose(occs []placed, allowPartial bool) (*genState, error) {
 
 	groupNets := 0
 	if nq > 0 {
+		qsp := e.Trace.Begin("quarantine")
+		if qsp != nil {
+			qsp.Note("placements", strconv.Itoa(nq))
+		}
+		if e.Trace.Enabled() {
+			e.Trace.Event(obs.EventQuarantine,
+				fmt.Sprintf("%d of %d placement(s) quarantined to the flat residue", nq, len(occs)))
+		}
+		e.logf("hier: quarantined %d of %d placement(s); composing the remainder", nq, len(occs))
 		q, err := e.buildQuarantine(occs, inQ)
+		qsp.End()
 		if err != nil {
 			return nil, &Decline{Cond: CondQuarantine, Placement: -1, Err: err}
 		}
@@ -252,9 +269,15 @@ func (e *Engine) compose(occs []placed, allowPartial bool) (*genState, error) {
 	}
 	st.netOf, st.netCount = netOf, n
 
+	wsp := csp.Child("width")
 	e.composeWidth(st)
+	wsp.End()
+	ssp := csp.Child("spacing")
 	e.composeSpacing(st)
+	ssp.End()
+	usp := csp.Child("surround")
 	e.composeSurround(st)
+	usp.End()
 	st.violations = drc.FinishViolations(st.violations)
 	return st, nil
 }

@@ -52,6 +52,7 @@ import (
 	"riot/internal/faultinject"
 	"riot/internal/flatten"
 	"riot/internal/geom"
+	"riot/internal/obs"
 	"riot/internal/rules"
 )
 
@@ -77,6 +78,14 @@ type Engine struct {
 
 	// Faults is the optional fault-injection set; nil never fires.
 	Faults *faultinject.Set
+	// Trace, when enabled, records the engine's span tree per Verify
+	// (certs, compose, fast, quarantine) plus typed decline and
+	// quarantine events; nil records nothing and costs nothing.
+	Trace *obs.Trace
+	// Log receives one line per noteworthy degradation (declines other
+	// than the routine not-a-composition, partial quarantines); nil
+	// means the default obs.Stderr. Set obs.Discard to silence.
+	Log obs.Logger
 	// QuarantineBudget caps how many placements a run may quarantine
 	// before declining whole: 0 picks the default (max(4, n/4) of n
 	// placements), a negative value disables partial degradation, a
@@ -86,6 +95,31 @@ type Engine struct {
 	// plus replays) of one composition; 0 is unlimited. Exhaustion
 	// declines the run whole — a sanity valve for pathological designs.
 	ComposeBudget int
+}
+
+// logf routes a noteworthy-event line through the injectable logger
+// (default stderr).
+func (e *Engine) logf(format string, args ...any) {
+	if e.Log != nil {
+		e.Log(format, args...)
+		return
+	}
+	obs.Stderr(format, args...)
+}
+
+// declined records a decline: the structured record, the fallback
+// counter, a typed trace event, and — except for the routine
+// not-a-composition case, which fires on every leaf-cell verify — one
+// logger line.
+func (e *Engine) declined(d *Decline) {
+	e.stats.Fallbacks++
+	e.lastDecline = d
+	if e.Trace.Enabled() {
+		e.Trace.Event(obs.EventDecline, d.Error())
+	}
+	if d.Cond != CondNotComposition {
+		e.logf("hier: declined to flat path: %v", d)
+	}
 }
 
 // LastDecline reports why the most recent Verify declined, or nil.
@@ -203,14 +237,17 @@ func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
 	e.ensureMemos()
 	e.stats.Runs++
 	e.lastDecline = nil
+	sp := e.Trace.Begin("hier")
+	defer sp.End()
 	if top == nil || top.Kind != core.Composition {
-		e.stats.Fallbacks++
-		e.lastDecline = &Decline{Cond: CondNotComposition, Placement: -1}
+		e.declined(&Decline{Cond: CondNotComposition, Placement: -1})
 		return nil, false
 	}
+	if sp != nil {
+		sp.Note("cell", top.Name)
+	}
 	if r, ok, err := e.fast(top); err != nil {
-		e.stats.Fallbacks++
-		e.lastDecline = declineOf(err)
+		e.declined(declineOf(err))
 		return nil, false
 	} else if ok {
 		e.stats.FastRuns++
@@ -218,8 +255,7 @@ func (e *Engine) Verify(top *core.Cell) (*Result, bool) {
 	}
 	st, err := e.generalTop(top)
 	if err != nil {
-		e.stats.Fallbacks++
-		e.lastDecline = declineOf(err)
+		e.declined(declineOf(err))
 		return nil, false
 	}
 	quarantined := 0
@@ -270,17 +306,31 @@ func (e *Engine) cert(c *core.Cell, o geom.Orient) (*Cert, error) {
 		e.certSeq++
 		ct.id = e.certSeq
 		e.memo[k] = ct
+		if e.Trace.Enabled() {
+			e.Trace.Begin("cert disk " + c.Name).End()
+		}
 		return ct, nil
+	}
+	var csp *obs.Span
+	if e.Trace.Enabled() {
+		csp = e.Trace.Begin("cert build " + c.Name)
 	}
 	fr, err := flatten.CellAt(c, geom.Transform{O: o}, flatten.Options{Sequential: true})
 	if err != nil {
+		csp.End()
 		return nil, err
 	}
+	xsp := csp.Child("extract")
 	x, err := extract.CellSolve(fr)
+	xsp.End()
 	if err != nil {
+		csp.End()
 		return nil, err
 	}
+	dsp := csp.Child("drc")
 	ct := &Cert{Cell: c, Orient: o, X: x, D: drc.CellCheck(fr)}
+	dsp.End()
+	csp.End()
 	e.stats.CertBuilt++
 	e.certSeq++
 	ct.id = e.certSeq
@@ -334,7 +384,9 @@ func placedAt(ct *Cert, d geom.Point) placed {
 
 // generalTop runs the exact O(placements) composition for a top cell.
 func (e *Engine) generalTop(top *core.Cell) (*genState, error) {
+	wsp := e.Trace.Begin("certs")
 	occs, err := e.walk(top, geom.Identity, nil)
+	wsp.End()
 	if err != nil {
 		return nil, &Decline{Cond: CondCertBuild, Placement: -1, Err: err}
 	}

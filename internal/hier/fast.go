@@ -125,6 +125,9 @@ func (e *Engine) fast(top *core.Cell) (*Result, bool, error) {
 		}
 	}
 
+	fsp := e.Trace.Begin("fast")
+	defer fsp.End()
+
 	// Samples compose WITHOUT partial degradation: a pend or poison
 	// sample means the full array would quarantine placements, so the
 	// fast path is simply not eligible and the general path decides.

@@ -6,6 +6,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/extract"
 	"riot/internal/flatten"
+	"riot/internal/obs"
 	"riot/internal/verify"
 )
 
@@ -31,20 +32,33 @@ type Incremental struct {
 	// boundary anchors — only the un-certified region around the edit
 	// is re-refined.
 	Certs CertStore
+	// Trace, when enabled, records an "lvs" span per Check with the
+	// verifier's span tree, a "reference" derivation span and a "match"
+	// span nested inside; nil records nothing and costs nothing.
+	Trace *obs.Trace
 
 	cell *core.Cell
 	gen  uint64
 	res  *Result
 	have bool
+	last *Result
 }
+
+// Last reports the most recent comparison's Result (through either
+// Check or CheckCell), or nil before the first run. Stats surfaces read
+// the certificate accounting from it.
+func (inc *Incremental) Last() *Result { return inc.last }
 
 // Check runs LVS on the editor's cell through the shared verifier.
 func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, error) {
+	sp := inc.Trace.Begin("lvs")
+	defer sp.End()
 	rep, err := v.Verify(ed)
 	if err != nil {
 		return nil, err
 	}
 	if inc.have && inc.cell == ed.Cell && inc.gen == rep.Gen {
+		sp.Note("path", "cached")
 		return inc.res, nil
 	}
 	// the hierarchical verify path skips flattening; LVS reads
@@ -65,6 +79,8 @@ func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, err
 // No editing session means no declared records: the reference is the
 // cell's structure alone.
 func (inc *Incremental) CheckCell(cell *core.Cell, v *verify.Verifier) (*Result, error) {
+	sp := inc.Trace.Begin("lvs")
+	defer sp.End()
 	rep, err := v.VerifyCell(cell)
 	if err != nil {
 		return nil, err
@@ -82,11 +98,17 @@ func (inc *Incremental) compare(cell *core.Cell, declared []core.Connection, rep
 	if rep.CircuitErr != nil {
 		return nil, fmt.Errorf("lvs: %s: layout extraction failed: %w", cell.Name, rep.CircuitErr)
 	}
+	rsp := inc.Trace.Begin("reference")
 	ref, occs, err := inc.Ref.NetlistOccs(cell, declared)
+	rsp.End()
 	if err != nil {
 		return nil, err
 	}
-	return compareHier(&inc.Ref, &inc.Certs, occs, ref, rep.Circuit, rep.Flat), nil
+	msp := inc.Trace.Begin("match")
+	res := compareHier(&inc.Ref, &inc.Certs, occs, ref, rep.Circuit, rep.Flat)
+	msp.End()
+	inc.last = res
+	return res, nil
 }
 
 // checkScratch is the shared from-scratch path: fresh reference memo,

@@ -1,0 +1,25 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+)
+
+// Logger receives one formatted line per noteworthy pipeline event
+// (persistent-store quarantines, hierarchical declines). Implementations
+// must not assume a trailing newline in format.
+type Logger func(format string, args ...any)
+
+// Stderr is the default Logger: one line per event to standard error.
+func Stderr(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+}
+
+// Discard silences a logging site.
+func Discard(format string, args ...any) {}
+
+// sprintf is fmt.Sprintf under a local name so trace.go need not
+// import fmt for one call.
+func sprintf(format string, args ...any) string {
+	return fmt.Sprintf(format, args...)
+}

@@ -1,0 +1,177 @@
+package obs
+
+import (
+	"bytes"
+	"strconv"
+	"sync"
+)
+
+// Item is one counter (or string annotation) in a registry section.
+// Str, when non-empty conventions aside, marks the item as a string
+// value; Val is used otherwise.
+type Item struct {
+	Key string
+	Val int64
+	// Str, when set (IsStr), renders instead of Val — for the few
+	// non-numeric facts a section reports (e.g. the last decline
+	// condition).
+	Str   string
+	IsStr bool
+}
+
+// N is shorthand for a numeric item.
+func N(key string, val int) Item { return Item{Key: key, Val: int64(val)} }
+
+// S is shorthand for a string item.
+func S(key, val string) Item { return Item{Key: key, Str: val, IsStr: true} }
+
+// Registry holds named sections of live counter providers. Sections
+// render in registration order; re-registering a name replaces its
+// provider in place, so wiring is idempotent. A provider returning nil
+// drops its section from snapshots (the convention for "not attached
+// yet" — e.g. the persistent store before AttachCache).
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	provs map[string]func() []Item
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{provs: map[string]func() []Item{}} }
+
+// Register adds (or replaces) a section's provider. The provider is
+// called at Snapshot time, so it should read the live Stats struct it
+// wraps.
+func (r *Registry) Register(section string, fn func() []Item) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.provs[section]; !ok {
+		r.order = append(r.order, section)
+	}
+	r.provs[section] = fn
+}
+
+// Snapshot pulls every section's current items. Sections whose
+// provider returns nil are omitted; the rest keep registration order,
+// so two snapshots of identically-wired registries are structurally
+// identical.
+func (r *Registry) Snapshot() *Snapshot {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	snap := &Snapshot{}
+	for _, name := range r.order {
+		items := r.provs[name]()
+		if items == nil {
+			continue
+		}
+		snap.Sections = append(snap.Sections, Section{Name: name, Items: items})
+	}
+	return snap
+}
+
+// Section is one named group of items in a snapshot.
+type Section struct {
+	Name  string
+	Items []Item
+}
+
+// Snapshot is one point-in-time pull of a registry: the same ordered
+// numbers every stats surface renders.
+type Snapshot struct {
+	Sections []Section
+}
+
+// Section returns the named section, or nil.
+func (s *Snapshot) Section(name string) *Section {
+	for i := range s.Sections {
+		if s.Sections[i].Name == name {
+			return &s.Sections[i]
+		}
+	}
+	return nil
+}
+
+// Get returns the named counter from the named section (0, false when
+// absent or a string item).
+func (s *Snapshot) Get(section, key string) (int64, bool) {
+	sec := s.Section(section)
+	if sec == nil {
+		return 0, false
+	}
+	for _, it := range sec.Items {
+		if it.Key == key && !it.IsStr {
+			return it.Val, true
+		}
+	}
+	return 0, false
+}
+
+// Text renders the snapshot as human-readable lines, one section per
+// line: "section: key=value key=value ...". String values quote only
+// when they contain spaces.
+func (s *Snapshot) Text() string {
+	var b bytes.Buffer
+	for _, sec := range s.Sections {
+		b.WriteString(sec.Name)
+		b.WriteByte(':')
+		for _, it := range sec.Items {
+			b.WriteByte(' ')
+			b.WriteString(it.Key)
+			b.WriteByte('=')
+			if it.IsStr {
+				if needsQuote(it.Str) {
+					b.WriteString(strconv.Quote(it.Str))
+				} else {
+					b.WriteString(it.Str)
+				}
+			} else {
+				b.WriteString(strconv.FormatInt(it.Val, 10))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func needsQuote(s string) bool {
+	if s == "" {
+		return true
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == ' ' || s[i] == '"' || s[i] < 0x20 {
+			return true
+		}
+	}
+	return false
+}
+
+// JSON renders the snapshot as a single machine-readable object with
+// deterministic field ordering (sections in registration order, keys
+// in provider order): {"section":{"key":0,...},...}. The bytes end
+// without a newline.
+func (s *Snapshot) JSON() []byte {
+	var b bytes.Buffer
+	b.WriteByte('{')
+	for i, sec := range s.Sections {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(strconv.Quote(sec.Name))
+		b.WriteString(":{")
+		for j, it := range sec.Items {
+			if j > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Quote(it.Key))
+			b.WriteByte(':')
+			if it.IsStr {
+				b.WriteString(strconv.Quote(it.Str))
+			} else {
+				b.WriteString(strconv.FormatInt(it.Val, 10))
+			}
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte('}')
+	return b.Bytes()
+}

@@ -27,6 +27,7 @@ import (
 	"riot/internal/core"
 	"riot/internal/faultinject"
 	"riot/internal/lvs"
+	"riot/internal/obs"
 	"riot/internal/replay"
 	"riot/internal/rules"
 	"riot/internal/verify"
@@ -75,6 +76,12 @@ type Shell struct {
 
 	Journal *replay.Journal
 
+	// reg is the unified stats registry every surface (STATS, riot
+	// -stats, Session.Snapshot) renders from; trace is the session's
+	// span recorder, nil unless SetTrace wired one.
+	reg   *obs.Registry
+	trace *obs.Trace
+
 	quit bool
 }
 
@@ -89,6 +96,7 @@ func New(out io.Writer) *Shell {
 		Journal: replay.New(),
 	}
 	s.Verifier.Hier = true
+	s.initRegistry()
 	return s
 }
 
@@ -109,6 +117,7 @@ func (s *Shell) AttachCache(dir string) error {
 	}
 	st.Log = func(format string, args ...any) { s.printf(format+"\n", args...) }
 	st.Faults = s.Faults
+	st.Trace = s.trace
 	s.Cache = st
 	s.LVS.AttachDisk(st, &castore.Signer{}, &s.Verifier)
 	return nil
@@ -223,6 +232,7 @@ func init() {
 		"STRETCH":     {usage: "STRETCH", help: "connect by stretching the from instance", mutating: true, needsEditor: true, run: cmdStretch},
 		"BRINGOUT":    {usage: "BRINGOUT <inst> <side> <conn>...", help: "route connectors out to the cell edge", mutating: true, needsEditor: true, run: cmdBringOut},
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
+		"STATS":       {usage: "STATS [JSON]", help: "print unified verification statistics (JSON: machine-readable)", run: cmdStats},
 		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
 		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", run: cmdExtract},
 		"LVS":         {usage: "LVS [-stats] [<cell>]", help: "compare the extracted netlist against the declared composition (-stats: certificate accounting)", run: cmdLVS},

@@ -31,6 +31,7 @@ import (
 	"riot/internal/faultinject"
 	"riot/internal/flatten"
 	"riot/internal/hier"
+	"riot/internal/obs"
 )
 
 // Report is the outcome of one whole-design verification.
@@ -99,6 +100,11 @@ type Verifier struct {
 	Hier bool
 	eng  *hier.Engine
 
+	// trace, when enabled, records the pipeline's span tree per run:
+	// one "verify" root with the flatten/extract/drc or hier children.
+	// SetTrace propagates it to every stage.
+	trace *obs.Trace
+
 	cell   *core.Cell
 	gen    uint64
 	have   bool
@@ -108,6 +114,26 @@ type Verifier struct {
 
 // Stats reports the verifier's run accounting.
 func (v *Verifier) Stats() Stats { return v.stats }
+
+// SetTrace wires a span recorder through the whole pipeline: the
+// verifier itself, the flatten cache, the extractor, the checker and
+// the hierarchical engine all record into t. nil detaches tracing
+// everywhere (the default, which costs nothing).
+func (v *Verifier) SetTrace(t *obs.Trace) {
+	v.trace = t
+	v.cache.Trace = t
+	v.ext.Trace = t
+	v.chk.Trace = t
+	v.engine().Trace = t
+}
+
+// Trace reports the recorder SetTrace installed, or nil.
+func (v *Verifier) Trace() *obs.Trace { return v.trace }
+
+// SetLog routes the hierarchical engine's degradation lines (declines,
+// partial quarantines) through l. nil restores the default, stderr;
+// obs.Discard silences them.
+func (v *Verifier) SetLog(l obs.Logger) { v.engine().Log = l }
 
 // AttachDisk connects the verifier's flatten cache and the
 // hierarchical engine to a persistent content-addressed store:
@@ -191,6 +217,11 @@ func (v *Verifier) VerifyCell(cell *core.Cell) (*Report, error) {
 }
 
 func (v *Verifier) run(cell *core.Cell, gen uint64) (*Report, error) {
+	sp := v.trace.Begin("verify")
+	defer sp.End()
+	if sp != nil {
+		sp.Note("cell", cell.Name)
+	}
 	if v.Hier {
 		if rep, ok := v.runHier(cell, gen); ok {
 			return rep, nil
@@ -232,7 +263,9 @@ func (v *Verifier) runHier(cell *core.Cell, gen uint64) (*Report, bool) {
 	if !ok {
 		return nil, false
 	}
+	msp := v.trace.Begin("materialize")
 	ckt, err := res.Circuit()
+	msp.End()
 	if err != nil {
 		return nil, false
 	}

@@ -53,6 +53,7 @@ import (
 	"riot/internal/geom"
 	"riot/internal/lib"
 	"riot/internal/lvs"
+	"riot/internal/obs"
 	"riot/internal/plot"
 	"riot/internal/raster"
 	"riot/internal/shell"
@@ -86,7 +87,16 @@ type (
 	LVSResult = lvs.Result
 	// LVSMismatch is one structured LVS diagnostic.
 	LVSMismatch = lvs.Mismatch
+	// Trace records the verification pipeline's span tree (SetTrace);
+	// export it with WriteChrome for chrome://tracing or Perfetto.
+	Trace = obs.Trace
+	// StatsSnapshot is one point-in-time pull of the session's unified
+	// verification statistics (Snapshot).
+	StatsSnapshot = obs.Snapshot
 )
+
+// NewTrace returns an enabled span recorder ready for SetTrace.
+func NewTrace() *Trace { return obs.NewTrace() }
 
 // Session is one Riot run: a design, a shell, files, and devices.
 type Session struct {
@@ -150,6 +160,17 @@ func (s *Session) Mount(fsys fs.FS) { s.extra = fsys }
 // signatures. Corrupt or version-skewed entries are quarantined and
 // recomputed cold; verdicts are identical to cache-free runs.
 func (s *Session) AttachCache(dir string) error { return s.Shell.AttachCache(dir) }
+
+// Snapshot pulls the session's unified verification statistics: the
+// same sections, keys and values the shell STATS command and riot
+// -stats render (the three surfaces are pinned identical by test).
+func (s *Session) Snapshot() *StatsSnapshot { return s.Shell.Snapshot() }
+
+// SetTrace wires a span recorder through the session's whole
+// verification pipeline (flatten, extract, DRC, the hierarchical
+// engine, LVS, the persistent store). nil detaches tracing; a detached
+// pipeline records nothing and costs nothing.
+func (s *Session) SetTrace(t *Trace) { s.Shell.SetTrace(t) }
 
 // AddFile places a file in the session's in-memory file system.
 func (s *Session) AddFile(name string, data []byte) { s.files[name] = data }
