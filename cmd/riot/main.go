@@ -40,6 +40,15 @@
 //	                          (e.g. "cert-pend=SRCELL,store-corrupt:1")
 //	                          to exercise the pipeline's degradation
 //	                          paths; defaults to $RIOT_FAULTS when set
+//	riot -serve               run the multi-session design server: a
+//	                          line protocol over stdin (OPEN <sid>
+//	                          [<design>], ON <sid> <command...>,
+//	                          CLOSE <sid>, SESSIONS, STATS [JSON],
+//	                          QUIT) multiplexing editing sessions over
+//	                          shared designs and one shared
+//	                          verification store; combine with -cache
+//	                          to persist it and -stats[=json] for the
+//	                          aggregate counters after serving
 
 //
 // Exit status distinguishes why a run failed: 0 means every requested
@@ -63,6 +72,7 @@ import (
 
 	"riot"
 	"riot/internal/faultinject"
+	"riot/internal/serve"
 )
 
 const (
@@ -126,6 +136,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	traceFile := fl.String("trace", "", "write the pipeline's span tree as Chrome trace-event JSON to FILE")
 	hier := fl.Bool("hier", true, "verify through hierarchical per-cell certificates (=false: flat engines only)")
 	faults := fl.String("faults", os.Getenv("RIOT_FAULTS"), "arm fault-injection points, e.g. \"cert-pend=SRCELL,store-corrupt:1\" (default $RIOT_FAULTS)")
+	srv := fl.Bool("serve", false, "run the multi-session design server over stdin (OPEN/ON/CLOSE/SESSIONS/STATS/QUIT)")
 	if err := fl.Parse(args); err != nil {
 		return exitConfig
 	}
@@ -136,6 +147,33 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	if *script != "" && *cmds != "" {
 		fmt.Fprintln(stderr, "riot: -f and -c are mutually exclusive")
 		return exitConfig
+	}
+	if *srv {
+		if *script != "" || *cmds != "" || *drcCell != "" || *extractCell != "" || *lvsCell != "" || *screenshot != "" {
+			fmt.Fprintln(stderr, "riot: -serve takes its commands on stdin (no -f/-c/-drc/-extract/-lvs/-screenshot)")
+			return exitConfig
+		}
+		sv, err := serve.New(serve.Options{
+			CacheDir: *cacheDir,
+			Log:      func(format string, a ...any) { fmt.Fprintf(stderr, format+"\n", a...) },
+		})
+		if err != nil {
+			fmt.Fprintf(stderr, "riot: -serve: %v\n", err)
+			return exitConfig
+		}
+		if err := sv.Serve(stdin, stdout); err != nil {
+			fmt.Fprintf(stderr, "riot: -serve: %v\n", err)
+			return exitConfig
+		}
+		if stats.on {
+			snap := sv.Snapshot()
+			if stats.json {
+				fmt.Fprintf(stdout, "%s\n", snap.JSON())
+			} else {
+				fmt.Fprint(stdout, snap.Text())
+			}
+		}
+		return exitOK
 	}
 
 	s, err := riot.NewSession(stdout)

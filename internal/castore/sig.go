@@ -6,6 +6,7 @@ import (
 	"encoding/hex"
 	"fmt"
 	"hash"
+	"sync"
 
 	"riot/internal/cif"
 	"riot/internal/core"
@@ -34,30 +35,51 @@ func (k Key) String() string { return hex.EncodeToString(k[:]) }
 func (k Key) Short() string { return hex.EncodeToString(k[:6]) }
 
 // Signer computes cell content signatures, memoizing leaf cells by
-// pointer: leaf payloads are immutable under the editor contract
-// (STRETCH swaps the cell pointer; out-of-band mutation must go
-// through Editor.Invalidate), the same contract the flatten cache's
-// placement keys already rely on. Composition signatures are
-// recomputed per call — compositions mutate in place under edit — but
-// each call costs only a walk over memoized leaf signatures. A Signer
-// is not safe for concurrent use.
+// pointer. Each memo entry records the cell's revision
+// (core.Cell.Revision) at signing time and is ignored once the cell's
+// revision moves on, so a long-lived Signer — a design server shares
+// one across every session, for the lifetime of the process — can
+// never serve a stale signature for a cell that was mutated in place.
+// Composition signatures are recomputed per call — compositions mutate
+// in place under edit — but each call costs only a walk over memoized
+// leaf signatures. A Signer is safe for concurrent use.
 type Signer struct {
-	leaf map[*core.Cell]Key
+	mu   sync.Mutex
+	leaf map[*core.Cell]leafSig
 }
 
-// Reset drops the leaf memo. Callers reset when cells may have been
-// mutated out-of-band (Editor.Invalidate): pointer-keyed memo entries
-// cannot see such changes.
-func (sg *Signer) Reset() { sg.leaf = nil }
+// leafSig pairs a memoized signature with the cell revision it was
+// computed at.
+type leafSig struct {
+	key Key
+	rev uint64
+}
+
+// Reset drops the leaf memo. Revision checking makes this unnecessary
+// for correctness; it remains for callers that want to release the
+// memory of a memo full of dead cells.
+func (sg *Signer) Reset() {
+	sg.mu.Lock()
+	sg.leaf = nil
+	sg.mu.Unlock()
+}
 
 // Cell returns the cell's content signature.
 func (sg *Signer) Cell(c *core.Cell) (Key, error) {
 	if c == nil {
 		return Key{}, fmt.Errorf("castore: sig of nil cell")
 	}
+	var rev uint64
 	if c.Kind != core.Composition {
-		if k, ok := sg.leaf[c]; ok {
-			return k, nil
+		// capture the revision before hashing: a mutation racing the hash
+		// bumps the revision past rev, so the entry stored below can never
+		// pass a later revision check with a garbled signature
+		rev = c.Revision()
+		sg.mu.Lock()
+		ent, ok := sg.leaf[c]
+		sg.mu.Unlock()
+		if ok && ent.rev == rev {
+			return ent.key, nil
 		}
 	}
 	h := newHasher()
@@ -66,10 +88,12 @@ func (sg *Signer) Cell(c *core.Cell) (Key, error) {
 	}
 	k := h.sum()
 	if c.Kind != core.Composition {
+		sg.mu.Lock()
 		if sg.leaf == nil {
-			sg.leaf = map[*core.Cell]Key{}
+			sg.leaf = map[*core.Cell]leafSig{}
 		}
-		sg.leaf[c] = k
+		sg.leaf[c] = leafSig{key: k, rev: rev}
+		sg.mu.Unlock()
 	}
 	return k, nil
 }

@@ -13,6 +13,8 @@ package core
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"riot/internal/cif"
 	"riot/internal/geom"
@@ -80,7 +82,46 @@ type Cell struct {
 	// to the instance connectors that lie on the bounding box.
 	ExtraConnectors []Connector
 
+	sticksMu  sync.Mutex  // guards sticksCIF (leaves are shared across sessions)
 	sticksCIF *cif.Symbol // cached symbolic-to-CIF conversion
+
+	// rev is the cell's mutation revision, stamped from the global edit
+	// generation counter by the editor's touch paths (or MarkMutated for
+	// out-of-band changes). Snapshot builders and content signers read
+	// it to decide whether state memoized against this pointer is still
+	// current. Accessed atomically; a plain uint64 keeps the struct free
+	// of noCopy fields.
+	rev uint64
+
+	// src, on a frozen snapshot clone, is the live cell the clone was
+	// taken from; nil on live cells and on leaf cells (which snapshots
+	// share rather than clone). Origin collapses a clone to its lineage
+	// so caches keyed on "which design cell is this" survive re-cloning.
+	src *Cell
+}
+
+// Revision reports the cell's mutation revision. Two reads returning
+// the same value bracket a span with no (announced) mutation; 0 means
+// the cell was never touched through an editor.
+func (c *Cell) Revision() uint64 { return atomic.LoadUint64(&c.rev) }
+
+// MarkMutated stamps a fresh revision on the cell. Editors call it
+// implicitly on every mutation; callers that change a cell's payload
+// directly (tests, loaders rewriting geometry in place) must call it so
+// long-lived signers and snapshot builders notice.
+func (c *Cell) MarkMutated() { c.markRev(editorGen.Add(1)) }
+
+func (c *Cell) markRev(g uint64) { atomic.StoreUint64(&c.rev, g) }
+
+// Origin returns the live cell a snapshot clone was taken from, or the
+// cell itself when it is live. Caches that must decide "same design
+// cell as last run?" compare origins, since every generation gets a
+// fresh clone pointer.
+func (c *Cell) Origin() *Cell {
+	if c.src != nil {
+		return c.src
+	}
+	return c
 }
 
 // NewComposition returns an empty composition cell.
@@ -241,10 +282,15 @@ func (c *Cell) ConnectorByName(name string) (Connector, bool) {
 
 // SticksCIF renders a symbolic leaf cell's mask geometry as a CIF
 // symbol, caching the conversion. Only valid for LeafSticks cells.
+// Safe for concurrent callers: leaf cells are shared (never cloned) by
+// design snapshots, so several sessions can flatten the same leaf at
+// once.
 func (c *Cell) SticksCIF() (*cif.Symbol, error) {
 	if c.Kind != LeafSticks {
 		return nil, fmt.Errorf("core: %s is not a symbolic cell", c.Name)
 	}
+	c.sticksMu.Lock()
+	defer c.sticksMu.Unlock()
 	if c.sticksCIF == nil {
 		sym, err := sticks.ToCIF(c.Sticks, 1)
 		if err != nil {

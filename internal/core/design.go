@@ -3,16 +3,54 @@ package core
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // Design is Riot's list of cells: everything that has been read in or
 // assembled this session, shown to the user in the cell menu and
 // available for instantiation.
+//
+// The cell menu itself (cells/order/next) is not synchronized — a
+// server serializes mutating commands with an external lock. The
+// snapshot machinery below has its own mutex so any number of readers
+// can freeze generations concurrently.
 type Design struct {
 	cells map[string]*Cell
 	order []string
 	next  int
+
+	// gen is the design's generation: the highest edit generation any
+	// of its editors (or menu operations) have produced. Bumped from the
+	// same global counter as editor generations, so generations are
+	// unique across a whole process. Accessed atomically.
+	gen uint64
+
+	// snapMu guards the copy-on-write snapshot builder. snapGen is the
+	// design generation snapB's clones describe.
+	snapMu  sync.Mutex
+	snapB   *snapBuilder
+	snapGen uint64
 }
+
+// Generation reports the design's current generation: it changes
+// whenever any editor mutates a cell of this design or the menu
+// itself changes.
+func (d *Design) Generation() uint64 { return atomic.LoadUint64(&d.gen) }
+
+// noteGen records that an edit at generation g touched this design.
+func (d *Design) noteGen(g uint64) {
+	for {
+		cur := atomic.LoadUint64(&d.gen)
+		if g <= cur || atomic.CompareAndSwapUint64(&d.gen, cur, g) {
+			return
+		}
+	}
+}
+
+// touchMenu bumps the design generation for a menu mutation (cell
+// added, deleted or renamed).
+func (d *Design) touchMenu() { d.noteGen(editorGen.Add(1)) }
 
 // NewDesign returns an empty design.
 func NewDesign() *Design {
@@ -30,6 +68,7 @@ func (d *Design) AddCell(c *Cell) error {
 	}
 	d.cells[c.Name] = c
 	d.order = append(d.order, c.Name)
+	d.touchMenu()
 	return nil
 }
 
@@ -76,6 +115,7 @@ func (d *Design) DeleteCell(name string) error {
 			break
 		}
 	}
+	d.touchMenu()
 	return nil
 }
 
@@ -93,6 +133,7 @@ func (d *Design) RenameCell(oldName, newName string) error {
 	}
 	delete(d.cells, oldName)
 	c.Name = newName
+	c.MarkMutated() // snapshot clones copy the name; force a re-clone
 	d.cells[newName] = c
 	for i, n := range d.order {
 		if n == oldName {
@@ -100,6 +141,7 @@ func (d *Design) RenameCell(oldName, newName string) error {
 			break
 		}
 	}
+	d.touchMenu()
 	return nil
 }
 

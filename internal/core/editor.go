@@ -75,6 +75,10 @@ type Editor struct {
 	// exactly by since >= logFloor — no arithmetic on the global
 	// generation counter, whose values interleave across editors.
 	logFloor uint64
+
+	// snap caches the frozen view of the current generation; see
+	// Editor.Snapshot.
+	snap *Snapshot
 }
 
 // changeEntry is one generation's dirty record.
@@ -116,18 +120,24 @@ func (e *Editor) Generation() uint64 { return e.gen }
 // inferred from the global generation counter, whose values interleave
 // across editors and would make gap arithmetic ambiguous.
 func (e *Editor) ChangesSince(since uint64) (dirty []geom.Rect, ok bool) {
-	if since > e.gen {
+	return changesSince(e.log, e.logFloor, e.gen, since)
+}
+
+// changesSince answers ChangesSince over an explicit log; shared by
+// the editor and the frozen Snapshots it hands out.
+func changesSince(log []changeEntry, logFloor, gen, since uint64) (dirty []geom.Rect, ok bool) {
+	if since > gen {
 		return nil, false
 	}
-	if since == e.gen {
+	if since == gen {
 		return nil, true
 	}
 	// the log must hold every generation in (since, gen]: anything at or
 	// past the floor is fully covered, anything before it was trimmed
-	if since < e.logFloor {
+	if since < logFloor {
 		return nil, false
 	}
-	for _, c := range e.log {
+	for _, c := range log {
 		if c.gen <= since {
 			continue
 		}
@@ -191,20 +201,53 @@ func NewEditor(d *Design, cell *Cell) (*Editor, error) {
 	return &Editor{Design: d, Cell: cell, gen: gen, logFloor: gen}, nil
 }
 
+// bump advances the edit generation, logs the dirty record, and stamps
+// the new generation as the edited cell's revision and its design's
+// generation — the hooks snapshot builders and content signers watch.
+func (e *Editor) bump(r geom.Rect, unbounded bool) {
+	e.gen = editorGen.Add(1)
+	e.logChange(r, unbounded)
+	e.Cell.markRev(e.gen)
+	if e.Design != nil {
+		e.Design.noteGen(e.gen)
+	}
+}
+
 // touch records that the cell under edit changed, invalidating the
 // pointing index. The logged dirty rectangle is empty; operations
 // whose geometric extent is known log it with touchRect or logChange.
-func (e *Editor) touch() { e.gen = editorGen.Add(1); e.logChange(geom.Rect{}, false) }
+func (e *Editor) touch() { e.bump(geom.Rect{}, false) }
 
 // touchRect records a change confined to the given design-plane
 // rectangle.
-func (e *Editor) touchRect(r geom.Rect) { e.gen = editorGen.Add(1); e.logChange(r, false) }
+func (e *Editor) touchRect(r geom.Rect) { e.bump(r, false) }
 
 // Invalidate marks the cell under edit as externally modified: callers
 // that mutate cells or instances directly (rather than through Editor
 // methods) must call it. The change is recorded as unbounded, so
-// generation-keyed caches rebuild from scratch.
-func (e *Editor) Invalidate() { e.gen = editorGen.Add(1); e.logChange(geom.Rect{}, true) }
+// generation-keyed caches rebuild from scratch. Because an external
+// mutation may have reached any cell below the one under edit, every
+// reachable cell gets a fresh revision — long-lived content signers
+// recompute instead of serving a stale signature.
+func (e *Editor) Invalidate() {
+	e.bump(geom.Rect{}, true)
+	marked := map[*Cell]bool{e.Cell: true}
+	for _, in := range e.Cell.Instances {
+		markSubtree(in.Cell, e.gen, marked)
+	}
+}
+
+// markSubtree stamps rev g on every cell reachable from c.
+func markSubtree(c *Cell, g uint64, marked map[*Cell]bool) {
+	if c == nil || marked[c] {
+		return
+	}
+	marked[c] = true
+	c.markRev(g)
+	for _, in := range c.Instances {
+		markSubtree(in.Cell, g, marked)
+	}
+}
 
 // HitInstance returns the topmost (last-created, so last-drawn)
 // instance whose bounding box contains the design-plane point, or nil.

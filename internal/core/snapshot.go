@@ -1,0 +1,227 @@
+package core
+
+import "riot/internal/geom"
+
+// Snapshot isolation.
+//
+// A server wants many readers (verifiers, plotters, other sessions)
+// working against a frozen view of a design while its editors keep
+// mutating. Copying the whole hierarchy per generation would throw
+// away the incremental pipeline: every cache downstream is keyed on
+// *Cell / *Instance pointers, and fresh pointers every generation mean
+// a cold cache every run.
+//
+// The builder below therefore clones copy-on-write, with two rules:
+//
+//   - Leaf cells are never cloned. Their payloads only change under an
+//     editor's Invalidate (which stamps a new revision), so a frozen
+//     generation can share the live leaf pointer, and every cache keyed
+//     on leaf identity (hier certificates, LVS leaf references, signer
+//     memos) keeps hitting across generations and across sessions.
+//
+//   - Composition cells and their instances are cloned, but a clone is
+//     reused from the previous generation whenever the live cell's
+//     revision and children are unchanged. An edit to one cell re-clones
+//     only that cell and its ancestors; every untouched *Instance keeps
+//     its pointer, so flatten shards and connectivity memos splice
+//     across generations exactly as they did against a live editor.
+//
+// Clones carry src = the live cell they froze, surfaced as
+// Cell.Origin(), so caches can answer "is this the same design cell as
+// last run?" even though the pointer is new.
+
+// snapBuilder holds the clone state for one design generation, plus
+// the previous generation's clones for reuse.
+type snapBuilder struct {
+	prevClones map[*Cell]cloneRec
+	prevInsts  map[*Instance]*Instance
+	curClones  map[*Cell]cloneRec
+	curInsts   map[*Instance]*Instance // live instance -> current clone
+	byLive     map[*Cell]*Cell         // live cell -> current clone (memo for this gen)
+}
+
+type cloneRec struct {
+	clone *Cell
+	rev   uint64
+}
+
+func newSnapBuilder(prev *snapBuilder) *snapBuilder {
+	b := &snapBuilder{
+		curClones: map[*Cell]cloneRec{},
+		curInsts:  map[*Instance]*Instance{},
+		byLive:    map[*Cell]*Cell{},
+	}
+	if prev != nil {
+		b.prevClones = prev.curClones
+		b.prevInsts = prev.curInsts
+	}
+	return b
+}
+
+// cell returns the frozen clone of live cell c for this generation.
+// Leaves return themselves.
+func (b *snapBuilder) cell(c *Cell) *Cell {
+	if c == nil || c.Kind != Composition {
+		return c
+	}
+	if cl, ok := b.byLive[c]; ok {
+		return cl
+	}
+	rev := c.Revision()
+	if rec, ok := b.prevClones[c]; ok && rec.rev == rev && len(rec.clone.Instances) == len(c.Instances) {
+		stable := true
+		for i, in := range c.Instances {
+			if b.cell(in.Cell) != rec.clone.Instances[i].Cell {
+				stable = false
+				break
+			}
+		}
+		if stable {
+			b.byLive[c] = rec.clone
+			b.curClones[c] = rec
+			for i, in := range c.Instances {
+				b.curInsts[in] = rec.clone.Instances[i]
+			}
+			return rec.clone
+		}
+	}
+	cl := &Cell{
+		Name:            c.Name,
+		Kind:            Composition,
+		SourceFile:      c.SourceFile,
+		ExtraConnectors: append([]Connector(nil), c.ExtraConnectors...),
+		rev:             rev,
+		src:             c.Origin(),
+	}
+	for _, in := range c.Instances {
+		child := b.cell(in.Cell)
+		ni := b.prevInsts[in]
+		if ni == nil || ni.Cell != child || ni.Name != in.Name || ni.Tr != in.Tr ||
+			ni.Nx != in.Nx || ni.Ny != in.Ny || ni.Sx != in.Sx || ni.Sy != in.Sy {
+			ni = &Instance{Name: in.Name, Cell: child, Tr: in.Tr,
+				Nx: in.Nx, Ny: in.Ny, Sx: in.Sx, Sy: in.Sy}
+		}
+		b.curInsts[in] = ni
+		cl.Instances = append(cl.Instances, ni)
+	}
+	b.byLive[c] = cl
+	b.curClones[c] = cloneRec{clone: cl, rev: rev}
+	return cl
+}
+
+// builder returns the copy-on-write builder for the design's current
+// generation, rotating (and thereby releasing the oldest generation's
+// clone maps) when the design has moved on. Caller holds d.snapMu.
+func (d *Design) builder() *snapBuilder {
+	g := d.Generation()
+	if d.snapB == nil || d.snapGen != g {
+		d.snapB = newSnapBuilder(d.snapB)
+		d.snapGen = g
+	}
+	return d.snapB
+}
+
+// SnapshotCell returns a frozen, read-only view of c at the design's
+// current generation: a copy-on-write clone for compositions, c itself
+// for leaves. Safe to call from any number of goroutines; the returned
+// cell (and everything under it) is never mutated, so readers need no
+// further locking. Repeated calls at an unchanged generation return
+// the same pointer, and unchanged subtrees keep their pointers across
+// generations — pointer-keyed verification caches splice as if they
+// were watching a live editor.
+func (d *Design) SnapshotCell(c *Cell) *Cell {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	return d.builder().cell(c)
+}
+
+// snapshotEditor freezes an editor's cell plus its declared
+// connections, remapped onto the clone's instances.
+func (d *Design) snapshotEditor(c *Cell, declared []Connection) (*Cell, []Connection) {
+	d.snapMu.Lock()
+	defer d.snapMu.Unlock()
+	b := d.builder()
+	cl := b.cell(c)
+	var decl []Connection
+	if len(declared) > 0 {
+		decl = make([]Connection, 0, len(declared))
+		for _, cn := range declared {
+			if from, ok := b.curInsts[cn.From]; ok {
+				cn.From = from
+			}
+			if to, ok := b.curInsts[cn.To]; ok {
+				cn.To = to
+			}
+			decl = append(decl, cn)
+		}
+	}
+	return cl, decl
+}
+
+// Snapshot is a frozen view of one editor generation: the cell's
+// copy-on-write clone, the declared connections remapped onto it, and
+// a copy of the editor's change log so verifiers can still splice.
+// Snapshots are immutable and safe to share across goroutines.
+type Snapshot struct {
+	// Gen is the editor generation the snapshot freezes. Generations
+	// are globally unique (one process-wide counter), so a Gen equality
+	// is a design-state equality even across editors.
+	Gen uint64
+	// Cell is the frozen cell: a copy-on-write clone for compositions
+	// (Cell.Origin() recovers the live cell), the live cell itself for
+	// leaves.
+	Cell *Cell
+	// Declared are the editor's declared connections with From/To
+	// remapped onto Cell's instances.
+	Declared []Connection
+
+	log      []changeEntry
+	logFloor uint64
+	// designGen is the design's generation at freeze time. The editor's
+	// own generation misses edits other editors make to sub-cells of the
+	// same design; the cached-snapshot check compares both.
+	designGen uint64
+}
+
+// ChangesSince reports the change rectangles between generation since
+// and the snapshot's generation, exactly as Editor.ChangesSince would
+// have at the moment the snapshot was taken.
+func (s *Snapshot) ChangesSince(since uint64) ([]geom.Rect, bool) {
+	return changesSince(s.log, s.logFloor, s.Gen, since)
+}
+
+// Snapshot freezes the editor's current generation. The result is
+// cached: repeated calls between edits return the same Snapshot, so a
+// verifier and an LVS checker of the same generation see identical
+// clone pointers (occurrence identity lines up for free). A sub-cell
+// edit made through another editor of the same design rebuilds the
+// frozen clone even though this editor's generation is unchanged. The
+// editor may keep mutating afterwards; the snapshot never changes.
+func (e *Editor) Snapshot() *Snapshot {
+	var dg uint64
+	if e.Design != nil {
+		dg = e.Design.Generation()
+	}
+	if e.snap != nil && e.snap.Gen == e.gen && e.snap.designGen == dg {
+		return e.snap
+	}
+	var (
+		cl   *Cell
+		decl []Connection
+	)
+	if e.Design != nil {
+		cl, decl = e.Design.snapshotEditor(e.Cell, e.Declared)
+	} else {
+		cl = e.Cell
+		decl = append([]Connection(nil), e.Declared...)
+	}
+	e.snap = &Snapshot{
+		Gen:       e.gen,
+		Cell:      cl,
+		Declared:  decl,
+		log:       append([]changeEntry(nil), e.log...),
+		logFloor:  e.logFloor,
+		designGen: dg,
+	}
+	return e.snap
+}

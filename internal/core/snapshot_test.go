@@ -1,0 +1,237 @@
+package core
+
+import (
+	"testing"
+
+	"riot/internal/geom"
+)
+
+// TestSnapshotIsolation pins the tentpole contract: a snapshot is a
+// frozen view of one generation, unaffected by edits made after it.
+func TestSnapshotIsolation(t *testing.T) {
+	d, e := newEditor(t)
+	addLeaf(t, d, "L")
+	in, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	snap := e.Snapshot()
+	if snap.Gen != e.Generation() {
+		t.Fatalf("snapshot gen %d != editor gen %d", snap.Gen, e.Generation())
+	}
+	if snap.Cell == e.Cell {
+		t.Fatal("composition snapshot must be a clone, not the live cell")
+	}
+	if snap.Cell.Origin() != e.Cell {
+		t.Fatalf("clone origin = %p, want live cell %p", snap.Cell.Origin(), e.Cell)
+	}
+	frozen := snap.Cell.Instances[0]
+	if frozen.Cell != in.Cell {
+		t.Fatal("leaf cells must be shared, not cloned")
+	}
+	before := frozen.Tr
+
+	e.MoveInstance(in, geom.Pt(500, 700))
+	if frozen.Tr != before {
+		t.Fatalf("edit after snapshot moved the frozen instance: %v -> %v", before, frozen.Tr)
+	}
+	if snap.Cell.Instances[0] != frozen {
+		t.Fatal("frozen instance list changed under the snapshot")
+	}
+
+	snap2 := e.Snapshot()
+	if snap2.Gen <= snap.Gen {
+		t.Fatalf("generation did not advance: %d -> %d", snap.Gen, snap2.Gen)
+	}
+	if snap2.Cell.Instances[0].Tr == before {
+		t.Fatal("new snapshot must see the move")
+	}
+}
+
+// TestSnapshotPointerReuse pins the cache-warming rules: an unchanged
+// generation returns the identical snapshot, and across generations
+// untouched instances keep their clone pointers so pointer-keyed
+// verification caches splice.
+func TestSnapshotPointerReuse(t *testing.T) {
+	d, e := newEditor(t)
+	addLeaf(t, d, "L")
+	a, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CreateInstance("L", "b", geom.Translate(geom.Pt(40*L, 0)), 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = b
+
+	s1 := e.Snapshot()
+	if s2 := e.Snapshot(); s2 != s1 {
+		t.Fatal("unchanged generation must return the cached snapshot")
+	}
+
+	e.MoveInstance(a, geom.Pt(0, 30*L))
+	s2 := e.Snapshot()
+	if s2.Cell == s1.Cell {
+		t.Fatal("an edit must produce a fresh clone of the edited cell")
+	}
+	if s2.Cell.Instances[0] == s1.Cell.Instances[0] {
+		t.Fatal("the moved instance must get a fresh clone")
+	}
+	if s2.Cell.Instances[1] != s1.Cell.Instances[1] {
+		t.Fatal("the untouched instance must keep its clone pointer across generations")
+	}
+}
+
+// TestSnapshotSubtreeReuse builds a two-level hierarchy through two
+// editors of one design and checks an edit to the top cell leaves the
+// untouched sub-composition's clone (and its instances) shared with the
+// previous generation.
+func TestSnapshotSubtreeReuse(t *testing.T) {
+	d := NewDesign()
+	addLeaf(t, d, "L")
+	sub := NewComposition("SUB")
+	if err := d.AddCell(sub); err != nil {
+		t.Fatal(err)
+	}
+	es, err := NewEditor(d, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := es.CreateInstance("L", "x", geom.Identity, 1, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	top := NewComposition("TOP")
+	if err := d.AddCell(top); err != nil {
+		t.Fatal(err)
+	}
+	et, err := NewEditor(d, top)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := et.CreateInstance("SUB", "s", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	s1 := et.Snapshot()
+	subClone := s1.Cell.Instances[0].Cell
+	if subClone == sub {
+		t.Fatal("sub-composition must be cloned")
+	}
+
+	et.MoveInstance(in, geom.Pt(10*L, 0))
+	s2 := et.Snapshot()
+	if s2.Cell.Instances[0].Cell != subClone {
+		t.Fatal("untouched sub-composition must keep its clone across top-cell edits")
+	}
+
+	// an edit inside SUB re-clones SUB (and TOP above it)
+	es.MoveInstance(es.Cell.Instances[0], geom.Pt(0, 5*L))
+	s3 := et.Snapshot()
+	if s3.Cell.Instances[0].Cell == subClone {
+		t.Fatal("edited sub-composition must re-clone")
+	}
+	if s3.Cell.Instances[0].Cell.Origin() != sub {
+		t.Fatal("re-clone must keep the live origin")
+	}
+}
+
+// TestSnapshotDeclaredRemap checks declared connections travel into the
+// snapshot with From/To remapped onto the frozen clone's instances.
+func TestSnapshotDeclaredRemap(t *testing.T) {
+	d, e := newEditor(t)
+	addLeaf(t, d, "L")
+	a, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := e.CreateInstance("L", "b", geom.Translate(geom.Pt(40*L, 0)), 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Declare(b, "IN", a, "OUT"); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := e.Snapshot()
+	if len(snap.Declared) != 1 {
+		t.Fatalf("declared = %d, want 1", len(snap.Declared))
+	}
+	cn := snap.Declared[0]
+	if cn.From == b || cn.To == a {
+		t.Fatal("snapshot declared records must not reference live instances")
+	}
+	if cn.From != snap.Cell.Instances[1] || cn.To != snap.Cell.Instances[0] {
+		t.Fatal("snapshot declared records must reference the frozen clone's instances")
+	}
+	if cn.FromConn != "IN" || cn.ToConn != "OUT" {
+		t.Fatalf("connector names lost in remap: %q %q", cn.FromConn, cn.ToConn)
+	}
+}
+
+// TestSnapshotChangesSince checks the snapshot's change log answers
+// exactly as the editor's did at freeze time, even after further edits.
+func TestSnapshotChangesSince(t *testing.T) {
+	d, e := newEditor(t)
+	addLeaf(t, d, "L")
+	g0 := e.Generation()
+	in, err := e.CreateInstance("L", "a", geom.Identity, 1, 1, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := e.Snapshot()
+
+	wantDirty, wantOK := e.ChangesSince(g0)
+	gotDirty, gotOK := snap.ChangesSince(g0)
+	if wantOK != gotOK || len(wantDirty) != len(gotDirty) {
+		t.Fatalf("snapshot ChangesSince = %v,%v; editor said %v,%v", gotDirty, gotOK, wantDirty, wantOK)
+	}
+
+	// later edits must not leak into the frozen log
+	e.MoveInstance(in, geom.Pt(900, 900))
+	after, ok := snap.ChangesSince(g0)
+	if !ok || len(after) != len(wantDirty) {
+		t.Fatalf("frozen log changed after an edit: %v,%v", after, ok)
+	}
+	// and a generation past the snapshot is unanswerable from it
+	if _, ok := snap.ChangesSince(e.Generation()); ok {
+		t.Fatal("snapshot must not answer for generations after its own")
+	}
+}
+
+// TestGenerationsGloballyUnique pins that two editors over two designs
+// never mint the same generation — the property that lets a shared
+// store key verdicts by generation across sessions.
+func TestGenerationsGloballyUnique(t *testing.T) {
+	d1, e1 := newEditor(t)
+	d2, e2 := newEditor(t)
+	addLeaf(t, d1, "L")
+	addLeaf(t, d2, "L")
+	seen := map[uint64]bool{}
+	for i := 0; i < 10; i++ {
+		var err error
+		if i%2 == 0 {
+			_, err = e1.CreateInstance("L", instName("a", i), geom.Identity, 1, 1, 0, 0)
+		} else {
+			_, err = e2.CreateInstance("L", instName("b", i), geom.Identity, 1, 1, 0, 0)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, g := range []uint64{e1.Generation(), e2.Generation()} {
+			if g == 0 {
+				continue
+			}
+			seen[g] = true
+		}
+	}
+	if e1.Generation() == e2.Generation() {
+		t.Fatalf("two editors share generation %d", e1.Generation())
+	}
+}
+
+func instName(prefix string, i int) string {
+	return prefix + string(rune('0'+i))
+}

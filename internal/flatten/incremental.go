@@ -1,7 +1,9 @@
 package flatten
 
 import (
+	"fmt"
 	"strconv"
+	"sync/atomic"
 
 	"riot/internal/castore"
 	"riot/internal/core"
@@ -79,7 +81,12 @@ type Delta struct {
 
 // Cache memoizes per-instance flatten shards for one composition cell
 // across edits. The zero Cache is ready to use; a Cache serves one
-// cell at a time (Flatten resets it when the cell changes identity).
+// cell at a time (Flatten resets it when the cell changes lineage —
+// snapshot clones of the same design cell share their shards, which is
+// what keeps the splice warm across frozen generations). A Cache
+// belongs to one session: Flatten rejects concurrent entry rather than
+// corrupt its pointer-keyed maps — cross-session sharing goes through
+// the content-addressed store (AttachDisk), never through a Cache.
 type Cache struct {
 	// Trace, when enabled, records a "flatten" span per Flatten call
 	// with one "shard <inst>" child per re-flattened instance and a
@@ -96,8 +103,13 @@ type Cache struct {
 
 	// optional persistent second level (AttachDisk): shards missing
 	// in memory are looked up by content signature before re-walking
-	disk   *castore.Store
+	disk   castore.Blob
 	signer *castore.Signer
+
+	// busy guards against concurrent Flatten calls; a plain int32 with
+	// atomic access (not atomic.Int32) keeps the struct copyable for
+	// embedders like verify.Verifier.
+	busy int32
 
 	// last run's shard accounting, for Stats
 	lastReused, lastReflattened, lastDiskLoaded int
@@ -140,6 +152,10 @@ func (ca *Cache) instConns(in *core.Instance) []core.InstConn {
 // Result exists to diff against, the Delta from it (nil on the first
 // run, on a cell switch, or after an error reset).
 func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
+	if !atomic.CompareAndSwapInt32(&ca.busy, 0, 1) {
+		return nil, nil, fmt.Errorf("flatten: Cache entered concurrently (a Cache serves one session; share work across sessions through the content-addressed store)")
+	}
+	defer atomic.StoreInt32(&ca.busy, 0)
 	fsp := ca.Trace.Begin("flatten")
 	defer fsp.End()
 	if c.Kind != core.Composition {
@@ -148,10 +164,10 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 		ca.reset()
 		return fr, nil, err
 	}
-	if ca.cell != c {
+	if ca.cell == nil || ca.cell.Origin() != c.Origin() {
 		ca.reset()
-		ca.cell = c
 	}
+	ca.cell = c
 	if ca.shards == nil {
 		ca.shards = map[*core.Instance]cachedShard{}
 	}
@@ -308,15 +324,14 @@ func (ca *Cache) Flatten(c *core.Cell) (*Result, *Delta, error) {
 // placement keys cannot see such changes.
 func (ca *Cache) Reset() { ca.reset() }
 
-// reset drops all cached state, including the signer's leaf memo: a
-// reset can mean Editor.Invalidate, after which pointer-keyed
-// signatures are no longer trustworthy. Disk entries stay — their
-// content keys re-derive from the fresh signatures.
+// reset drops all cached state. The signer keeps its leaf memo: its
+// entries are revision-checked, so an Invalidate (which stamps fresh
+// revisions on every reachable cell) makes them recompute on their
+// own — important now that a server shares one Signer across sessions.
+// Store entries stay too; their content keys re-derive from the fresh
+// signatures.
 func (ca *Cache) reset() {
 	ca.cell, ca.shards, ca.last, ca.spans, ca.conns = nil, nil, nil, nil, nil
-	if ca.signer != nil {
-		ca.signer.Reset()
-	}
 }
 
 // flattenInstance walks one instance into a fresh shard with

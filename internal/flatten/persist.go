@@ -34,11 +34,12 @@ func shardFingerprint() uint64 {
 	)
 }
 
-// AttachDisk connects the cache to a persistent store. A nil store
-// detaches. The in-memory cache keeps working exactly as before; the
-// store only adds a second-level lookup on shard misses and a
-// write-behind on shard builds.
-func (ca *Cache) AttachDisk(st *castore.Store, sg *castore.Signer) {
+// AttachDisk connects the cache to a content-addressed store — the
+// on-disk castore.Store, a server's shared in-memory tier, or both
+// (castore.Tiered). A nil store detaches. The in-memory cache keeps
+// working exactly as before; the store only adds a second-level lookup
+// on shard misses and a write-behind on shard builds.
+func (ca *Cache) AttachDisk(st castore.Blob, sg *castore.Signer) {
 	ca.disk, ca.signer = st, sg
 }
 

@@ -61,7 +61,7 @@ import (
 type Engine struct {
 	memo   map[certKey]*Cert
 	tmpl   map[tmplKey]*template
-	disk   *castore.Store
+	disk   castore.Blob
 	signer *castore.Signer
 	stats  Stats
 	// certSeq numbers certificates as they enter the memo; window memo
@@ -209,7 +209,7 @@ func (e *Engine) ensureMemos() {
 
 // AttachDisk connects the engine to a content-addressed store:
 // certificates load from and persist to the "hiercert" namespace.
-func (e *Engine) AttachDisk(st *castore.Store, sg *castore.Signer) {
+func (e *Engine) AttachDisk(st castore.Blob, sg *castore.Signer) {
 	e.disk, e.signer = st, sg
 }
 

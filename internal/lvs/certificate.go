@@ -112,7 +112,7 @@ type CertStore struct {
 	// optional persistent second level (AttachDisk): certificates
 	// missing in memory are looked up by content signature before the
 	// one-time match is performed
-	disk   *castore.Store
+	disk   castore.Blob
 	signer *castore.Signer
 }
 

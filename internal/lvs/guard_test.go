@@ -1,0 +1,62 @@
+package lvs
+
+import (
+	"strings"
+	"testing"
+
+	"riot/internal/geom"
+)
+
+// TestReferenceSingleSessionGuard pins the ownership contract: a
+// Reference serves one session; a second concurrent entry is refused
+// loudly instead of corrupting the pointer-keyed memos. Cross-session
+// sharing goes through the content-addressed store.
+func TestReferenceSingleSessionGuard(t *testing.T) {
+	e := gridEditor(t, 2)
+	var rf Reference
+	if _, _, err := rf.NetlistOccs(e.Cell, nil); err != nil {
+		t.Fatal(err)
+	}
+	rf.busy = 1
+	_, _, err := rf.NetlistOccs(e.Cell, nil)
+	if err == nil || !strings.Contains(err.Error(), "concurrently") {
+		t.Fatalf("concurrent entry not refused: %v", err)
+	}
+	rf.busy = 0
+	if _, _, err := rf.NetlistOccs(e.Cell, nil); err != nil {
+		t.Fatalf("reference did not recover after the guard cleared: %v", err)
+	}
+}
+
+// TestReferencePruneStale drives a Reference over many snapshot
+// generations of one editing session and checks the memo stays bounded:
+// superseded clones (each frozen generation is a fresh *Cell) are
+// pruned once the memo bloats past the reachable set.
+func TestReferencePruneStale(t *testing.T) {
+	e := gridEditor(t, 2) // 4 instances: prune threshold 2*4+64 = 72
+	var rf Reference
+	for i := 0; i < 160; i++ {
+		e.MoveInstance(e.Cell.Instances[0], geom.Pt(0, 0)) // content no-op, new generation
+		snap := e.Snapshot()
+		if _, _, err := rf.NetlistOccs(snap.Cell, snap.Declared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// reachable set: the current clone + 4 shared leaf cells (+ a few
+	// entries the threshold tolerates before the next prune)
+	if len(rf.memo) > 2*len(e.Cell.Instances)+64 {
+		t.Fatalf("memo grew unboundedly across generations: %d entries", len(rf.memo))
+	}
+	if len(rf.conns) > 3*len(e.Cell.Instances)+64 {
+		t.Fatalf("conns memo grew unboundedly: %d entries", len(rf.conns))
+	}
+	// and the derivation still answers correctly after pruning
+	snap := e.Snapshot()
+	ref, _, err := rf.NetlistOccs(snap.Cell, snap.Declared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref == nil {
+		t.Fatal("nil reference after prune")
+	}
+}

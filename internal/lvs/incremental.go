@@ -50,14 +50,25 @@ type Incremental struct {
 func (inc *Incremental) Last() *Result { return inc.last }
 
 // Check runs LVS on the editor's cell through the shared verifier.
+// The run sees a frozen snapshot of the editor's current generation,
+// so the verdict is deterministic per generation even while the editor
+// keeps mutating.
 func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, error) {
+	return inc.CheckSnapshot(ed.Snapshot(), v)
+}
+
+// CheckSnapshot is Check against an explicit frozen generation. The
+// verifier must be the session's own (they share the flatten result's
+// occurrence identity); generations are globally unique, so the cached
+// verdict can never alias another session's.
+func (inc *Incremental) CheckSnapshot(snap *core.Snapshot, v *verify.Verifier) (*Result, error) {
 	sp := inc.Trace.Begin("lvs")
 	defer sp.End()
-	rep, err := v.Verify(ed)
+	rep, err := v.VerifySnapshot(snap)
 	if err != nil {
 		return nil, err
 	}
-	if inc.have && inc.cell == ed.Cell && inc.gen == rep.Gen {
+	if inc.have && inc.cell == snap.Cell && inc.gen == rep.Gen {
 		sp.Note("path", "cached")
 		return inc.res, nil
 	}
@@ -66,11 +77,11 @@ func (inc *Incremental) Check(ed *core.Editor, v *verify.Verifier) (*Result, err
 	if err := v.EnsureFlat(rep); err != nil {
 		return nil, err
 	}
-	res, err := inc.compare(ed.Cell, ed.Declared, rep)
+	res, err := inc.compare(snap.Cell, snap.Declared, rep)
 	if err != nil {
 		return nil, err
 	}
-	inc.cell, inc.gen, inc.res, inc.have = ed.Cell, rep.Gen, res, true
+	inc.cell, inc.gen, inc.res, inc.have = snap.Cell, rep.Gen, res, true
 	return res, nil
 }
 

@@ -39,17 +39,18 @@ func lvsFingerprint(kind string) uint64 {
 	)
 }
 
-// AttachDisk connects the reference memo to a persistent store: leaf
-// entries load by content signature before extracting and store after.
-// A nil store detaches.
-func (rf *Reference) AttachDisk(st *castore.Store, sg *castore.Signer) {
+// AttachDisk connects the reference memo to a content-addressed store
+// (on-disk, a server's shared in-memory tier, or both): leaf entries
+// load by content signature before extracting and store after. A nil
+// store detaches.
+func (rf *Reference) AttachDisk(st castore.Blob, sg *castore.Signer) {
 	rf.disk, rf.signer = st, sg
 }
 
 // AttachDisk connects the certificate store to a persistent store:
 // the one-time sub-cell match loads by content signature before being
 // performed and stores after. A nil store detaches.
-func (cs *CertStore) AttachDisk(st *castore.Store, sg *castore.Signer) {
+func (cs *CertStore) AttachDisk(st castore.Blob, sg *castore.Signer) {
 	cs.disk, cs.signer = st, sg
 }
 
@@ -57,7 +58,7 @@ func (cs *CertStore) AttachDisk(st *castore.Store, sg *castore.Signer) {
 // store and the verifier's flatten cache alongside (the three caches
 // share one content-signature space, so one attach call wires a whole
 // verification session).
-func (inc *Incremental) AttachDisk(st *castore.Store, sg *castore.Signer, v *verify.Verifier) {
+func (inc *Incremental) AttachDisk(st castore.Blob, sg *castore.Signer, v *verify.Verifier) {
 	inc.Ref.AttachDisk(st, sg)
 	inc.Certs.AttachDisk(st, sg)
 	if v != nil {

@@ -2,6 +2,7 @@ package lvs
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"riot/internal/castore"
 	"riot/internal/core"
@@ -98,16 +99,29 @@ type refOcc struct {
 // keyed per cell and validated against a placement signature, so
 // edited compositions re-stitch while untouched cells and all leaf
 // extractions are reused).
+//
+// A Reference belongs to one session: its memos are keyed by *Cell /
+// *Instance pointer, so NetlistOccs asserts single-threaded entry
+// rather than corrupt them — sessions share derivation work through
+// the content-addressed store (AttachDisk), never through a Reference.
+// Snapshot clones of one design cell are handled naturally (unchanged
+// subtrees keep their pointers, superseded clones are pruned once the
+// memo bloats), which is what keeps a long-lived server session's
+// memory bounded.
 type Reference struct {
 	ids   map[*core.Cell]uint64
 	memo  map[*core.Cell]*refEntry
 	conns map[*core.Instance]cachedConns
 	parts map[*core.Instance]cachedParts
 
+	// busy asserts single-session use of the pointer-keyed memos; a
+	// plain int32 with atomic access keeps the struct copyable.
+	busy int32
+
 	// optional persistent second level (AttachDisk): leaf entries
 	// missing in memory are looked up by content signature before the
 	// leaf is extracted
-	disk   *castore.Store
+	disk   castore.Blob
 	signer *castore.Signer
 }
 
@@ -227,6 +241,11 @@ func (rf *Reference) Netlist(c *core.Cell, declared []core.Connection) (*Netlist
 // in the returned netlist's numbering. The hierarchical-certificate
 // comparison uses the map to collapse repeated, already-matched cells.
 func (rf *Reference) NetlistOccs(c *core.Cell, declared []core.Connection) (*Netlist, []refOcc, error) {
+	if !atomic.CompareAndSwapInt32(&rf.busy, 0, 1) {
+		return nil, nil, fmt.Errorf("lvs: Reference entered concurrently (a Reference serves one session; share work across sessions through the content-addressed store)")
+	}
+	defer atomic.StoreInt32(&rf.busy, 0)
+	rf.pruneStale(c)
 	e := rf.entry(c, seamReach)
 	if e.err != nil {
 		return nil, nil, e.err
@@ -697,3 +716,47 @@ func seamUnions(copies []copyRef, uf *geom.UnionFind) {
 func fnvInit() uint64 { return seam.FNVInit() }
 
 func fnvMix(h, v uint64) uint64 { return seam.FNVMix(h, v) }
+
+// pruneStale bounds the memo when a long-lived session works over
+// snapshot clones: every frozen generation of an edited composition is
+// a fresh *Cell, so without pruning the maps would grow one entry per
+// verified generation. Reachability from the cell being derived
+// identifies the live clone set; superseded clones (entries whose key
+// is a snapshot clone no longer reachable) are dropped. The walk is
+// gated on the memo actually bloating, so the steady state — verify,
+// edit, verify — pays nothing.
+func (rf *Reference) pruneStale(c *core.Cell) {
+	if len(rf.memo) < 2*len(c.Instances)+64 {
+		return
+	}
+	cells := map[*core.Cell]bool{}
+	insts := map[*core.Instance]bool{}
+	var walk func(*core.Cell)
+	walk = func(x *core.Cell) {
+		if cells[x] {
+			return
+		}
+		cells[x] = true
+		for _, in := range x.Instances {
+			insts[in] = true
+			walk(in.Cell)
+		}
+	}
+	walk(c)
+	for mc := range rf.memo {
+		if mc.Origin() != mc && !cells[mc] {
+			delete(rf.memo, mc)
+			delete(rf.ids, mc)
+		}
+	}
+	for in := range rf.conns {
+		if !insts[in] {
+			delete(rf.conns, in)
+		}
+	}
+	for in := range rf.parts {
+		if !insts[in] {
+			delete(rf.parts, in)
+		}
+	}
+}

@@ -1,0 +1,355 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func mustDo(t testing.TB, sv *Server, sid, line string) string {
+	t.Helper()
+	out, err := sv.Do(sid, line)
+	if err != nil {
+		t.Fatalf("[%s] %s: %v", sid, line, err)
+	}
+	return out
+}
+
+// TestTwoSessionsShareStore is the tentpole's warm-start pin: two
+// sessions assembling the same library content — in two different
+// designs, so nothing is shared but the content-addressed store — and
+// the second session's verification rebuilds no certificates: every
+// artifact loads from the store the first session warmed.
+func TestTwoSessionsShareStore(t *testing.T) {
+	sv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	script := []string{
+		"EDIT CHIP",
+		"CREATE SRCELL a ARRAY 4 4",
+		"LVS CHIP",
+	}
+	if err := sv.Open("a", "d1"); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range script {
+		mustDo(t, sv, "a", c)
+	}
+	shA, _ := sv.Shell("a")
+	if built := shA.Verifier.HierStats().CertBuilt; built == 0 {
+		t.Fatal("cold session built no certificates — the warm assertion below would be vacuous")
+	}
+
+	if err := sv.Open("b", "d2"); err != nil {
+		t.Fatal(err)
+	}
+	hitsBefore := sv.mem.Stats().Hits
+	var verdict string
+	for _, c := range script {
+		verdict = mustDo(t, sv, "b", c)
+	}
+	if !strings.Contains(verdict, "netlists match") {
+		t.Fatalf("session b verdict: %q", verdict)
+	}
+	shB, _ := sv.Shell("b")
+	if built := shB.Verifier.HierStats().CertBuilt; built != 0 {
+		t.Fatalf("warm session rebuilt %d certificate(s); want 0 (shared store miss)", built)
+	}
+	if hits := sv.mem.Stats().Hits; hits <= hitsBefore {
+		t.Fatalf("warm session hit the shared store %d times; want > 0", hits-hitsBefore)
+	}
+	// the per-session stats surface sees the same warming
+	snap, ok := sv.SessionSnapshot("b")
+	if !ok {
+		t.Fatal("no snapshot for session b")
+	}
+	if v, ok := snap.Get("store", "hits"); !ok || v == 0 {
+		t.Fatalf("session stats store.hits = %d, %v", v, ok)
+	}
+	if v, _ := snap.Get("hier", "cert_built"); v != 0 {
+		t.Fatalf("session stats hier.cert_built = %d, want 0", v)
+	}
+}
+
+// sessionScript is the per-session workload for the differential test:
+// session i edits its own cell in the shared design, with its own
+// placements, and verifies twice with an edit between.
+func sessionScript(i int) []string {
+	cell := fmt.Sprintf("CELL%d", i)
+	return []string{
+		"EDIT " + cell,
+		fmt.Sprintf("CREATE SRCELL a ARRAY %d 2", 2+i%3),
+		"LVS " + cell,
+		fmt.Sprintf("CREATE SRCELL b AT %d 60", 120*(1+i%4)),
+		"DRC " + cell,
+		"LVS " + cell,
+		"ENDEDIT",
+	}
+}
+
+// TestConcurrentDifferential runs N sessions concurrently over ONE
+// shared design — interleaved edits, snapshot verifications, shared
+// store — and then replays every session's script single-threaded on a
+// fresh server. Each session's transcript must be byte-identical:
+// verdicts are a function of the frozen generation, never of what the
+// other sessions were doing. CI runs this under -race.
+func TestConcurrentDifferential(t *testing.T) {
+	const n = 6
+	run := func(concurrent bool) []string {
+		sv, err := New(Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		transcripts := make([]string, n)
+		do := func(i int) {
+			sid := fmt.Sprintf("s%d", i)
+			if err := sv.Open(sid, "shared"); err != nil {
+				t.Error(err)
+				return
+			}
+			var b strings.Builder
+			for _, c := range sessionScript(i) {
+				out, err := sv.Do(sid, c)
+				if err != nil {
+					t.Errorf("[%s] %s: %v", sid, c, err)
+					return
+				}
+				b.WriteString(out)
+			}
+			transcripts[i] = b.String()
+		}
+		if concurrent {
+			var wg sync.WaitGroup
+			for i := 0; i < n; i++ {
+				wg.Add(1)
+				go func(i int) { defer wg.Done(); do(i) }(i)
+			}
+			wg.Wait()
+		} else {
+			for i := 0; i < n; i++ {
+				do(i)
+			}
+		}
+		return transcripts
+	}
+
+	concurrent := run(true)
+	sequential := run(false)
+	for i := range concurrent {
+		if concurrent[i] != sequential[i] {
+			t.Errorf("session %d transcript diverged under concurrency:\n--- concurrent ---\n%s--- sequential ---\n%s",
+				i, concurrent[i], sequential[i])
+		}
+	}
+}
+
+// TestEditLease pins cell-level write arbitration: EDIT claims the
+// cell, a second session's EDIT is refused while the lease is held and
+// admitted after ENDEDIT (or after the holder closes).
+func TestEditLease(t *testing.T) {
+	sv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sid := range []string{"a", "b"} {
+		if err := sv.Open(sid, ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustDo(t, sv, "a", "EDIT CHIP")
+	if _, err := sv.Do("b", "EDIT CHIP"); err == nil || !strings.Contains(err.Error(), "under edit") {
+		t.Fatalf("conflicting EDIT not refused: %v", err)
+	}
+	// the holder's failed re-EDIT of its own cell (the shell refuses a
+	// redundant EDIT) must not drop the lease
+	if _, err := sv.Do("a", "EDIT CHIP"); err == nil || !strings.Contains(err.Error(), "already editing") {
+		t.Fatalf("redundant EDIT: %v", err)
+	}
+	if _, err := sv.Do("b", "EDIT CHIP"); err == nil || !strings.Contains(err.Error(), "under edit") {
+		t.Fatalf("lease dropped by the holder's failed re-EDIT: %v", err)
+	}
+	// a different cell is free
+	mustDo(t, sv, "b", "EDIT OTHER")
+	mustDo(t, sv, "a", "ENDEDIT")
+	mustDo(t, sv, "b", "ENDEDIT")
+	mustDo(t, sv, "b", "EDIT CHIP")
+	// closing the holder releases its lease
+	if err := sv.Close("b"); err != nil {
+		t.Fatal(err)
+	}
+	mustDo(t, sv, "a", "EDIT CHIP")
+}
+
+// TestServeProtocol drives the line protocol end to end: session
+// lifecycle, command routing, error reporting, stats.
+func TestServeProtocol(t *testing.T) {
+	sv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := strings.NewReader(strings.Join([]string{
+		"OPEN a",
+		"ON a EDIT CHIP",
+		"ON a CREATE SRCELL s ARRAY 2 2",
+		"ON a LVS CHIP",
+		"OPEN b",
+		"ON b EDIT CHIP", // lease conflict -> ?-line
+		"SESSIONS",
+		"ON nosuch LVS CHIP", // unknown session -> ?-line
+		"BOGUS",              // unknown directive -> ?-line
+		"CLOSE b",
+		"STATS",
+		"QUIT",
+		"ON a LVS CHIP", // after QUIT: never reached
+	}, "\n"))
+	var out strings.Builder
+	if err := sv.Serve(in, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"opened a",
+		"editing CHIP",
+		"CHIP: netlists match",
+		`?serve: cell "CHIP" is under edit by session "a"`,
+		"a main editing CHIP",
+		`?serve: no session "nosuch"`,
+		"?serve: unknown directive",
+		"closed b",
+		"serve: sessions=1",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("protocol output missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Count(got, "netlists match") != 1 {
+		t.Error("command after QUIT was executed")
+	}
+}
+
+// TestServeSnapshotAggregates checks the server snapshot sums the
+// per-session pipeline counters and reports the store once.
+func TestServeSnapshotAggregates(t *testing.T) {
+	sv, err := New(Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		sid := fmt.Sprintf("s%d", i)
+		if err := sv.Open(sid, "d"); err != nil {
+			t.Fatal(err)
+		}
+		mustDo(t, sv, sid, fmt.Sprintf("EDIT C%d", i))
+		mustDo(t, sv, sid, "CREATE SRCELL a ARRAY 2 2")
+		mustDo(t, sv, sid, fmt.Sprintf("DRC C%d", i))
+	}
+	snap := sv.Snapshot()
+	if v, _ := snap.Get("serve", "sessions"); v != 2 {
+		t.Fatalf("serve.sessions = %d", v)
+	}
+	var runs int64
+	for i := 0; i < 2; i++ {
+		ss, _ := sv.SessionSnapshot(fmt.Sprintf("s%d", i))
+		v, _ := ss.Get("verify", "hier")
+		runs += v
+	}
+	if v, _ := snap.Get("verify", "hier"); v != runs {
+		t.Fatalf("aggregate verify.hier = %d, want sum of sessions %d", v, runs)
+	}
+	storeCount := 0
+	for _, sec := range snap.Sections {
+		if sec.Name == "store" {
+			storeCount++
+		}
+	}
+	if storeCount != 1 {
+		t.Fatalf("store section appears %d times in the aggregate", storeCount)
+	}
+}
+
+// TestServeDiskTier checks a CacheDir-backed server starts warm across
+// restarts: a second server over the same directory serves the first
+// server's certificates from disk through the shared tier.
+func TestServeDiskTier(t *testing.T) {
+	dir := t.TempDir()
+	script := []string{"EDIT CHIP", "CREATE SRCELL a ARRAY 3 3", "LVS CHIP"}
+
+	sv1, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv1.Open("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range script {
+		mustDo(t, sv1, "a", c)
+	}
+
+	sv2, err := New(Options{CacheDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sv2.Open("a", ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range script {
+		mustDo(t, sv2, "a", c)
+	}
+	sh, _ := sv2.Shell("a")
+	if built := sh.Verifier.HierStats().CertBuilt; built != 0 {
+		t.Fatalf("restarted server rebuilt %d certificate(s); want 0 (disk tier)", built)
+	}
+	if sv2.disk.Stats().Hits == 0 {
+		t.Fatal("restarted server never read the disk tier")
+	}
+}
+
+// BenchmarkServeSessions measures sessions per second: each iteration
+// opens a session, assembles an array, verifies it with LVS and
+// closes. "cold" uses a fresh server per iteration (no shared state);
+// "warm" runs every iteration against one server whose shared store the
+// first iteration primed — the multi-tenant steady state.
+func BenchmarkServeSessions(b *testing.B) {
+	runSession := func(sv *Server, sid string) {
+		// each session assembles its own cell; the array content is
+		// identical, so the shared store warms across cells and sessions
+		cell := "CHIP_" + sid
+		script := []string{"EDIT " + cell, "CREATE SRCELL a ARRAY 16 16", "LVS " + cell}
+		if err := sv.Open(sid, "d"); err != nil {
+			b.Fatal(err)
+		}
+		for _, c := range script {
+			if _, err := sv.Do(sid, c); err != nil {
+				b.Fatalf("%s: %v", c, err)
+			}
+		}
+		if err := sv.Close(sid); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			sv, err := New(Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			runSession(sv, "s")
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	})
+	b.Run("shared-warm", func(b *testing.B) {
+		sv, err := New(Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		runSession(sv, "prime")
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runSession(sv, fmt.Sprintf("s%d", i))
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "sessions/s")
+	})
+}

@@ -647,33 +647,71 @@ func cmdPlot(s *Shell, args []string) error {
 	return nil
 }
 
-// verifyTarget resolves a DRC/EXTRACT cell argument: an explicit name,
-// or the cell under edit.
-func verifyTarget(s *Shell, cmd string, args []string) (*core.Cell, error) {
+// snapTarget resolves a DRC/EXTRACT/LVS target — an explicit name, or
+// the cell under edit — and freezes it under the shared-design guard:
+// the editor snapshot (generation-keyed, with declared connections)
+// when the target is under edit, the design's frozen clone otherwise.
+// Exactly one of snap/cell is non-nil. The verification itself then
+// runs against the immutable frozen state with the guard released, so
+// a server's other sessions keep editing while this one verifies.
+func snapTarget(s *Shell, cmd string, args []string) (snap *core.Snapshot, cell *core.Cell, err error) {
+	if s.Guard != nil {
+		s.Guard.RLock()
+		defer s.Guard.RUnlock()
+	}
 	switch len(args) {
 	case 0:
 		if s.Editor == nil {
-			return nil, fmt.Errorf("shell: %s with no cell argument needs a cell under edit", cmd)
+			return nil, nil, fmt.Errorf("shell: %s with no cell argument needs a cell under edit", cmd)
 		}
-		return s.Editor.Cell, nil
+		return s.Editor.Snapshot(), nil, nil
 	case 1:
 		c, ok := s.Design.Cell(args[0])
 		if !ok {
-			return nil, fmt.Errorf("shell: no cell %q", args[0])
+			return nil, nil, fmt.Errorf("shell: no cell %q", args[0])
 		}
-		return c, nil
+		if s.Editor != nil && s.Editor.Cell == c {
+			return s.Editor.Snapshot(), nil, nil
+		}
+		return nil, s.Design.SnapshotCell(c), nil
 	}
-	return nil, fmt.Errorf("shell: %s [<cell>]", cmd)
+	return nil, nil, fmt.Errorf("shell: %s [<cell>]", cmd)
 }
 
-// verifyReport runs the session verifier over the target cell: the
-// generation-keyed incremental path when the cell is under edit, a
-// cache-priming full run otherwise.
-func (s *Shell) verifyReport(cell *core.Cell) (*verify.Report, error) {
-	if s.Editor != nil && s.Editor.Cell == cell {
-		return s.Verifier.Verify(s.Editor)
+// verifyReport runs the session verifier over a frozen target: the
+// generation-keyed incremental path for an editor snapshot, a
+// cache-priming full run for a bare cell.
+func (s *Shell) verifyReport(snap *core.Snapshot, cell *core.Cell) (*verify.Report, error) {
+	if snap != nil {
+		return s.Verifier.VerifySnapshot(snap)
 	}
 	return s.Verifier.VerifyCell(cell)
+}
+
+// VerifyNamed verifies one cell by name through the session's snapshot
+// discipline — the editor's generation-keyed path when the cell is
+// under edit, the design's frozen clone otherwise. Programmatic
+// callers (riot.Session, the design server) use it so every surface
+// verifies identically.
+func (s *Shell) VerifyNamed(name string) (*verify.Report, error) {
+	snap, cell, err := snapTarget(s, "VERIFY", []string{name})
+	if err != nil {
+		return nil, err
+	}
+	return s.verifyReport(snap, cell)
+}
+
+// LVSNamed netlist-compares one cell by name through the session's
+// snapshot discipline, like VerifyNamed.
+func (s *Shell) LVSNamed(name string) (*lvs.Result, error) {
+	snap, cell, err := snapTarget(s, "LVS", []string{name})
+	if err != nil {
+		return nil, err
+	}
+	if snap != nil {
+		return s.LVS.CheckSnapshot(snap, &s.Verifier)
+	}
+	return s.LVS.CheckCell(cell, &s.Verifier)
 }
 
 // cmdDRC runs the design-rule checker over a cell's flattened mask
@@ -681,35 +719,45 @@ func (s *Shell) verifyReport(cell *core.Cell) (*verify.Report, error) {
 // ends with. With no argument it checks the cell under edit; repeated
 // checks of the cell under edit reuse the incremental verifier cache.
 func cmdDRC(s *Shell, args []string) error {
-	cell, err := verifyTarget(s, "DRC", args)
+	snap, cell, err := snapTarget(s, "DRC", args)
 	if err != nil {
 		return err
 	}
-	rep, err := s.verifyReport(cell)
+	name := targetName(snap, cell)
+	rep, err := s.verifyReport(snap, cell)
 	if err != nil {
 		return err
 	}
 	vs := rep.Violations
 	if len(vs) == 0 {
-		s.printf("%s: no design-rule violations\n", cell.Name)
+		s.printf("%s: no design-rule violations\n", name)
 		return nil
 	}
 	for _, v := range vs {
 		s.printf("%s\n", v)
 	}
-	s.printf("%s: %d design-rule violation(s)\n", cell.Name, len(vs))
+	s.printf("%s: %d design-rule violation(s)\n", name, len(vs))
 	return nil
+}
+
+// targetName names a frozen verification target for output.
+func targetName(snap *core.Snapshot, cell *core.Cell) string {
+	if snap != nil {
+		return snap.Cell.Name
+	}
+	return cell.Name
 }
 
 // cmdExtract recovers a cell's transistor-level circuit — the
 // electrical half of the verification loop. Like DRC it reuses the
 // incremental verifier cache for the cell under edit.
 func cmdExtract(s *Shell, args []string) error {
-	cell, err := verifyTarget(s, "EXTRACT", args)
+	snap, cell, err := snapTarget(s, "EXTRACT", args)
 	if err != nil {
 		return err
 	}
-	rep, err := s.verifyReport(cell)
+	name := targetName(snap, cell)
+	rep, err := s.verifyReport(snap, cell)
 	if err != nil {
 		return err
 	}
@@ -718,7 +766,7 @@ func cmdExtract(s *Shell, args []string) error {
 	}
 	ckt := rep.Circuit
 	s.printf("%s: %d net(s), %d transistor(s), %d label(s)\n",
-		cell.Name, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
+		name, ckt.NetCount, len(ckt.Transistors), len(ckt.NetOf))
 	return nil
 }
 
@@ -738,13 +786,14 @@ func cmdLVS(s *Shell, args []string) error {
 		stats = true
 		args = args[1:]
 	}
-	cell, err := verifyTarget(s, "LVS", args)
+	snap, cell, err := snapTarget(s, "LVS", args)
 	if err != nil {
 		return err
 	}
+	name := targetName(snap, cell)
 	var res *lvs.Result
-	if s.Editor != nil && s.Editor.Cell == cell {
-		res, err = s.LVS.Check(s.Editor, &s.Verifier)
+	if snap != nil {
+		res, err = s.LVS.CheckSnapshot(snap, &s.Verifier)
 	} else {
 		res, err = s.LVS.CheckCell(cell, &s.Verifier)
 	}
@@ -754,34 +803,34 @@ func cmdLVS(s *Shell, args []string) error {
 	if stats {
 		st, store := res.Cert, s.LVS.Certs.Stats()
 		s.printf("%s: certificates: %d/%d occurrence(s) certified under %d distinct cell(s)\n",
-			cell.Name, st.Certified, st.Occurrences, st.Cells)
+			name, st.Certified, st.Occurrences, st.Cells)
 		s.printf("%s: certificate store: %d hit(s), %d sub-cell match(es) performed\n",
-			cell.Name, store.Hits, store.Matched)
-		s.printf("%s: %s\n", cell.Name, s.Verifier.HierStats())
+			name, store.Hits, store.Matched)
+		s.printf("%s: %s\n", name, s.Verifier.HierStats())
 		if d := s.Verifier.HierDeclineInfo(); d != nil {
 			s.printf("%s: hier declined: condition=%s cell=%q placement=%d: %v\n",
-				cell.Name, d.Cond, d.Cell, d.Placement, d)
+				name, d.Cond, d.Cell, d.Placement, d)
 		}
 		if s.Cache != nil {
 			cst := s.Cache.Stats()
 			s.printf("%s: persistent store: %d certificate(s) and %d shard(s) loaded from disk, %d disk hit(s), %d corrupt entr(ies) quarantined (%d moved aside), %d miss(es), %d put(s), %d put error(s)\n",
-				cell.Name, store.DiskHits, s.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt, cst.Quarantined, cst.Misses, cst.Puts, cst.PutErrors)
+				name, store.DiskHits, s.Verifier.FlattenDiskStats(), cst.Hits, cst.Corrupt, cst.Quarantined, cst.Misses, cst.Puts, cst.PutErrors)
 		}
 		if s.Faults != nil {
-			s.printf("%s: faults: %s\n", cell.Name, s.Faults)
+			s.printf("%s: faults: %s\n", name, s.Faults)
 		}
 		if st.Fallback {
-			s.printf("%s: certified comparison fell back to the flat diagnosis\n", cell.Name)
+			s.printf("%s: certified comparison fell back to the flat diagnosis\n", name)
 		}
 	}
 	if res.Clean {
-		s.printf("%s: netlists match (%d nets, %d devices)\n", cell.Name, res.RefNets, res.RefDevices)
+		s.printf("%s: netlists match (%d nets, %d devices)\n", name, res.RefNets, res.RefDevices)
 		return nil
 	}
 	for _, mm := range res.Mismatches {
 		s.printf("%s\n", mm)
 	}
-	s.printf("%s: %d LVS mismatch(es)\n", cell.Name, len(res.Mismatches))
+	s.printf("%s: %d LVS mismatch(es)\n", name, len(res.Mismatches))
 	return nil
 }
 

@@ -22,6 +22,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 
 	"riot/internal/castore"
 	"riot/internal/core"
@@ -76,6 +77,14 @@ type Shell struct {
 
 	Journal *replay.Journal
 
+	// Guard, when set, is the shared-design lock a server installs:
+	// Exec takes it exclusively around mutating commands and shared for
+	// just long enough to freeze a snapshot for verifying commands (the
+	// verification itself runs against the immutable snapshot, outside
+	// the lock, so one session's long DRC never blocks another's edits).
+	// nil — the default, every single-user surface — costs nothing.
+	Guard *sync.RWMutex
+
 	// reg is the unified stats registry every surface (STATS, riot
 	// -stats, Session.Snapshot) renders from; trace is the session's
 	// span recorder, nil unless SetTrace wired one.
@@ -123,6 +132,16 @@ func (s *Shell) AttachCache(dir string) error {
 	return nil
 }
 
+// AttachStore wires a prebuilt content-addressed store — typically a
+// server's shared in-memory tier layered over one on-disk store — plus
+// a shared signer under the session's caches. Unlike AttachCache it
+// opens nothing and takes no ownership: many sessions attach the same
+// store and signer, and any session deriving a verification artifact
+// warms every other.
+func (s *Shell) AttachStore(b castore.Blob, sg *castore.Signer) {
+	s.LVS.AttachDisk(b, sg, &s.Verifier)
+}
+
 // InjectFaults arms the whole pipeline with a fault-injection set
 // (nil disarms): the hierarchical engine's degradation edges and the
 // persistent store's corruption path. Order-independent with
@@ -157,10 +176,26 @@ func (s *Shell) Exec(line string) error {
 	if !ok {
 		return fmt.Errorf("shell: unknown command %q (try HELP)", cmd)
 	}
-	if spec.needsEditor && s.Editor == nil {
-		return fmt.Errorf("shell: %s needs a cell under edit (use EDIT <cell>)", cmd)
+	// Commands marked concurrent freeze their own snapshot under the
+	// shared-design read lock (see snapTarget) and verify outside it;
+	// everything else — mutations, file IO against session state —
+	// holds the design exclusively for the command's duration.
+	var err error
+	if s.Guard != nil && !spec.concurrent {
+		s.Guard.Lock()
+		if spec.needsEditor && s.Editor == nil {
+			err = fmt.Errorf("shell: %s needs a cell under edit (use EDIT <cell>)", cmd)
+		} else {
+			err = spec.run(s, args)
+		}
+		s.Guard.Unlock()
+	} else {
+		if spec.needsEditor && s.Editor == nil {
+			return fmt.Errorf("shell: %s needs a cell under edit (use EDIT <cell>)", cmd)
+		}
+		err = spec.run(s, args)
 	}
-	if err := spec.run(s, args); err != nil {
+	if err != nil {
 		return err
 	}
 	if spec.mutating && s.Journal != nil {
@@ -197,7 +232,12 @@ type command struct {
 	help        string
 	mutating    bool
 	needsEditor bool
-	run         func(s *Shell, args []string) error
+	// concurrent marks commands that manage the shared-design Guard
+	// themselves (verification: they freeze a snapshot under a brief
+	// read lock, then work lock-free) or touch only session-local state
+	// (STATS). Exec runs everything else under the exclusive lock.
+	concurrent bool
+	run        func(s *Shell, args []string) error
 }
 
 var commands map[string]command
@@ -232,10 +272,10 @@ func init() {
 		"STRETCH":     {usage: "STRETCH", help: "connect by stretching the from instance", mutating: true, needsEditor: true, run: cmdStretch},
 		"BRINGOUT":    {usage: "BRINGOUT <inst> <side> <conn>...", help: "route connectors out to the cell edge", mutating: true, needsEditor: true, run: cmdBringOut},
 		"SET":         {usage: "SET TRACKS <n>", help: "set routing defaults", mutating: true, run: cmdSet},
-		"STATS":       {usage: "STATS [JSON]", help: "print unified verification statistics (JSON: machine-readable)", run: cmdStats},
-		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", run: cmdDRC},
-		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", run: cmdExtract},
-		"LVS":         {usage: "LVS [-stats] [<cell>]", help: "compare the extracted netlist against the declared composition (-stats: certificate accounting)", run: cmdLVS},
+		"STATS":       {usage: "STATS [JSON]", help: "print unified verification statistics (JSON: machine-readable)", concurrent: true, run: cmdStats},
+		"DRC":         {usage: "DRC [<cell>]", help: "check width and spacing design rules on a cell", concurrent: true, run: cmdDRC},
+		"EXTRACT":     {usage: "EXTRACT [<cell>]", help: "extract a cell's transistor-level circuit", concurrent: true, run: cmdExtract},
+		"LVS":         {usage: "LVS [-stats] [<cell>]", help: "compare the extracted netlist against the declared composition (-stats: certificate accounting)", concurrent: true, run: cmdLVS},
 		"PLOT":        {usage: "PLOT <file> [<cell>]", help: "produce a hardcopy plot", run: cmdPlot},
 		"REPLAY":      {usage: "REPLAY <file>", help: "re-run a saved journal", run: cmdReplay},
 		"SAVEJOURNAL": {usage: "SAVEJOURNAL <file>", help: "save the session journal", run: cmdSaveJournal},

@@ -16,9 +16,13 @@
 // from-scratch runs — every splice layer is differential-tested — so
 // callers cannot observe the cache except as speed.
 //
-// A Verifier serves one editor at a time and is not safe for
-// concurrent use. Edits made outside the editor's methods must be
-// announced with Editor.Invalidate, which drops every cache.
+// A Verifier serves one session at a time and is not safe for
+// concurrent use — but it consumes frozen snapshots
+// (core.Editor.Snapshot), so the editor it watches may keep mutating
+// while a run proceeds, and a server can run many sessions' verifiers
+// in parallel against one shared design. Edits made outside the
+// editor's methods must be announced with Editor.Invalidate, which
+// drops every cache.
 package verify
 
 import (
@@ -136,11 +140,13 @@ func (v *Verifier) Trace() *obs.Trace { return v.trace }
 func (v *Verifier) SetLog(l obs.Logger) { v.engine().Log = l }
 
 // AttachDisk connects the verifier's flatten cache and the
-// hierarchical engine to a persistent content-addressed store:
-// instance shards and per-cell certificates missing in memory (always,
-// in a fresh process) are loaded by content signature instead of
-// re-derived. A nil store detaches the flatten cache.
-func (v *Verifier) AttachDisk(st *castore.Store, sg *castore.Signer) {
+// hierarchical engine to a content-addressed store — the on-disk
+// castore.Store, a server's shared in-memory tier, or both
+// (castore.Tiered): instance shards and per-cell certificates missing
+// in memory (always, in a fresh process) are loaded by content
+// signature instead of re-derived. A nil store detaches the flatten
+// cache.
+func (v *Verifier) AttachDisk(st castore.Blob, sg *castore.Signer) {
 	v.cache.AttachDisk(st, sg)
 	v.engine().AttachDisk(st, sg)
 }
@@ -177,19 +183,29 @@ func (v *Verifier) FlattenDiskStats() (loaded int) { return v.cache.DiskStats() 
 // shards the flatten cache reused vs re-flattened.
 func (v *Verifier) FlattenStats() (reused, reflattened int) { return v.cache.Stats() }
 
-// Verify extracts and design-rule checks the editor's cell. An
-// unchanged generation returns the cached report outright; a
-// generation the editor's change log still covers splices the caches;
-// anything else (first run, log exhausted, Invalidate) rebuilds from
-// scratch and re-primes them.
+// Verify extracts and design-rule checks the editor's cell, through a
+// frozen snapshot of the editor's current generation (the editor may
+// keep mutating while the run proceeds). An unchanged generation
+// returns the cached report outright; a generation the editor's change
+// log still covers splices the caches; anything else (first run, log
+// exhausted, Invalidate) rebuilds from scratch and re-primes them.
 func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
-	cell, gen := ed.Cell, ed.Generation()
+	return v.VerifySnapshot(ed.Snapshot())
+}
+
+// VerifySnapshot is Verify against an explicit frozen generation.
+// Snapshot clones of one design cell share lineage (core.Cell.Origin),
+// so successive generations splice exactly as a live editor would:
+// unchanged instances keep their clone pointers and therefore their
+// shards.
+func (v *Verifier) VerifySnapshot(snap *core.Snapshot) (*Report, error) {
+	cell, gen := snap.Cell, snap.Gen
 	if v.have && v.cell == cell && v.gen == gen {
 		v.stats.Cached++
 		return v.report, nil
 	}
 	if v.have {
-		if _, ok := ed.ChangesSince(v.gen); !ok || v.cell != cell {
+		if _, ok := snap.ChangesSince(v.gen); !ok || v.cell.Origin() != cell.Origin() {
 			// tracking lost: unbounded change, trimmed log, or a cell
 			// switch — drop the flatten cache so no stale shard splices
 			// (the downstream caches reset themselves off the nil delta)
@@ -197,8 +213,9 @@ func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
 			if !ok && v.eng != nil {
 				// an Invalidate can mean leaf cells mutated in place;
 				// the engine's pointer-keyed certificate memo would not
-				// notice, so drop it (disk entries are content-signed
-				// and re-key correctly after the signer reset above)
+				// notice, so drop it (store entries are content-signed
+				// and re-key correctly — the signer's memo entries are
+				// revision-checked, so they recompute on their own)
 				v.eng.ResetMemo()
 			}
 		}
@@ -208,9 +225,10 @@ func (v *Verifier) Verify(ed *core.Editor) (*Report, error) {
 
 // VerifyCell verifies a cell outside any editor: a full, cache-priming
 // run. Subsequent Verify calls on an editor of the same cell splice
-// from it.
+// from it. Snapshot clones compare by lineage, so verifying successive
+// frozen generations of one design cell keeps the cache warm.
 func (v *Verifier) VerifyCell(cell *core.Cell) (*Report, error) {
-	if v.cell != cell {
+	if v.cell == nil || v.cell.Origin() != cell.Origin() {
 		v.cache.Reset()
 	}
 	return v.run(cell, 0)

@@ -270,16 +270,16 @@ func (s *Session) Extract(cellName string) (*Circuit, error) {
 }
 
 // VerifyCell runs the full verification pipeline (extract + DRC) over
-// a cell, incrementally for the cell under edit.
+// a cell, incrementally for the cell under edit. The run consumes a
+// frozen snapshot of the cell's current generation, so it shares the
+// same determinism contract as the shell DRC/EXTRACT commands and the
+// design server.
 func (s *Session) VerifyCell(cellName string) (*VerifyReport, error) {
-	cell, ok := s.Shell.Design.Cell(cellName)
-	if !ok {
-		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	rep, err := s.Shell.VerifyNamed(cellName)
+	if err != nil {
+		return nil, riotErr(cellName, err)
 	}
-	if ed := s.Shell.Editor; ed != nil && ed.Cell == cell {
-		return s.Shell.Verifier.Verify(ed)
-	}
-	return s.Shell.Verifier.VerifyCell(cell)
+	return rep, nil
 }
 
 // CheckLVS compares a cell's extracted netlist against the netlist its
@@ -290,14 +290,20 @@ func (s *Session) VerifyCell(cellName string) (*VerifyReport, error) {
 // nothing; for the cell under edit the whole comparison is keyed on
 // the editor generation.
 func (s *Session) CheckLVS(cellName string) (*LVSResult, error) {
-	cell, ok := s.Shell.Design.Cell(cellName)
-	if !ok {
-		return nil, fmt.Errorf("riot: no cell %q", cellName)
+	res, err := s.Shell.LVSNamed(cellName)
+	if err != nil {
+		return nil, riotErr(cellName, err)
 	}
-	if ed := s.Shell.Editor; ed != nil && ed.Cell == cell {
-		return s.Shell.LVS.Check(ed, &s.Shell.Verifier)
+	return res, nil
+}
+
+// riotErr keeps the facade's historical "riot: no cell" wording for
+// missing-cell errors while passing verification errors through.
+func riotErr(cellName string, err error) error {
+	if strings.Contains(err.Error(), "no cell") {
+		return fmt.Errorf("riot: no cell %q", cellName)
 	}
-	return s.Shell.LVS.CheckCell(cell, &s.Shell.Verifier)
+	return err
 }
 
 // ExportCIF flattens a cell into CIF text for mask generation.
